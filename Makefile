@@ -1,0 +1,24 @@
+# Convenience targets for the Limoncello reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --out report.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "==== $$script"; python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

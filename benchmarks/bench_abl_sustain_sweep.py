@@ -1,0 +1,54 @@
+"""Design ablation: the sustain-duration timer.
+
+Sweeps the controller's sustain duration from zero (react instantly) to
+long (react sluggishly). Too short and the controller chases noise
+(toggles); too long and it misses genuine load shifts (less time in the
+beneficial off-state at peak). The deployed setting sits in between.
+"""
+
+from repro.core import LimoncelloConfig
+from repro.fleet import Fleet
+
+SUSTAIN_EPOCHS = (0, 1, 3, 8)
+
+
+def run_arm(sustain_epochs):
+    fleet = Fleet(machines=14, seed=31)
+    config = LimoncelloConfig(
+        sample_period_ns=fleet.epoch_ns,
+        sustain_duration_ns=sustain_epochs * fleet.epoch_ns)
+    fleet.deploy_hard_limoncello(config)
+    fleet.deploy_soft_limoncello()
+    fleet.run(25)
+    metrics = fleet.run(80)
+    toggles = sum(socket.toggles for machine in fleet.machines
+                  for socket in machine.sockets)
+    duty_off = sum(
+        1 for machine in fleet.machines for socket in machine.sockets
+        for epoch in socket.history if not epoch.hw_prefetchers_on)
+    epochs_total = sum(len(socket.history) for machine in fleet.machines
+                       for socket in machine.sockets)
+    return metrics.normalized_throughput, toggles, duty_off / epochs_total
+
+
+def run_experiment():
+    return {epochs: run_arm(epochs) for epochs in SUSTAIN_EPOCHS}
+
+
+def test_abl_sustain_sweep(benchmark, report):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    toggles = {epochs: t for epochs, (_, t, _) in results.items()}
+    # Longer sustain durations strictly reduce toggling.
+    assert toggles[0] >= toggles[1] >= toggles[3] >= toggles[8]
+    # An overly long sustain keeps prefetchers on longer at load.
+    duty = {epochs: d for epochs, (_, _, d) in results.items()}
+    assert duty[8] <= duty[0] + 0.02
+
+    lines = [f"{'sustain (epochs)':>17} {'throughput':>11} {'toggles':>8} "
+             f"{'time disabled':>14}"]
+    for epochs, (throughput, toggle_count, duty_off) in results.items():
+        lines.append(f"{epochs:17d} {throughput:11.3f} {toggle_count:8d} "
+                     f"{duty_off:14.1%}")
+    lines.append("short sustain chases noise; long sustain reacts late")
+    report("abl_sustain", "Ablation — sustain-duration sweep", lines)

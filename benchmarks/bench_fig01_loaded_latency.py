@@ -1,0 +1,36 @@
+"""Figure 1: load-to-use latency vs memory bandwidth utilization.
+
+Paper: measured with Intel MLC; ~100 ns unloaded rising past 350 ns at
+full load, with the prefetchers-ON curve sitting ~15% above the
+prefetchers-OFF curve at high utilization.
+"""
+
+from repro.analysis import measure_latency_curve
+
+UTILIZATIONS = tuple(x / 10 for x in range(11))
+
+
+def run_experiment():
+    on = measure_latency_curve(True, UTILIZATIONS, probe_hops=400)
+    off = measure_latency_curve(False, UTILIZATIONS, probe_hops=400)
+    return on, off
+
+
+def test_fig01_loaded_latency(benchmark, report):
+    on, off = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Shape assertions (paper's qualitative claims).
+    assert on.latency_at(1.0) > 2.5 * on.latency_at(0.0)      # 2x+ growth
+    idle_gap = on.latency_at(0.0) / off.latency_at(0.0) - 1.0
+    assert abs(idle_gap) < 0.02                               # coincide idle
+    reduction = off.reduction_versus(on, 0.9)
+    assert -0.35 < reduction < -0.05                          # ~-15%
+
+    rows = [f"{'util':>6} {'HW on (ns)':>11} {'HW off (ns)':>12}"]
+    for point_on, point_off in zip(on.points, off.points):
+        rows.append(f"{point_on.utilization:6.1f} "
+                    f"{point_on.latency_ns:11.1f} "
+                    f"{point_off.latency_ns:12.1f}")
+    rows.append(f"latency reduction at 90% utilization: {reduction:+.1%} "
+                f"(paper: about -15%)")
+    report("fig01", "Figure 1 — loaded latency, prefetchers on vs off", rows)

@@ -1,0 +1,37 @@
+"""Figure 2: memory bandwidth per core plateaus across server generations.
+
+Paper: total bandwidth grows ~8x over 2010-2022 while bandwidth per core
+stays flat — the scarcity driving the whole system.
+"""
+
+from repro.fleet import PLATFORM_CATALOG
+
+
+def run_experiment():
+    base = PLATFORM_CATALOG[0]
+    rows = []
+    for spec in PLATFORM_CATALOG:
+        rows.append((
+            spec.year,
+            spec.saturation_bandwidth / base.saturation_bandwidth,
+            spec.bandwidth_per_core / base.bandwidth_per_core,
+            spec.bandwidth_per_core,
+        ))
+    return rows
+
+
+def test_fig02_bw_per_core(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    total_growth = [growth for _, growth, _, _ in rows]
+    per_core_growth = [growth for _, _, growth, _ in rows]
+    assert total_growth[-1] > 6.0                     # membw grows ~8x
+    assert max(per_core_growth) < 1.5                 # per-core plateaus
+    assert total_growth == sorted(total_growth)
+
+    lines = [f"{'year':>6} {'membw growth':>13} {'membw/core growth':>18} "
+             f"{'GB/s per core':>14}"]
+    for year, total, per_core, absolute in rows:
+        lines.append(f"{year:6d} {total:13.2f} {per_core:18.2f} "
+                     f"{absolute:14.2f}")
+    report("fig02", "Figure 2 — bandwidth growth across generations", lines)

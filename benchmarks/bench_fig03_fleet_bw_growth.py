@@ -1,0 +1,49 @@
+"""Figure 3: fleet memory-bandwidth usage per compute unit, 2020-2023.
+
+Paper: ~1.4x growth over four years (~10% year on year) as workloads get
+more data-intensive. Modelled by scaling each year's task bandwidth
+demand by 10% and measuring bandwidth per scheduled compute unit.
+"""
+
+import dataclasses
+
+from repro.fleet import Fleet
+from repro.fleet.task import DEFAULT_TEMPLATE
+
+YEARS = (2020, 2021, 2022, 2023)
+YEARLY_INTENSITY_GROWTH = 1.10
+
+
+def run_experiment():
+    rows = []
+    for index, year in enumerate(YEARS):
+        scale = YEARLY_INTENSITY_GROWTH ** index
+        median, sigma, low, high = DEFAULT_TEMPLATE.bandwidth_per_core
+        template = dataclasses.replace(
+            DEFAULT_TEMPLATE,
+            bandwidth_per_core=(median * scale, sigma, low * scale,
+                                high * scale))
+        fleet = Fleet(machines=12, seed=3, template=template)
+        metrics = fleet.run(40)
+        bandwidth = metrics.bandwidth_summary().mean  # GB/s per socket
+        compute_units = (metrics.cpu_utilization_mean()
+                         * fleet.platform.compute_units)
+        rows.append((year, bandwidth / compute_units))
+    return rows
+
+
+def test_fig03_fleet_bw_growth(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    per_unit = [value for _, value in rows]
+    growth = per_unit[-1] / per_unit[0]
+    # Paper: ~1.4x over the window. The fleet's bandwidth admission caps
+    # growth below the raw 1.33x intensity increase, as in production.
+    assert 1.05 < growth < 1.6
+    assert per_unit == sorted(per_unit)
+
+    lines = [f"{'year':>6} {'GB/s per compute unit':>22}"]
+    for year, value in rows:
+        lines.append(f"{year:6d} {value:22.3f}")
+    lines.append(f"growth 2020->2023: {growth:.2f}x (paper: ~1.4x)")
+    report("fig03", "Figure 3 — fleet bandwidth per compute unit", lines)

@@ -1,0 +1,69 @@
+"""Figure 5: SPEC memory bandwidth with/without hardware prefetching
+across three server generations.
+
+Paper: 30-40% more memory traffic with prefetchers on, with the overhead
+growing in the newest generation (prefetchers got more aggressive).
+"""
+
+import random
+
+from repro.access import AddressSpace
+from repro.memsys import MemoryHierarchy, PrefetcherBank, StreamPrefetcher
+from repro.memsys.prefetchers import (
+    AdjacentLinePrefetcher,
+    NextLinePrefetcher,
+    StridePrefetcher,
+)
+from repro.workloads.spec import suite_trace
+
+#: Three generations' streamer tunings: newer parts chase coverage harder.
+GENERATIONS = (
+    ("gen 1", dict(distance=8, degree=2)),
+    ("gen 2", dict(distance=12, degree=3)),
+    ("gen 3", dict(distance=16, degree=4)),
+)
+
+
+def bank_for(streamer_params):
+    return PrefetcherBank([
+        NextLinePrefetcher(name="l1_next_line", degree=1),
+        StridePrefetcher(name="l1_stride"),
+        StreamPrefetcher(**streamer_params),
+        AdjacentLinePrefetcher(name="l2_adjacent_line"),
+    ])
+
+
+def run_experiment():
+    rows = []
+    for label, params in GENERATIONS:
+        def fresh_trace():
+            return suite_trace(random.Random(1), AddressSpace(), scale=0.8)
+
+        on = MemoryHierarchy(prefetchers=bank_for(params)).run(fresh_trace())
+        off_hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        off = off_hierarchy.run(fresh_trace())
+        rows.append((label,
+                     on.average_bandwidth, off.average_bandwidth,
+                     on.dram_total_bytes / off.dram_total_bytes - 1.0,
+                     on.prefetch_traffic_fraction))
+    return rows
+
+
+def test_fig05_spec_bw(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    overheads = [overhead for _, _, _, overhead, _ in rows]
+    # Paper: 30-40% extra traffic from prefetching.
+    for overhead in overheads:
+        assert 0.10 < overhead < 0.60
+    # The newest generation has the largest overhead.
+    assert overheads[-1] == max(overheads)
+    assert overheads[-1] > 0.25
+
+    lines = [f"{'generation':>10} {'bw on':>8} {'bw off':>8} "
+             f"{'traffic overhead':>17} {'prefetch share':>15}"]
+    for label, bw_on, bw_off, overhead, share in rows:
+        lines.append(f"{label:>10} {bw_on:8.2f} {bw_off:8.2f} "
+                     f"{overhead:17.1%} {share:15.1%}")
+    lines.append("paper: 30-40% traffic overhead, growing in the newest gen")
+    report("fig05", "Figure 5 — SPEC bandwidth, prefetchers on vs off", lines)

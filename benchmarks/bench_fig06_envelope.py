@@ -1,0 +1,43 @@
+"""Figure 6: Limoncello rides the lower envelope of the latency curves.
+
+Below the upper threshold it keeps prefetchers on (optimizing hit rate);
+above, it disables them (optimizing latency), so its effective latency
+curve follows the on-curve early and the off-curve late.
+"""
+
+from repro.analysis import limoncello_envelope, measure_latency_curve
+
+UTILIZATIONS = tuple(x / 10 for x in range(11))
+UPPER_THRESHOLD = 0.8
+
+
+def run_experiment():
+    on = measure_latency_curve(True, UTILIZATIONS, probe_hops=350)
+    off = measure_latency_curve(False, UTILIZATIONS, probe_hops=350)
+    envelope = limoncello_envelope(on, off, UPPER_THRESHOLD)
+    return on, off, envelope
+
+
+def test_fig06_envelope(benchmark, report):
+    on, off, envelope = benchmark.pedantic(run_experiment, rounds=1,
+                                           iterations=1)
+
+    for point in envelope.points:
+        if point.utilization <= UPPER_THRESHOLD:
+            assert point.latency_ns == on.latency_at(point.utilization)
+        else:
+            assert point.latency_ns == off.latency_at(point.utilization)
+            assert point.latency_ns < on.latency_at(point.utilization)
+
+    gain_at_peak = 1 - envelope.latency_at(1.0) / on.latency_at(1.0)
+    assert gain_at_peak > 0.05
+
+    lines = [f"{'util':>6} {'HW on':>8} {'HW off':>8} {'Limoncello':>11}"]
+    for point_on, point_off, point_env in zip(on.points, off.points,
+                                              envelope.points):
+        lines.append(f"{point_on.utilization:6.1f} "
+                     f"{point_on.latency_ns:8.1f} "
+                     f"{point_off.latency_ns:8.1f} "
+                     f"{point_env.latency_ns:11.1f}")
+    lines.append(f"latency saved at full load: {gain_at_peak:.1%}")
+    report("fig06", "Figure 6 — Limoncello's latency envelope", lines)

@@ -1,0 +1,51 @@
+"""Figure 7: per-machine memory bandwidth is volatile minute to minute.
+
+Paper: a representative machine swings tens of GB/s within the hour —
+the volatility that motivates the controller's hysteresis.
+"""
+
+import random
+
+from repro.fleet import Machine, PLATFORM_1, sample_task
+from repro.telemetry import TimeSeries
+from repro.units import MINUTE
+
+MINUTES = 60
+
+
+def run_experiment():
+    machine = Machine("fig7", PLATFORM_1, sockets=1,
+                      demand_noise_sigma=0.25, rng=random.Random(3))
+    socket = machine.sockets[0]
+    rng = random.Random(3)
+    while socket.cores_free > 8:
+        task = sample_task(rng)
+        if task.cores <= socket.cores_free:
+            socket.add_task(task)
+
+    series = TimeSeries("bandwidth")
+    for minute in range(MINUTES):
+        epochs = machine.step(minute * MINUTE, MINUTE)
+        series.append(minute * MINUTE, epochs[0].bandwidth)
+    return series
+
+
+def test_fig07_bw_variability(benchmark, report):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    mean = series.mean()
+    swing = (series.maximum() - series.minimum()) / mean
+    assert swing > 0.25, "bandwidth should swing substantially"
+    # Short-horizon moves: consecutive minutes regularly differ by >5%.
+    moves = [abs(b - a) / mean
+             for a, b in zip(series.values, series.values[1:])]
+    assert sum(1 for m in moves if m > 0.05) > MINUTES // 6
+
+    lines = [f"{'minute':>7} {'bandwidth (GB/s)':>17}"]
+    for index, value in enumerate(series.values):
+        if index % 5 == 0:
+            lines.append(f"{index:7d} {value:17.1f}")
+    lines.append(f"mean {mean:.1f} GB/s, min {series.minimum():.1f}, "
+                 f"max {series.maximum():.1f} "
+                 f"(peak-to-trough {swing:.0%} of mean)")
+    report("fig07", "Figure 7 — per-machine bandwidth variability", lines)

@@ -1,0 +1,61 @@
+"""Figure 8: the Hard Limoncello controller state machine.
+
+Exercises every edge of the four-state diagram and benchmarks the
+controller's decision throughput (it must be cheap: it runs every second
+on every socket in the fleet).
+"""
+
+from repro.core import ControllerState, HardLimoncelloController, LimoncelloConfig
+from repro.units import SECOND
+
+CONFIG = LimoncelloConfig(lower_threshold=0.6, upper_threshold=0.8,
+                          sustain_duration_ns=2 * SECOND)
+
+#: A drive sequence touching every Figure 8 edge, with the state expected
+#: *after* each sample.
+EDGE_SCRIPT = (
+    (0.5, ControllerState.ENABLED),        # enabled, stays enabled
+    (0.9, ControllerState.OVERLOADED),     # membw > UT: start timing
+    (0.7, ControllerState.ENABLED),        # membw < UT: timeout -> 0
+    (0.9, ControllerState.OVERLOADED),     # membw > UT again
+    (0.9, ControllerState.OVERLOADED),     # timing, not yet expired
+    (0.9, ControllerState.DISABLED),       # timeout = 0: disable
+    (0.7, ControllerState.DISABLED),       # membw > LT: stay disabled
+    (0.5, ControllerState.UNDERLOADED),    # membw < LT: start timing
+    (0.7, ControllerState.DISABLED),       # membw > LT: timeout -> 0
+    (0.5, ControllerState.UNDERLOADED),    # membw < LT again
+    (0.5, ControllerState.UNDERLOADED),    # timing, not yet expired
+    (0.5, ControllerState.ENABLED),        # timeout = 0: enable
+)
+
+
+def walk_edges():
+    controller = HardLimoncelloController(CONFIG)
+    visited = []
+    for tick, (utilization, expected) in enumerate(EDGE_SCRIPT):
+        decision = controller.observe(tick * SECOND, utilization)
+        visited.append((utilization, decision.state, expected))
+    return controller, visited
+
+
+def decision_throughput():
+    controller = HardLimoncelloController(CONFIG)
+    for tick in range(5000):
+        controller.observe(tick * SECOND, 0.5 + 0.45 * (tick % 7 == 0))
+    return controller
+
+
+def test_fig08_state_machine(benchmark, report):
+    controller, visited = walk_edges()
+    for utilization, state, expected in visited:
+        assert state is expected, (utilization, state, expected)
+    assert {state for _, state, _ in visited} == set(ControllerState)
+    assert controller.transitions == 2  # one disable, one enable
+
+    benchmark(decision_throughput)
+
+    lines = [f"{'sample util':>12} {'state after':>14}"]
+    for utilization, state, _ in visited:
+        lines.append(f"{utilization:12.2f} {state.value:>14}")
+    lines.append("all four Figure 8 states and every edge exercised")
+    report("fig08", "Figure 8 — controller state machine walk", lines)

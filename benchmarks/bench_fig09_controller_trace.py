@@ -1,0 +1,58 @@
+"""Figure 9: prefetcher state over time under threshold crossings.
+
+The worked example from Section 3: bandwidth exceeds the 80% upper
+threshold (disable), dips between the thresholds (no change), falls below
+the 60% lower threshold (re-enable), rises between thresholds (no
+change), and finally exceeds the upper threshold again (disable).
+"""
+
+from repro.core import LimoncelloConfig, LimoncelloDaemon, MSRPrefetcherActuator
+from repro.msr import INTEL_LIKE_MAP, MSRFile
+from repro.telemetry import PerfBandwidthSampler, ScriptedBandwidthSource
+from repro.units import SECOND
+
+PROFILE = (
+    (0 * SECOND, 85.0),
+    (8 * SECOND, 75.0),    # t=7.5 in the figure: between thresholds
+    (12 * SECOND, 55.0),   # t=10: below the lower threshold
+    (22 * SECOND, 70.0),   # before t=20: between thresholds
+    (28 * SECOND, 90.0),   # t=20+: above the upper threshold
+)
+DURATION = 40 * SECOND
+
+
+def run_experiment():
+    socket = ScriptedBandwidthSource(PROFILE, saturation_bandwidth=100.0)
+    msrs = MSRFile()
+    daemon = LimoncelloDaemon(
+        PerfBandwidthSampler(socket),
+        MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP),
+        LimoncelloConfig(sustain_duration_ns=3 * SECOND))
+    daemon.run(DURATION)
+    return daemon
+
+
+def test_fig09_controller_trace(benchmark, report):
+    daemon = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_data = daemon.report
+    states = list(report_data.prefetcher_state.values)
+    utils = list(report_data.utilization.values)
+
+    # Three transitions: disable, enable, disable (Figure 9).
+    assert report_data.transitions == 3
+    # Disabled during the initial 85% phase (after the sustain delay).
+    assert states[6] == 0.0
+    # Still disabled during the 75% dip (between thresholds).
+    assert states[10] == 0.0
+    # Re-enabled during the 55% phase.
+    assert states[18] == 1.0
+    # Still enabled during the 70% phase (between thresholds).
+    assert states[25] == 1.0
+    # Disabled again at the end.
+    assert states[-1] == 0.0
+
+    lines = [f"{'t(s)':>5} {'util':>6} {'prefetchers':>12}"]
+    for tick, (util, state) in enumerate(zip(utils, states)):
+        lines.append(f"{tick:5d} {util:6.2f} "
+                     f"{'on' if state else 'OFF':>12}")
+    report("fig09", "Figure 9 — prefetcher state over time", lines)

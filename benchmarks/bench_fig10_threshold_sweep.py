@@ -1,0 +1,50 @@
+"""Figure 10: application throughput across Hard Limoncello threshold
+configurations (lower/upper as % of bandwidth saturation).
+
+Paper: 60/80 performed best among {50/70, 60/80, 70/90} (+0.5% to +2.2%
+throughput) and became the deployed configuration. The study arm runs
+full Limoncello (controller + targeted software prefetches).
+
+Reproduction note: our model reproduces the magnitudes (+0-3%) and the
+collapse of the conservative 70/90 configuration, but ranks 50/70
+marginally above 60/80 — in the simulator, Soft Limoncello recovers the
+prefetchers-off penalty so completely that eager disabling is nearly
+free. See EXPERIMENTS.md.
+"""
+
+from repro.analysis import ThresholdStudy
+
+
+def run_experiment():
+    study = ThresholdStudy(machines=20, epochs=80, warmup_epochs=25,
+                           seed=9, soft=True)
+    return study.run()
+
+
+def test_fig10_threshold_sweep(benchmark, report):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_label = {o.label: o for o in outcomes}
+
+    # Every configuration helps (Figure 10 shows all three positive)…
+    for outcome in outcomes:
+        assert outcome.throughput_change > -0.003, outcome.label
+    # …and the deployed 60/80 decisively beats the conservative 70/90,
+    # which barely ever triggers.
+    assert (by_label["60/80"].throughput_change
+            > by_label["70/90"].throughput_change + 0.005)
+    best = ThresholdStudy.best(outcomes)
+    assert (by_label["60/80"].throughput_change
+            >= best.throughput_change - 0.015)
+    # Configurations that trigger actually reduce bandwidth.
+    assert by_label["60/80"].bandwidth_change_mean < 0
+
+    lines = [f"{'config':>8} {'Δthroughput':>12} {'Δlatency p50':>13} "
+             f"{'Δbandwidth':>11}"]
+    for outcome in outcomes:
+        lines.append(f"{outcome.label:>8} "
+                     f"{outcome.throughput_change:12.2%} "
+                     f"{outcome.latency_change_p50:13.2%} "
+                     f"{outcome.bandwidth_change_mean:11.2%}")
+    lines.append(f"best configuration: {best.label} "
+                 f"(paper deployed 60/80)")
+    report("fig10", "Figure 10 — threshold configuration sweep", lines)

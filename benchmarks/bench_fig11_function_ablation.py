@@ -1,0 +1,41 @@
+"""Figure 11: per-function cycle and MPKI change when hardware
+prefetchers are disabled — measured on the cycle-level simulator.
+
+Paper: data center tax functions (copying, compression, hashing,
+serialization) regress — cycles and LLC MPKI both rise sharply — while
+irregular functions improve slightly. This ranking is what surfaces the
+software-prefetch targets.
+"""
+
+from repro.analysis import MicroAblationStudy
+from repro.workloads import TAX_CATEGORIES
+
+
+def run_experiment():
+    return MicroAblationStudy(seed=7, scale=1.0).run()
+
+
+def test_fig11_function_ablation(benchmark, report):
+    ablations = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Tax functions dominate the top of the regression ranking.
+    top = ablations[:5]
+    assert all(a.category in TAX_CATEGORIES for a in top)
+    # Their MPKI increases are massive; irregular functions are flat.
+    by_name = {a.function: a for a in ablations}
+    assert by_name["memcpy"].mpki_delta > 2.0
+    assert by_name["crc32"].cycle_delta > 0.5
+    assert abs(by_name["pointer_chase"].mpki_delta) < 0.1
+    assert by_name["pointer_chase"].cycle_delta < 0.02
+    # Some functions genuinely improve (less pollution/latency).
+    assert any(a.cycle_delta < 0 for a in ablations)
+
+    lines = [f"{'function':>16} {'category':>18} {'Δcycles':>9} "
+             f"{'ΔMPKI':>10}"]
+    for ablation in ablations:
+        mpki = (f"{ablation.mpki_delta:10.1%}"
+                if ablation.mpki_delta != float("inf") else "       inf")
+        lines.append(f"{ablation.function:>16} "
+                     f"{ablation.category.value:>18} "
+                     f"{ablation.cycle_delta:9.1%} {mpki}")
+    report("fig11", "Figure 11 — per-function prefetcher ablation", lines)

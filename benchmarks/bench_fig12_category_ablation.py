@@ -1,0 +1,34 @@
+"""Figure 12: aggregated cycle change per function category under
+prefetcher ablation.
+
+Paper: every data center tax category (compression, data transmission,
+hashing, data movement) increases in cycles when prefetchers are
+disabled; non-tax functions collectively decrease.
+"""
+
+from repro.analysis import MicroAblationStudy, aggregate_by_category
+from repro.workloads import FunctionCategory, TAX_CATEGORIES
+
+
+def run_experiment():
+    ablations = MicroAblationStudy(seed=7, scale=1.0).run()
+    return aggregate_by_category(ablations)
+
+
+def test_fig12_category_ablation(benchmark, report):
+    rollup = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for category in TAX_CATEGORIES:
+        assert rollup[category] > 0.10, category   # paper: +10-30%
+    assert rollup[FunctionCategory.NON_TAX] < 0.05  # paper: net decrease
+
+    order = (FunctionCategory.COMPRESSION,
+             FunctionCategory.DATA_TRANSMISSION,
+             FunctionCategory.HASHING,
+             FunctionCategory.DATA_MOVEMENT,
+             FunctionCategory.NON_TAX)
+    lines = [f"{'category':>18} {'Δcycles':>9}"]
+    for category in order:
+        lines.append(f"{category.value:>18} {rollup[category]:9.1%}")
+    lines.append("paper: all tax categories up (10-30%), non-tax down")
+    report("fig12", "Figure 12 — per-category prefetcher ablation", lines)

@@ -1,0 +1,46 @@
+"""Figure 14: the memcpy call-size distribution.
+
+Paper: the PDF of copy sizes is dominated by small copies with a long
+tail of large ones; regressing workloads had ~26% larger average copies.
+"""
+
+import random
+
+from repro.workloads import MemcpySizeDistribution, size_histogram
+
+BIN_EDGES = (16, 64, 256, 1024, 4096, 1 << 16, 1 << 20, 1 << 23)
+SAMPLES = 50_000
+
+
+def run_experiment():
+    rng = random.Random(14)
+    dist = MemcpySizeDistribution()
+    samples = dist.sample_many(rng, SAMPLES)
+    histogram = size_histogram(samples, BIN_EDGES)
+    regressing = dist.scaled(1.26)
+    mean_base = dist.mean_of(random.Random(1), 20_000)
+    mean_regressing = regressing.mean_of(random.Random(1), 20_000)
+    return histogram, samples, mean_base, mean_regressing
+
+
+def test_fig14_memcpy_sizes(benchmark, report):
+    histogram, samples, mean_base, mean_regressing = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+
+    fractions = dict(histogram)
+    # Most copies are small…
+    small_mass = sum(frac for edge, frac in histogram if edge <= 1024)
+    assert small_mass > 0.7
+    # …with a real long tail.
+    assert any(size >= 1 << 16 for size in samples)
+    # The regressing-workload distribution is ~26% larger on average.
+    assert 1.15 < mean_regressing / mean_base < 1.40
+
+    lines = [f"{'size <=':>10} {'fraction':>9}"]
+    for edge, frac in histogram:
+        lines.append(f"{edge:>10} {frac:9.3f}")
+    lines.append(f"mass at or below 1 KiB: {small_mass:.0%} "
+                 f"(paper: 'most copy sizes are small')")
+    lines.append(f"regressing workloads' mean copy size: "
+                 f"{mean_regressing / mean_base - 1:+.0%} (paper: +26%)")
+    report("fig14", "Figure 14 — memcpy size distribution", lines)

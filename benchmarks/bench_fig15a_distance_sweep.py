@@ -1,0 +1,49 @@
+"""Figure 15a: memcpy speedup vs copy size, sweeping prefetch distance
+(degree fixed at 256 bytes).
+
+Paper: longer distances win on large copies; on small copies prefetching
+far ahead fetches data the call never touches and loses. The sweep runs
+unclamped (the raw design space, before the size-gate lesson of §4.3).
+"""
+
+from repro.core import PrefetchDescriptor
+from repro.microbench import MemcpyMicrobenchmark
+from repro.units import KB
+
+DISTANCES = (64, 128, 256, 512, 1024)
+SIZES = (256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB)
+DEGREE = 256
+
+
+def run_experiment():
+    bench = MemcpyMicrobenchmark(sizes=SIZES, bytes_per_point=128 * KB)
+    sweeps = {}
+    for distance in DISTANCES:
+        descriptor = PrefetchDescriptor(
+            "memcpy", distance_bytes=distance, degree_bytes=DEGREE,
+            clamp_to_stream=False)
+        sweeps[distance] = bench.speedup(descriptor)
+    return sweeps
+
+
+def test_fig15a_distance_sweep(benchmark, report):
+    sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Large copies: longer distance is better (more timely).
+    assert sweeps[1024][256 * KB] > sweeps[128][256 * KB] \
+        > sweeps[64][256 * KB] > 0
+    # Small copies: long distances overshoot and hurt.
+    assert sweeps[1024][256] < -0.05
+    assert sweeps[64][256] > sweeps[1024][256]
+    # Crossover: every distance eventually helps at large sizes.
+    for distance in DISTANCES:
+        assert sweeps[distance][64 * KB] > 0.1
+
+    header = "size(KB) " + " ".join(f"d={d:>5}" for d in DISTANCES)
+    lines = [header]
+    for size in SIZES:
+        cells = " ".join(f"{sweeps[d][size]*100:7.1f}" for d in DISTANCES)
+        lines.append(f"{size / KB:8.2f} {cells}")
+    lines.append("columns: % speedup over no software prefetch "
+                 "(degree 256B, unclamped)")
+    report("fig15a", "Figure 15a — prefetch distance sweep", lines)

@@ -1,0 +1,49 @@
+"""Figure 15b: memcpy speedup vs copy size, sweeping prefetch degree
+(distance fixed at 512 bytes).
+
+Paper: large degrees hurt small copies badly (down to ~-60% at 2 KiB
+degree on a 256-byte copy — pure over-fetch under load) while helping
+large copies. This is the plot that motivated gating software prefetch
+on call size (Section 4.3).
+"""
+
+from repro.core import PrefetchDescriptor
+from repro.microbench import MemcpyMicrobenchmark
+from repro.units import KB
+
+DEGREES = (64, 128, 256, 512, 1024, 2048)
+SIZES = (256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB)
+DISTANCE = 512
+
+
+def run_experiment():
+    bench = MemcpyMicrobenchmark(sizes=SIZES, bytes_per_point=128 * KB)
+    sweeps = {}
+    for degree in DEGREES:
+        descriptor = PrefetchDescriptor(
+            "memcpy", distance_bytes=DISTANCE, degree_bytes=degree,
+            clamp_to_stream=False)
+        sweeps[degree] = bench.speedup(descriptor)
+    return sweeps
+
+
+def test_fig15b_degree_sweep(benchmark, report):
+    sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # The paper's ~-60%: degree 2K destroys 256-byte copies.
+    assert sweeps[2048][256] < -0.40
+    # Small degrees are far safer on small copies.
+    assert sweeps[64][256] > sweeps[2048][256] + 0.25
+    # Large copies tolerate (and benefit from) large degrees.
+    assert sweeps[2048][256 * KB] > sweeps[64][256 * KB] > 0
+
+    header = "size(KB) " + " ".join(f"g={g:>5}" for g in DEGREES)
+    lines = [header]
+    for size in SIZES:
+        cells = " ".join(f"{sweeps[g][size]*100:7.1f}" for g in DEGREES)
+        lines.append(f"{size / KB:8.2f} {cells}")
+    lines.append("columns: % speedup over no software prefetch "
+                 "(distance 512B, unclamped)")
+    lines.append(f"paper's -60% point: degree 2K on 256B copies -> "
+                 f"{sweeps[2048][256]:+.0%} here")
+    report("fig15b", "Figure 15b — prefetch degree sweep", lines)

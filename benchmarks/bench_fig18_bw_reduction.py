@@ -1,0 +1,34 @@
+"""Figure 18: socket memory-bandwidth usage reduction under Limoncello.
+
+Paper: ~-15% average socket bandwidth, with the number of saturated
+sockets falling by ~8%.
+"""
+
+from repro.fleet import AblationStudy
+
+
+def run_experiment():
+    study = AblationStudy(mode="hard+soft", machines=24, epochs=80,
+                          warmup_epochs=25, seed=9)
+    return study.run()
+
+
+def test_fig18_bw_reduction(benchmark, report):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    bandwidth = result.bandwidth_reduction()
+
+    assert bandwidth["mean"] < -0.01
+    assert bandwidth["p90"] < 0.01
+    assert bandwidth["p99"] < 0.01
+
+    saturated_before = result.control.saturated_socket_fraction(0.90)
+    saturated_after = result.experiment.saturated_socket_fraction(0.90)
+    assert saturated_after <= saturated_before
+
+    lines = [f"{'stat':>5} {'Δ socket bandwidth':>19}"]
+    for stat in ("mean", "p90", "p99"):
+        lines.append(f"{stat:>5} {bandwidth[stat]:19.1%}")
+    lines.append(f"sockets above 90% of saturation: "
+                 f"{saturated_before:.1%} -> {saturated_after:.1%}")
+    lines.append("paper: -15% average; saturated sockets -8%")
+    report("fig18", "Figure 18 — socket bandwidth reduction", lines)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation, asserts its qualitative shape, and writes the rows it would
+plot to ``benchmarks/results/<name>.txt`` (also echoed to stdout when
+pytest runs with ``-s``).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write (and echo) the reproduced rows for one experiment."""
+
+    def _report(name: str, title: str, lines) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        body = [title, "=" * len(title)]
+        body.extend(str(line) for line in lines)
+        text = "\n".join(body) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print("\n" + text)
+
+    return _report

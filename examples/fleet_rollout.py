@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The Section 6 evaluation: rolling Limoncello out to a simulated fleet.
+
+Runs the before / Hard-only / full-Limoncello arms and prints the
+headline numbers behind Figures 16-20: throughput by CPU-utilization
+band, memory-latency and bandwidth reductions, the CPU-utilization
+capacity gain, and the tax-function cycle-share story.
+
+Run:  python examples/fleet_rollout.py
+"""
+
+from repro.fleet import RolloutStudy
+
+
+def main() -> None:
+    print("running rollout arms (before / hard-only / full / "
+          "full+scheduler)…")
+    result = RolloutStudy(machines=24, epochs=80, warmup_epochs=25,
+                          seed=5).run()
+
+    print("\nFigure 16 — application throughput gain by CPU band")
+    for band, gain in result.throughput_gain_by_band().items():
+        print(f"  {band:>4}: {gain:+.1%}")
+
+    latency = result.latency_reduction()
+    print("\nFigure 17 — memory latency change")
+    for stat in ("p50", "p90", "p99"):
+        print(f"  {stat.upper():>4}: {latency[stat]:+.1%}")
+
+    bandwidth = result.bandwidth_reduction()
+    print("\nFigure 18 — socket bandwidth change")
+    for stat in ("mean", "p90", "p99"):
+        print(f"  {stat:>4}: {bandwidth[stat]:+.1%}")
+    print(f"  saturated sockets: {result.saturated_socket_change():+.1%}")
+
+    print("\nFigure 19 — capacity: mean machine CPU utilization")
+    print(f"  before: {result.before.cpu_utilization_mean():.1%}")
+    print(f"  after (scheduler-integrated): "
+          f"{result.full_integrated.cpu_utilization_mean():.1%} "
+          f"({result.cpu_utilization_gain():+.1%})")
+
+    print("\nFigure 20 — fleet cycle share in targeted tax functions")
+    for arm, shares in result.tax_cycle_shares().items():
+        print(f"  {arm:5}: {shares['all targeted DC tax']:.1%} "
+              f"(movement {shares['data movement']:.1%}, "
+              f"compression {shares['compression']:.1%}, "
+              f"hashing {shares['hashing']:.1%}, "
+              f"transmission {shares['data transmission']:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The Section 8 research directions, as working prototypes.
+
+1. §8.1 accuracy-first hardware: a feedback gate turns a blind next-line
+   prefetcher into an accuracy-aware one — most of the wasted traffic
+   disappears at no performance cost.
+2. §8.3 a hardware/software interface: one *stream hint* instruction per
+   memcpy replaces thousands of prefetch instructions, letting hardware
+   pace a stream whose exact extent software provided.
+
+Run:  python examples/hinted_prefetching.py
+"""
+
+import random
+
+from repro.access import AccessKind, AddressSpace
+from repro.core import PrefetchDescriptor, SoftwarePrefetchInjector
+from repro.memsys import MemoryHierarchy, PrefetcherBank
+from repro.memsys.prefetchers import AdjacentLinePrefetcher, NextLinePrefetcher
+from repro.memsys.prefetchers.feedback import FeedbackThrottledPrefetcher
+from repro.memsys.prefetchers.hinted import HintedRegionPrefetcher
+from repro.units import KB
+from repro.workloads import fleet_mix_trace, memcpy_trace
+
+
+def accuracy_first_demo() -> None:
+    print("§8.1 — accuracy-first hardware prefetching")
+    weights = {"btree_lookup": 0.35, "hashmap_probe": 0.25,
+               "random_access": 0.15, "memcpy": 0.15, "hash": 0.10}
+
+    def mix():
+        return fleet_mix_trace(random.Random(7), AddressSpace(),
+                               weights=weights)
+
+    def blind():
+        return [NextLinePrefetcher(name="l1_next_line", degree=1,
+                                   page_filter_entries=None),
+                AdjacentLinePrefetcher(name="l2_adjacent_line",
+                                       page_filter_entries=None)]
+
+    raw = MemoryHierarchy(prefetchers=PrefetcherBank(blind())).run(mix())
+    gated_bank = PrefetcherBank(
+        [FeedbackThrottledPrefetcher(p) for p in blind()])
+    gated = MemoryHierarchy(prefetchers=gated_bank).run(mix())
+
+    for label, result in (("blind", raw), ("feedback-gated", gated)):
+        wasted = result.dram_prefetch_fills - result.useful_prefetches
+        print(f"  {label:>15}: {result.total.cycles:11.0f} cycles, "
+              f"{result.dram_prefetch_fills:6d} prefetch fills "
+              f"({wasted} wasted)")
+    saved = 1 - gated.dram_prefetch_fills / raw.dram_prefetch_fills
+    print(f"  gate removes {saved:.0%} of prefetch traffic "
+          f"on irregular-heavy code\n")
+
+
+def hinted_interface_demo() -> None:
+    print("§8.3 — one stream hint vs thousands of prefetch instructions")
+    size = 256 * KB
+    trace = memcpy_trace(0x10_0000, 0x90_0000, size)
+    descriptor = PrefetchDescriptor("memcpy", distance_bytes=512,
+                                    degree_bytes=256,
+                                    min_size_bytes=2 * KB)
+
+    sw_trace = SoftwarePrefetchInjector([descriptor]).inject(trace)
+    hint_trace = SoftwarePrefetchInjector(
+        [descriptor], emit_hints=True).inject(trace)
+    hint_count = sum(1 for r in hint_trace
+                     if r.kind is AccessKind.STREAM_HINT)
+
+    baseline = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+    sw = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(sw_trace)
+    hinted = MemoryHierarchy(prefetchers=PrefetcherBank(
+        [HintedRegionPrefetcher()])).run(hint_trace)
+
+    print(f"  {'-HW baseline':>22}: {baseline.elapsed_ns:9.0f} ns")
+    print(f"  {'prefetch instructions':>22}: {sw.elapsed_ns:9.0f} ns  "
+          f"({sw.total.software_prefetches} extra instructions)")
+    print(f"  {'stream hints':>22}: {hinted.elapsed_ns:9.0f} ns  "
+          f"({hint_count} hint instructions, hardware-paced)")
+    print(f"  hint interface: {baseline.elapsed_ns / hinted.elapsed_ns - 1:+.0%} "
+          f"vs instructions' {baseline.elapsed_ns / sw.elapsed_ns - 1:+.0%}, "
+          f"at ~{hint_count}/{sw.total.software_prefetches} the "
+          f"instruction cost")
+
+
+def main() -> None:
+    accuracy_first_demo()
+    hinted_interface_demo()
+
+
+if __name__ == "__main__":
+    main()

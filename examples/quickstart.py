@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: the Limoncello control loop on one socket.
+
+Reproduces the worked example of the paper's Figure 9: a socket whose
+memory bandwidth follows a scripted profile, a Hard Limoncello daemon
+sampling it every second, and prefetcher state actuated through simulated
+model-specific registers. Watch the hysteresis: bandwidth must stay past
+a threshold for the sustain duration before anything toggles, and the
+dip to 75% (between the two thresholds) changes nothing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LimoncelloConfig, LimoncelloDaemon, MSRPrefetcherActuator
+from repro.msr import INTEL_LIKE_MAP, MSRFile
+from repro.telemetry import PerfBandwidthSampler, ScriptedBandwidthSource
+from repro.units import SECOND
+
+
+def main() -> None:
+    # A socket with 100 GB/s saturation bandwidth whose load follows the
+    # Figure 9 script: high, briefly lower (but above the lower
+    # threshold), low, moderate, then high again.
+    profile = [
+        (0 * SECOND, 85.0),    # above the 80% upper threshold
+        (8 * SECOND, 75.0),    # between thresholds: no change
+        (12 * SECOND, 55.0),   # below the 60% lower threshold
+        (22 * SECOND, 70.0),   # between thresholds: no change
+        (28 * SECOND, 90.0),   # above the upper threshold again
+    ]
+    socket = ScriptedBandwidthSource(profile, saturation_bandwidth=100.0)
+
+    # The prefetcher controls live in a (simulated) MSR file, laid out
+    # like a real platform's registers.
+    msrs = MSRFile()
+    actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP)
+
+    config = LimoncelloConfig(          # the deployed 60/80 configuration
+        lower_threshold=0.60,
+        upper_threshold=0.80,
+        sustain_duration_ns=3 * SECOND,  # short, to keep the demo brisk
+        sample_period_ns=1 * SECOND,
+    )
+    daemon = LimoncelloDaemon(PerfBandwidthSampler(socket), actuator, config)
+
+    print(f"{'t(s)':>5} {'bw(GB/s)':>9} {'util':>6} {'state':>12} "
+          f"{'prefetchers':>12}")
+    for tick in range(40):
+        now = tick * SECOND
+        state = daemon.step(now)
+        sample = daemon.report.utilization.last()
+        prefetchers = "ENABLED" if actuator.is_enabled() else "disabled"
+        print(f"{tick:5d} {socket.memory_bandwidth(now):9.1f} "
+              f"{sample.value:6.2f} {state.value:>12} {prefetchers:>12}")
+
+    report = daemon.report
+    print(f"\nsamples={report.samples}  transitions={report.transitions}  "
+          f"time disabled={report.duty_cycle_disabled():.0%}")
+    print("MSR 0x1A4 =", hex(msrs.rdmsr(0x1A4)),
+          "(set bits are per-prefetcher disables)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run memory traces through the cycle-level simulator directly.
+
+Shows the three regimes the paper reasons about, on a single memcpy:
+
+1. hardware prefetchers ON  — low MPKI, extra DRAM traffic;
+2. hardware prefetchers OFF — MPKI explodes, memcpy crawls;
+3. OFF + Soft Limoncello    — software prefetches recover the MPKI with
+   far less traffic than the hardware prefetchers burned.
+
+Run:  python examples/trace_simulation.py
+"""
+
+from repro import MemoryHierarchy, PrefetchDescriptor, SoftwarePrefetchInjector
+from repro.memsys import PrefetcherBank, default_prefetcher_bank
+from repro.units import KB
+from repro.workloads import memcpy_trace
+
+
+def simulate(label, trace, hardware_on):
+    bank = default_prefetcher_bank() if hardware_on else PrefetcherBank([])
+    hierarchy = MemoryHierarchy(prefetchers=bank)
+    result = hierarchy.run(trace)
+    stats = result.total
+    print(f"{label:24} {result.elapsed_ns:10.0f} ns   "
+          f"MPKI {stats.llc_mpki:7.2f}   "
+          f"DRAM fills {result.dram_total_fills:5d} "
+          f"(prefetch {result.dram_prefetch_fills:5d})   "
+          f"covered {stats.prefetch_covered:5d}")
+    return result
+
+
+def main() -> None:
+    size = 256 * KB
+    plain = memcpy_trace(src=0x10_0000, dst=0x90_0000, size=size)
+
+    # Soft Limoncello's production memcpy descriptor: 512B ahead, 256B per
+    # prefetch, only for calls of 2 KiB or more, clamped to the copy.
+    descriptor = PrefetchDescriptor(
+        "memcpy", distance_bytes=512, degree_bytes=256,
+        min_size_bytes=2 * KB, clamp_to_stream=True)
+    injector = SoftwarePrefetchInjector([descriptor])
+    prefetched = injector.inject(plain)
+    stats = injector.last_stats
+    print(f"memcpy of {size // KB} KiB; injector inserted "
+          f"{stats.prefetches_inserted} prefetches into "
+          f"{stats.streams_instrumented} streams\n")
+
+    print(f"{'configuration':24} {'runtime':>13}")
+    on = simulate("+HW (prefetchers on)", plain, hardware_on=True)
+    off = simulate("-HW (prefetchers off)", plain, hardware_on=False)
+    soft = simulate("-HW +SW (Limoncello)", prefetched, hardware_on=False)
+
+    print(f"\nslowdown from disabling HW prefetchers: "
+          f"{off.elapsed_ns / on.elapsed_ns - 1:+.0%}")
+    print(f"recovered by software prefetching:      "
+          f"{off.elapsed_ns / soft.elapsed_ns - 1:+.0%}")
+    print(f"DRAM traffic, SW vs HW prefetching:     "
+          f"{soft.dram_total_fills / on.dram_total_fills - 1:+.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Tuning Soft Limoncello's memcpy prefetch (Sections 4.2-4.3).
+
+Sweeps prefetch distances and degrees on the memcpy microbenchmark
+(LLVM-libc stand-in), then validates the microbenchmark winner on the
+fleet-mix load test — the paper's iterate-until-it-holds-under-load flow.
+
+Run:  python examples/tune_memcpy_prefetch.py
+"""
+
+from repro import PrefetchDescriptor, PrefetchTuner
+from repro.microbench import FleetMixLoadTest, MemcpyMicrobenchmark
+from repro.units import KB
+
+
+def main() -> None:
+    microbench = MemcpyMicrobenchmark(
+        sizes=(1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB),
+        bytes_per_point=128 * KB)
+    loadtest = FleetMixLoadTest(scale=1.0)
+
+    tuner = PrefetchTuner(
+        microbenchmark=microbench.mean_speedup,
+        loadtest=loadtest.speedup,
+        min_speedup=0.0,
+        max_candidates=3)
+
+    base = PrefetchDescriptor("memcpy", min_size_bytes=2 * KB,
+                              clamp_to_stream=True)
+    print("sweeping distances x degrees on the memcpy microbenchmark…")
+    result = tuner.tune(
+        base,
+        distances=(128, 256, 512, 1024),
+        degrees=(128, 256, 512))
+
+    print(f"\n{'distance':>9} {'degree':>7} {'microbench speedup':>19}")
+    for point in sorted(result.sweep,
+                        key=lambda p: p.speedup, reverse=True):
+        print(f"{point.descriptor.distance_bytes:9d} "
+              f"{point.descriptor.degree_bytes:7d} "
+              f"{point.speedup:19.1%}")
+
+    if result.succeeded:
+        print(f"\nchosen: {result.chosen.label()}")
+        print(f"  microbenchmark speedup: "
+              f"{result.chosen_microbench_speedup:+.1%}")
+        print(f"  load-test speedup:      "
+              f"{result.chosen_loadtest_speedup:+.1%}")
+        if result.rejected:
+            rejected = ", ".join(p.descriptor.label()
+                                 for p in result.rejected)
+            print(f"  rejected by load test:  {rejected}")
+    else:
+        print("\nno candidate survived load testing — iterate with new "
+              "distances/degrees (Section 4.2's loop)")
+
+
+if __name__ == "__main__":
+    main()

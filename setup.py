@@ -1,0 +1,11 @@
+"""Setuptools shim so ``pip install -e .`` works without network access.
+
+The sandboxed environment has no ``wheel`` package, which the PEP 660
+editable path requires; keeping a ``setup.py`` lets pip fall back to the
+legacy ``setup.py develop`` editable install. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Memory-access and trace abstractions.
+
+A *trace* is the lingua franca between workload generators
+(:mod:`repro.workloads`), the software-prefetch injector
+(:mod:`repro.core.soft`), and the timing simulator (:mod:`repro.memsys`):
+an ordered sequence of :class:`MemoryAccess` records, each optionally
+separated from its predecessor by a number of pure-compute cycles.
+"""
+
+from repro.access.record import AccessKind, MemoryAccess
+from repro.access.trace import Trace, interleave
+from repro.access.address import AddressSpace
+
+__all__ = [
+    "AccessKind",
+    "MemoryAccess",
+    "Trace",
+    "interleave",
+    "AddressSpace",
+]

@@ -1,0 +1,51 @@
+"""Address-space management for synthetic workloads.
+
+Workload generators need non-overlapping memory regions so that, for
+example, a memcpy source does not alias a hash table. :class:`AddressSpace`
+is a trivial bump allocator over a synthetic 48-bit address space that hands
+out aligned regions.
+"""
+
+from __future__ import annotations
+
+from repro.units import CACHE_LINE_BYTES
+
+
+class AddressSpace:
+    """A bump allocator handing out disjoint, aligned address regions."""
+
+    #: Synthetic address spaces start above zero so that a zero address in a
+    #: trace is always a bug, never a valid allocation.
+    BASE = 0x1000_0000
+
+    #: Guard gap inserted between consecutive regions, in bytes. The gap is
+    #: large enough that a stream prefetcher running past the end of one
+    #: region cannot produce useful hits in the next one.
+    GUARD = 64 * 1024
+
+    def __init__(self, base: int = BASE, alignment: int = 4096) -> None:
+        if base < 0:
+            raise ValueError(f"base must be non-negative, got {base}")
+        if alignment <= 0 or alignment % CACHE_LINE_BYTES != 0:
+            raise ValueError(
+                f"alignment must be a positive multiple of {CACHE_LINE_BYTES}, "
+                f"got {alignment}")
+        self._alignment = alignment
+        self._next = self._align(base)
+
+    def _align(self, address: int) -> int:
+        mask = self._alignment - 1
+        return (address + mask) & ~mask
+
+    def allocate(self, size: int) -> int:
+        """Reserve ``size`` bytes; returns the region's base address."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        base = self._next
+        self._next = self._align(base + size + self.GUARD)
+        return base
+
+    @property
+    def high_water_mark(self) -> int:
+        """First address beyond everything allocated so far."""
+        return self._next

@@ -1,0 +1,92 @@
+"""The :class:`MemoryAccess` record — one event in a memory trace."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.units import CACHE_LINE_BYTES, line_address
+
+
+class AccessKind(enum.Enum):
+    """What kind of memory operation a trace record represents."""
+
+    #: A demand load: the core stalls until the data arrives.
+    LOAD = "load"
+    #: A demand store: modelled as non-blocking but it still allocates.
+    STORE = "store"
+    #: A software prefetch instruction (``prefetcht0``-style): never stalls,
+    #: occupies one issue slot, and brings the line toward the core.
+    SOFTWARE_PREFETCH = "software_prefetch"
+    #: A stream hint (the Section 8.3 hardware/software-interface
+    #: prototype): one instruction telling the hardware prefetcher the
+    #: exact extent of an upcoming stream (``address`` = start,
+    #: ``size`` = length). The hardware paces the fetching.
+    STREAM_HINT = "stream_hint"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single memory operation within a trace.
+
+    Attributes:
+        address: Byte address touched by the operation.
+        size: Number of bytes touched (loads/stores rarely exceed a line;
+            generators emit one record per line for larger objects).
+        kind: Load, store, or software prefetch.
+        pc: Synthetic program counter identifying the instruction site.
+            Hardware stride prefetchers train per-PC, and the profiler
+            attributes samples by PC, so generators should give each logical
+            instruction a stable ``pc``.
+        function: Name of the function this access is attributed to; used by
+            the fleetwide profiler and the ablation analysis.
+        gap_cycles: Pure-compute cycles executed since the previous trace
+            record. This is how traces encode instruction mix: a trace with
+            large gaps is compute-bound, one with zero gaps is a pure
+            memory stream.
+    """
+
+    address: int
+    size: int = 8
+    kind: AccessKind = AccessKind.LOAD
+    pc: int = 0
+    function: str = ""
+    gap_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.gap_cycles < 0:
+            raise ValueError(f"gap_cycles must be non-negative, got {self.gap_cycles}")
+
+    @property
+    def line(self) -> int:
+        """Cache-line-aligned address of the access."""
+        return line_address(self.address)
+
+    @property
+    def is_demand(self) -> bool:
+        """True for loads and stores (anything that is not a prefetch
+        or a hint)."""
+        return self.kind in (AccessKind.LOAD, AccessKind.STORE)
+
+    @property
+    def is_load(self) -> bool:
+        """True only for demand loads."""
+        return self.kind is AccessKind.LOAD
+
+    def lines_touched(self) -> range:
+        """Cache-line addresses covered by ``[address, address + size)``."""
+        first = line_address(self.address)
+        last = line_address(self.address + self.size - 1)
+        return range(first, last + CACHE_LINE_BYTES, CACHE_LINE_BYTES)
+
+    def with_function(self, function: str) -> "MemoryAccess":
+        """A copy of this record attributed to ``function``."""
+        return replace(self, function=function)
+
+    def shifted(self, offset: int) -> "MemoryAccess":
+        """A copy of this record with its address shifted by ``offset``."""
+        return replace(self, address=self.address + offset)

@@ -1,0 +1,163 @@
+"""Traces: ordered sequences of memory accesses plus bulk helpers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.access.record import AccessKind, MemoryAccess
+from repro.errors import TraceError
+
+
+class Trace:
+    """An immutable-by-convention ordered list of :class:`MemoryAccess`.
+
+    Traces support concatenation, per-record mapping, and summary
+    statistics. Workload generators produce them, the software-prefetch
+    injector rewrites them, and :class:`repro.memsys.MemoryHierarchy`
+    consumes them.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: Iterable[MemoryAccess] = ()) -> None:
+        self._records: List[MemoryAccess] = list(records)
+        for record in self._records:
+            if not isinstance(record, MemoryAccess):
+                raise TraceError(
+                    f"trace records must be MemoryAccess, got {type(record).__name__}"
+                )
+
+    # --- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._records[index])
+        return self._records[index]
+
+    def __add__(self, other: "Trace") -> "Trace":
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return Trace(itertools.chain(self._records, other._records))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self._records)} records)"
+
+    # --- transformations -----------------------------------------------------
+
+    def map(self, fn: Callable[[MemoryAccess], MemoryAccess]) -> "Trace":
+        """A new trace with ``fn`` applied to every record."""
+        return Trace(fn(record) for record in self._records)
+
+    def attributed(self, function: str) -> "Trace":
+        """A copy with every record attributed to ``function``."""
+        return self.map(lambda record: record.with_function(function))
+
+    def shifted(self, offset: int) -> "Trace":
+        """A copy with every address shifted by ``offset``."""
+        return self.map(lambda record: record.shifted(offset))
+
+    def repeated(self, times: int) -> "Trace":
+        """This trace concatenated with itself ``times`` times."""
+        if times < 0:
+            raise ValueError(f"times must be non-negative, got {times}")
+        return Trace(itertools.chain.from_iterable(
+            self._records for _ in range(times)))
+
+    def demand_only(self) -> "Trace":
+        """A copy with software-prefetch records removed."""
+        return Trace(record for record in self._records if record.is_demand)
+
+    # --- statistics -----------------------------------------------------------
+
+    @property
+    def demand_count(self) -> int:
+        """Number of demand (load/store) records."""
+        return sum(1 for record in self._records if record.is_demand)
+
+    @property
+    def prefetch_count(self) -> int:
+        """Number of software-prefetch records."""
+        return len(self._records) - self.demand_count
+
+    @property
+    def compute_cycles(self) -> int:
+        """Total pure-compute cycles encoded in the trace gaps."""
+        return sum(record.gap_cycles for record in self._records)
+
+    @property
+    def instruction_count(self) -> int:
+        """Approximate instruction count: one per record plus one per gap
+        cycle (the simulator's cycle model assumes IPC 1 for compute)."""
+        return len(self._records) + self.compute_cycles
+
+    def unique_lines(self) -> int:
+        """Number of distinct cache lines touched by demand accesses."""
+        return len({record.line for record in self._records if record.is_demand})
+
+    def footprint_bytes(self) -> int:
+        """Total bytes spanned by the trace's demand address range."""
+        demand = [record for record in self._records if record.is_demand]
+        if not demand:
+            return 0
+        low = min(record.address for record in demand)
+        high = max(record.address + record.size for record in demand)
+        return high - low
+
+    def functions(self) -> Sequence[str]:
+        """Distinct function names appearing in the trace, in first-seen order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.function and record.function not in seen:
+                seen.append(record.function)
+        return seen
+
+
+def interleave(traces: Sequence[Trace], chunk: int = 64,
+               limit: Optional[int] = None) -> Trace:
+    """Round-robin interleave several traces, ``chunk`` records at a time.
+
+    This approximates the co-located, context-switching execution the paper
+    describes: a machine runs hundreds of services whose memory streams mix
+    at fine granularity, which is exactly what confuses hardware stream
+    prefetchers on short streams.
+
+    Args:
+        traces: The traces to interleave. Exhausted traces drop out.
+        chunk: Records taken from each trace per turn.
+        limit: Optional cap on total output records.
+    """
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    iterators = [iter(trace) for trace in traces]
+    merged: List[MemoryAccess] = []
+    while iterators:
+        still_live = []
+        for iterator in iterators:
+            taken = list(itertools.islice(iterator, chunk))
+            merged.extend(taken)
+            if limit is not None and len(merged) >= limit:
+                return Trace(merged[:limit])
+            if len(taken) == chunk:
+                still_live.append(iterator)
+        iterators = still_live
+    return Trace(merged)
+
+
+def software_prefetch(address: int, size: int = 64, pc: int = 0,
+                      function: str = "") -> MemoryAccess:
+    """Convenience constructor for a software-prefetch trace record."""
+    return MemoryAccess(address=address, size=size,
+                        kind=AccessKind.SOFTWARE_PREFETCH,
+                        pc=pc, function=function)

@@ -1,0 +1,41 @@
+"""Measurement and analysis harnesses built on the simulators.
+
+* :mod:`repro.analysis.latency_curves` — the Intel-MLC-style loaded
+  latency measurement behind Figures 1 and 6.
+* :mod:`repro.analysis.ablation_analysis` — micro-level (trace-driven)
+  per-function ablation, the high-fidelity version of Figures 11/12.
+* :mod:`repro.analysis.thresholds` — the Figure 10 threshold study.
+"""
+
+from repro.analysis.latency_curves import (
+    LatencyCurve,
+    LatencyPoint,
+    limoncello_envelope,
+    measure_latency_curve,
+)
+from repro.analysis.ablation_analysis import (
+    FunctionAblation,
+    MicroAblationStudy,
+    aggregate_by_category,
+)
+from repro.analysis.thresholds import ThresholdStudy, ThresholdOutcome
+from repro.analysis.access_patterns import (
+    FunctionPattern,
+    analyze_trace,
+    propose_descriptors,
+)
+
+__all__ = [
+    "FunctionPattern",
+    "analyze_trace",
+    "propose_descriptors",
+    "LatencyCurve",
+    "LatencyPoint",
+    "measure_latency_curve",
+    "limoncello_envelope",
+    "FunctionAblation",
+    "MicroAblationStudy",
+    "aggregate_by_category",
+    "ThresholdStudy",
+    "ThresholdOutcome",
+]

@@ -1,0 +1,107 @@
+"""Trace-level (micro) ablation analysis — high-fidelity Figures 11/12.
+
+Runs the fleet-representative workload mix through the cycle-level
+simulator twice — hardware prefetchers enabled and disabled — and reports
+per-function cycle and MPKI deltas. This is the same experiment the fleet
+harness approximates with calibration coefficients, but measured directly
+on the trace simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.access.address import AddressSpace
+from repro.errors import ConfigError
+from repro.memsys.config import HierarchyConfig
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.prefetchers.bank import PrefetcherBank, default_prefetcher_bank
+from repro.workloads.base import FunctionCategory, category_of_function
+from repro.workloads.mixes import fleetbench_trace
+
+
+@dataclass(frozen=True)
+class FunctionAblation:
+    """One function's response to disabling hardware prefetchers."""
+
+    function: str
+    category: FunctionCategory
+    cycles_on: float
+    cycles_off: float
+    mpki_on: float
+    mpki_off: float
+
+    @property
+    def cycle_delta(self) -> float:
+        """Fractional cycle change when prefetchers are disabled."""
+        if self.cycles_on <= 0:
+            return 0.0
+        return self.cycles_off / self.cycles_on - 1.0
+
+    @property
+    def mpki_delta(self) -> float:
+        """Fractional MPKI change when prefetchers are disabled."""
+        if self.mpki_on <= 0:
+            return float("inf") if self.mpki_off > 0 else 0.0
+        return self.mpki_off / self.mpki_on - 1.0
+
+
+class MicroAblationStudy:
+    """Per-function prefetcher ablation on the trace simulator."""
+
+    def __init__(self, seed: int = 7, scale: float = 1.0,
+                 config: Optional[HierarchyConfig] = None) -> None:
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        self.seed = seed
+        self.scale = scale
+        self.config = config or HierarchyConfig()
+
+    def _mix(self):
+        return fleetbench_trace(random.Random(self.seed), AddressSpace(),
+                                scale=self.scale)
+
+    def run(self) -> List[FunctionAblation]:
+        """Returns one record per function, sorted by cycle delta."""
+        on_hierarchy = MemoryHierarchy(
+            config=self.config, prefetchers=default_prefetcher_bank())
+        on = on_hierarchy.run(self._mix())
+        off_hierarchy = MemoryHierarchy(
+            config=self.config, prefetchers=PrefetcherBank([]))
+        off = off_hierarchy.run(self._mix())
+
+        results = []
+        for function, stats_on in on.functions.items():
+            stats_off = off.function(function)
+            if stats_off.instructions == 0:
+                continue
+            results.append(FunctionAblation(
+                function=function,
+                category=category_of_function(function),
+                cycles_on=stats_on.cycles,
+                cycles_off=stats_off.cycles,
+                mpki_on=stats_on.llc_mpki,
+                mpki_off=stats_off.llc_mpki,
+            ))
+        results.sort(key=lambda r: r.cycle_delta, reverse=True)
+        return results
+
+
+def aggregate_by_category(
+        ablations: List[FunctionAblation]) -> Dict[FunctionCategory, float]:
+    """Cycle-weighted mean cycle delta per category — Figure 12's bars."""
+    delta_sums: Dict[FunctionCategory, float] = {}
+    weights: Dict[FunctionCategory, float] = {}
+    for ablation in ablations:
+        weight = ablation.cycles_on
+        if weight <= 0:
+            continue
+        delta_sums[ablation.category] = (
+            delta_sums.get(ablation.category, 0.0)
+            + ablation.cycle_delta * weight)
+        weights[ablation.category] = (
+            weights.get(ablation.category, 0.0) + weight)
+    return {category: delta_sums[category] / weights[category]
+            for category in delta_sums}

@@ -1,0 +1,157 @@
+"""Memory-access-pattern visibility — the Section 8.2 tooling.
+
+"The toil of inserting software prefetches is largely due to [...] lack
+of visibility into application memory access patterns. Better visibility
+into memory layouts and memory access patterns can help with removing
+some of the guesswork in software prefetching." (Section 8.2.)
+
+:func:`analyze_trace` summarizes, per function, exactly the properties
+Section 4 reasons about — stream lengths, stride regularity, sequential
+fraction, working-set size — and :func:`propose_descriptors` turns those
+summaries into candidate :class:`~repro.core.PrefetchDescriptor`s, seeding
+the tuner instead of hand guessing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.access.record import MemoryAccess
+from repro.access.trace import Trace
+from repro.core.soft.descriptor import PrefetchDescriptor
+from repro.telemetry.percentile import percentile
+from repro.units import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class FunctionPattern:
+    """One function's observed memory behaviour."""
+
+    function: str
+    accesses: int
+    #: Fraction of demand accesses continuing a +1-line stream.
+    sequential_fraction: float
+    #: Number of maximal sequential streams observed.
+    stream_count: int
+    #: Median and P90 stream length, bytes.
+    stream_p50_bytes: float
+    stream_p90_bytes: float
+    #: Distinct cache lines touched.
+    working_set_lines: int
+    #: The most common non-zero per-site stride (bytes) and its share of
+    #: strided transitions.
+    dominant_stride: int
+    dominant_stride_share: float
+
+    @property
+    def is_streaming(self) -> bool:
+        """Prefetch-friendly by the Section 4.1 criteria: predominantly
+        sequential with non-trivial stream lengths."""
+        return (self.sequential_fraction >= 0.5
+                and self.stream_p90_bytes >= 4 * CACHE_LINE_BYTES)
+
+
+def analyze_trace(trace: Trace) -> Dict[str, FunctionPattern]:
+    """Summarize the access pattern of every function in a trace."""
+    per_site_last: Dict[Tuple[str, int], int] = {}
+    strides: Dict[str, Counter] = defaultdict(Counter)
+    sequential: Dict[str, int] = defaultdict(int)
+    transitions: Dict[str, int] = defaultdict(int)
+    accesses: Dict[str, int] = defaultdict(int)
+    lines_touched: Dict[str, set] = defaultdict(set)
+    open_streams: Dict[Tuple[str, int], int] = {}
+    stream_lengths: Dict[str, List[int]] = defaultdict(list)
+
+    def close_stream(key: Tuple[str, int]) -> None:
+        length = open_streams.pop(key, 0)
+        if length:
+            stream_lengths[key[0]].append(length)
+
+    for record in trace:
+        if not record.is_demand or not record.function:
+            continue
+        function = record.function
+        accesses[function] += 1
+        for line in record.lines_touched():
+            lines_touched[function].add(line)
+        key = (function, record.pc)
+        last = per_site_last.get(key)
+        if last is not None:
+            stride = record.address - last
+            transitions[function] += 1
+            if stride:
+                strides[function][stride] += 1
+            if 0 < stride <= CACHE_LINE_BYTES:
+                sequential[function] += 1
+                open_streams[key] = (open_streams.get(key, CACHE_LINE_BYTES)
+                                     + max(stride, 0))
+            else:
+                close_stream(key)
+        per_site_last[key] = record.address
+    for key in list(open_streams):
+        close_stream(key)
+
+    patterns = {}
+    for function, count in accesses.items():
+        lengths = stream_lengths.get(function, [])
+        total_transitions = transitions[function]
+        stride_counts = strides[function]
+        if stride_counts:
+            dominant, dominant_count = stride_counts.most_common(1)[0]
+            dominant_share = dominant_count / sum(stride_counts.values())
+        else:
+            dominant, dominant_share = 0, 0.0
+        patterns[function] = FunctionPattern(
+            function=function,
+            accesses=count,
+            sequential_fraction=(sequential[function] / total_transitions
+                                 if total_transitions else 0.0),
+            stream_count=len(lengths),
+            stream_p50_bytes=percentile(lengths, 50) if lengths else 0.0,
+            stream_p90_bytes=percentile(lengths, 90) if lengths else 0.0,
+            working_set_lines=len(lines_touched[function]),
+            dominant_stride=dominant,
+            dominant_stride_share=dominant_share,
+        )
+    return patterns
+
+
+def propose_descriptors(patterns: Dict[str, FunctionPattern],
+                        min_accesses: int = 64,
+                        max_candidates: int = 8
+                        ) -> List[PrefetchDescriptor]:
+    """Turn pattern summaries into candidate prefetch descriptors.
+
+    Heuristics straight from Section 4.2/4.3: target streaming functions
+    only; size the gate so that sub-median streams (too short to help)
+    are skipped; pick distance around the P50 stream length (capped) so
+    prefetches rarely overshoot; degree a quarter of the distance.
+    Candidates are starting points for :class:`~repro.core.PrefetchTuner`,
+    not final answers.
+    """
+    def line_round(value: float, low: int, high: int) -> int:
+        lines = max(low, min(high, int(value) // CACHE_LINE_BYTES
+                             * CACHE_LINE_BYTES))
+        return lines
+
+    candidates = []
+    ranked = sorted(patterns.values(),
+                    key=lambda p: p.accesses, reverse=True)
+    for pattern in ranked:
+        if len(candidates) >= max_candidates:
+            break
+        if pattern.accesses < min_accesses or not pattern.is_streaming:
+            continue
+        distance = line_round(pattern.stream_p50_bytes / 2, 128, 1024)
+        degree = line_round(distance / 4, 64, 512)
+        gate = line_round(pattern.stream_p50_bytes / 2, 0, 4096)
+        candidates.append(PrefetchDescriptor(
+            function=pattern.function,
+            distance_bytes=distance,
+            degree_bytes=degree,
+            min_size_bytes=gate,
+            clamp_to_stream=True,
+        ))
+    return candidates

@@ -1,0 +1,128 @@
+"""The threshold study behind Figure 10.
+
+"To identify the upper and lower thresholds for Hard Limoncello, we run a
+hardware ablation study [...] we examined various lower and upper memory
+bandwidth thresholds [...] by analyzing application performance trends."
+The deployed winner was 60/80. The study runs Hard Limoncello (no
+software prefetchers, matching the paper's ablation protocol) under each
+candidate configuration and reports the fleet throughput change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet.ablation import AblationStudy
+from repro.units import SECOND
+
+#: The configurations Figure 10 compares, as (lower%, upper%) pairs.
+PAPER_CONFIGURATIONS: Tuple[Tuple[int, int], ...] = (
+    (60, 80), (50, 70), (70, 90))
+
+
+@dataclass(frozen=True)
+class ThresholdOutcome:
+    """One configuration's result."""
+
+    label: str
+    lower: float
+    upper: float
+    throughput_change: float
+    latency_change_p50: float
+    bandwidth_change_mean: float
+
+
+class ThresholdStudy:
+    """Sweeps (lower, upper) threshold pairs through fleet ablations."""
+
+    def __init__(self, configurations: Sequence[Tuple[int, int]]
+                 = PAPER_CONFIGURATIONS,
+                 machines: int = 16, epochs: int = 60,
+                 warmup_epochs: int = 20, seed: int = 13,
+                 soft: bool = False) -> None:
+        if not configurations:
+            raise ConfigError("need at least one configuration")
+        self.configurations = tuple(configurations)
+        self.machines = machines
+        self.epochs = epochs
+        self.warmup_epochs = warmup_epochs
+        self.seed = seed
+        self.mode = "hard+soft" if soft else "hard"
+
+    def run(self) -> List[ThresholdOutcome]:
+        """Run every configuration; returns outcomes in input order."""
+        outcomes = []
+        for lower, upper in self.configurations:
+            # Timing matches the default fleet epoch (10 s): one telemetry
+            # sample per epoch, three sustained samples to flip state.
+            config = LimoncelloConfig.from_percent(
+                lower, upper,
+                sample_period_ns=10 * SECOND,
+                sustain_duration_ns=30 * SECOND)
+            study = AblationStudy(
+                mode=self.mode, machines=self.machines, epochs=self.epochs,
+                warmup_epochs=self.warmup_epochs, seed=self.seed,
+                config=config)
+            result = study.run()
+            outcomes.append(ThresholdOutcome(
+                label=f"{lower}/{upper}",
+                lower=lower / 100.0,
+                upper=upper / 100.0,
+                throughput_change=result.throughput_change(),
+                latency_change_p50=result.latency_reduction()["p50"],
+                bandwidth_change_mean=result.bandwidth_reduction()["mean"],
+            ))
+        return outcomes
+
+    @staticmethod
+    def best(outcomes: List[ThresholdOutcome]) -> ThresholdOutcome:
+        """The outcome with the highest throughput change."""
+        if not outcomes:
+            raise ConfigError("no outcomes to rank")
+        return max(outcomes, key=lambda o: o.throughput_change)
+
+
+def derive_thresholds_from_curve(curve, knee_ratio: float = 1.5,
+                                 hysteresis_gap: float = 0.2
+                                 ) -> LimoncelloConfig:
+    """Derive controller thresholds from a measured latency curve.
+
+    Section 3: "The thresholds for disabling and enabling hardware
+    prefetchers were determined through fleetwide experimentation and
+    analysis of last-level cache (LLC) miss latency curves." This is the
+    curve-analysis half: the upper threshold is placed where loaded
+    latency first exceeds ``knee_ratio`` times the unloaded latency (past
+    the knee, running with prefetchers on costs more than their hit-rate
+    is worth); the lower threshold sits ``hysteresis_gap`` below it.
+
+    Args:
+        curve: A prefetchers-on :class:`~repro.analysis.LatencyCurve`.
+        knee_ratio: Loaded/unloaded latency ratio defining the knee.
+        hysteresis_gap: Upper minus lower threshold, in utilization.
+    """
+    if knee_ratio <= 1.0:
+        raise ConfigError("knee ratio must exceed 1")
+    if hysteresis_gap <= 0.0:
+        raise ConfigError("hysteresis gap must be positive")
+    if not curve.points:
+        raise ConfigError("cannot derive thresholds from an empty curve")
+    unloaded = curve.points[0].latency_ns
+    upper = None
+    for point in curve.points:
+        if point.latency_ns >= knee_ratio * unloaded:
+            upper = point.utilization
+            break
+    if upper is None:
+        raise ConfigError(
+            f"curve never reaches {knee_ratio}x unloaded latency; "
+            "measure further into saturation")
+    upper = min(upper, 0.95)
+    lower = upper - hysteresis_gap
+    if lower <= 0.0:
+        raise ConfigError(
+            f"knee at {upper:.2f} leaves no room for a {hysteresis_gap} "
+            "hysteresis gap")
+    return LimoncelloConfig(lower_threshold=lower, upper_threshold=upper)

@@ -1,0 +1,266 @@
+"""Implementations of the CLI subcommands (print-oriented wrappers)."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.units import KB, SECOND
+
+
+def _table(header, rows) -> None:
+    widths = [max(len(str(cell)) for cell in column)
+              for column in zip(header, *rows)]
+    def fmt(row):
+        """Render one table row with column alignment."""
+        return "  ".join(str(cell).rjust(width)
+                         for cell, width in zip(row, widths))
+    print(fmt(header))
+    print(fmt(["-" * width for width in widths]))
+    for row in rows:
+        print(fmt(row))
+
+
+def _parse_profile(text: str):
+    points = []
+    for chunk in text.split(","):
+        time_s, _, bandwidth = chunk.partition(":")
+        points.append((float(time_s) * SECOND, float(bandwidth)))
+    if not points:
+        raise ReproError("empty bandwidth profile")
+    return points
+
+
+def run_daemon(args) -> int:
+    """``repro daemon``: control loop on a scripted profile."""
+    from repro.core import (LimoncelloConfig, LimoncelloDaemon,
+                            MSRPrefetcherActuator)
+    from repro.msr import INTEL_LIKE_MAP, MSRFile
+    from repro.telemetry import PerfBandwidthSampler, ScriptedBandwidthSource
+
+    source = ScriptedBandwidthSource(_parse_profile(args.profile),
+                                     saturation_bandwidth=100.0)
+    msrs = MSRFile()
+    config = LimoncelloConfig.from_percent(
+        args.lower, args.upper,
+        sustain_duration_ns=args.sustain * SECOND)
+    daemon = LimoncelloDaemon(
+        PerfBandwidthSampler(source),
+        MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP), config)
+
+    rows = []
+    for tick in range(int(args.duration)):
+        state = daemon.step(tick * SECOND)
+        rows.append((tick,
+                     f"{source.memory_bandwidth(tick * SECOND):.0f}",
+                     state.value if state else "(sample dropped)",
+                     "on" if daemon.actuator.is_enabled() else "OFF"))
+    _table(("t(s)", "GB/s", "state", "prefetchers"), rows)
+    report = daemon.report
+    print(f"\ntransitions={report.transitions}  "
+          f"time disabled={report.duty_cycle_disabled():.0%}")
+    return 0
+
+
+def run_latency_curve(args) -> int:
+    """``repro latency-curve``: the Figure 1 measurement."""
+    from repro.analysis import measure_latency_curve
+
+    points = [i / (args.points - 1) for i in range(args.points)]
+    on = measure_latency_curve(True, points, probe_hops=args.hops)
+    off = measure_latency_curve(False, points, probe_hops=args.hops)
+    rows = [(f"{p_on.utilization:.2f}", f"{p_on.latency_ns:.1f}",
+             f"{p_off.latency_ns:.1f}")
+            for p_on, p_off in zip(on.points, off.points)]
+    _table(("util", "HW on (ns)", "HW off (ns)"), rows)
+    if getattr(args, "chart", False):
+        from repro.telemetry.ascii_chart import line_chart
+        print()
+        print(line_chart(
+            {"HW on": [(p.utilization, p.latency_ns) for p in on.points],
+             "HW off": [(p.utilization, p.latency_ns) for p in off.points]},
+            x_label="bandwidth utilization", y_label="load-to-use ns"))
+    print(f"\nreduction at 90% utilization: "
+          f"{off.reduction_versus(on, 0.9):+.1%}")
+    return 0
+
+
+def run_ablation(args) -> int:
+    """``repro ablation``: a paired fleet ablation study."""
+    from repro.fleet import AblationStudy
+
+    result = AblationStudy(mode=args.mode, machines=args.machines,
+                           epochs=args.epochs, warmup_epochs=args.warmup,
+                           seed=args.seed).run()
+    bandwidth = result.bandwidth_reduction()
+    latency = result.latency_reduction()
+    print(f"experiment arm: {args.mode}")
+    _table(("metric", "change"), [
+        ("socket bandwidth (mean)", f"{bandwidth['mean']:+.1%}"),
+        ("socket bandwidth (P99)", f"{bandwidth['p99']:+.1%}"),
+        ("memory latency (P50)", f"{latency['p50']:+.1%}"),
+        ("memory latency (P99)", f"{latency['p99']:+.1%}"),
+        ("fleet throughput", f"{result.throughput_change():+.2%}"),
+    ])
+    print("\nper-function cycle deltas (top regressions first):")
+    deltas = result.function_cycle_deltas()
+    rows = [(name, f"{delta:+.1%}")
+            for name, delta in sorted(deltas.items(), key=lambda kv: -kv[1])]
+    _table(("function", "Δcycles"), rows)
+    return 0
+
+
+def run_rollout(args) -> int:
+    """``repro rollout``: the Figures 16-20 study."""
+    from repro.fleet import RolloutStudy
+
+    result = RolloutStudy(machines=args.machines, epochs=args.epochs,
+                          warmup_epochs=args.warmup, seed=args.seed).run()
+    print("Figure 16 — throughput gain by CPU band")
+    _table(("band", "gain"), [(band, f"{gain:+.1%}") for band, gain
+                              in result.throughput_gain_by_band().items()])
+    latency = result.latency_reduction()
+    bandwidth = result.bandwidth_reduction()
+    print("\nFigures 17/18 — latency / bandwidth")
+    _table(("metric", "change"), [
+        ("latency P50", f"{latency['p50']:+.1%}"),
+        ("latency P99", f"{latency['p99']:+.1%}"),
+        ("bandwidth mean", f"{bandwidth['mean']:+.1%}"),
+    ])
+    print(f"\nFigure 19 — CPU utilization gain: "
+          f"{result.cpu_utilization_gain():+.1%}")
+    print("\nFigure 20 — targeted tax cycle share")
+    shares = result.tax_cycle_shares()
+    _table(("arm", "tax share"), [
+        (arm, f"{data['all targeted DC tax']:.1%}")
+        for arm, data in shares.items()])
+    return 0
+
+
+def run_thresholds(args) -> int:
+    """``repro thresholds``: the Figure 10 sweep."""
+    from repro.analysis import ThresholdStudy
+
+    outcomes = ThresholdStudy(machines=args.machines, epochs=args.epochs,
+                              warmup_epochs=args.warmup, seed=args.seed,
+                              soft=not args.hard_only).run()
+    _table(("config", "Δthroughput", "Δlatency p50", "Δbandwidth"), [
+        (o.label, f"{o.throughput_change:+.2%}",
+         f"{o.latency_change_p50:+.2%}",
+         f"{o.bandwidth_change_mean:+.2%}")
+        for o in outcomes])
+    best = ThresholdStudy.best(outcomes)
+    print(f"\nbest configuration: {best.label} (paper deployed 60/80)")
+    return 0
+
+
+def run_microbench(args) -> int:
+    """``repro microbench``: the Figure 15 memcpy sweep."""
+    from repro.core import PrefetchDescriptor
+    from repro.microbench import MemcpyMicrobenchmark
+
+    distances = [int(x) for x in args.distances.split(",")]
+    degrees = [int(x) for x in args.degrees.split(",")]
+    bench = MemcpyMicrobenchmark(
+        sizes=(1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB),
+        bytes_per_point=128 * KB,
+        background_utilization=args.background)
+    rows = []
+    for distance in distances:
+        for degree in degrees:
+            descriptor = PrefetchDescriptor(
+                "memcpy", distance_bytes=distance, degree_bytes=degree,
+                min_size_bytes=2 * KB)
+            rows.append((distance, degree,
+                         f"{bench.mean_speedup(descriptor):+.1%}"))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    _table(("distance", "degree", "mean speedup"), rows)
+    return 0
+
+
+def run_report(args) -> int:
+    """``repro report``: one-shot markdown report of the headline results."""
+    from repro.analysis import ThresholdStudy, measure_latency_curve
+    from repro.fleet import AblationStudy, RolloutStudy
+
+    if args.quick:
+        machines, epochs, warmup, hops = 8, 30, 10, 120
+    else:
+        machines, epochs, warmup, hops = 20, 70, 25, 300
+
+    sections = ["# Limoncello reproduction report", ""]
+
+    utilizations = [x / 10 for x in range(11)]
+    on = measure_latency_curve(True, utilizations, probe_hops=hops)
+    off = measure_latency_curve(False, utilizations, probe_hops=hops)
+    sections += [
+        "## Loaded latency (Figure 1)", "",
+        f"- unloaded: {on.latency_at(0.0):.0f} ns; "
+        f"full load: {on.latency_at(1.0):.0f} ns (prefetchers on)",
+        f"- disabling prefetchers at 90% utilization: "
+        f"{off.reduction_versus(on, 0.9):+.1%} load-to-use "
+        f"(paper: about -15%)", "",
+    ]
+
+    ablation = AblationStudy(mode="off", machines=machines, epochs=epochs,
+                             warmup_epochs=warmup, seed=11).run()
+    bandwidth = ablation.bandwidth_reduction()
+    sections += [
+        "## Prefetcher ablation (Table 1)", "",
+        f"- socket bandwidth: {bandwidth['mean']:+.1%} mean, "
+        f"{bandwidth['p99']:+.1%} P99 (paper: -11% to -16% mean)",
+        f"- fleet throughput: {ablation.throughput_change():+.1%} "
+        f"(paper: about -5%)", "",
+    ]
+
+    outcomes = ThresholdStudy(machines=machines, epochs=epochs,
+                              warmup_epochs=warmup, seed=9,
+                              soft=True).run()
+    sections += ["## Threshold sweep (Figure 10)", ""]
+    sections += [f"- {o.label}: {o.throughput_change:+.2%} throughput"
+                 for o in outcomes]
+    sections.append("")
+
+    rollout = RolloutStudy(machines=machines, epochs=epochs,
+                           warmup_epochs=warmup, seed=5).run()
+    latency = rollout.latency_reduction()
+    shares = rollout.tax_cycle_shares()
+    sections += [
+        "## Rollout (Figures 16-20)", "",
+        "- throughput gain by CPU band: " + ", ".join(
+            f"{band} {gain:+.1%}"
+            for band, gain in rollout.throughput_gain_by_band().items()),
+        f"- memory latency: {latency['p50']:+.1%} P50, "
+        f"{latency['p99']:+.1%} P99 (paper: -13% / -10%)",
+        f"- socket bandwidth: "
+        f"{rollout.bandwidth_reduction()['mean']:+.1%} mean "
+        f"(paper: -15%)",
+        f"- CPU utilization gain with scheduler integration: "
+        f"{rollout.cpu_utilization_gain():+.1%}",
+        "- tax cycle share: " + " -> ".join(
+            f"{arm} {data['all targeted DC tax']:.1%}"
+            for arm, data in shares.items()),
+        "",
+        "See EXPERIMENTS.md for the full paper-vs-measured table.",
+    ]
+
+    text = "\n".join(sections) + "\n"
+    if args.out:
+        import pathlib
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def run_calibrate(args) -> int:
+    """``repro calibrate``: re-derive the response table."""
+    from repro.fleet import calibrate_from_simulator
+
+    table = calibrate_from_simulator(seed=args.seed)
+    rows = [(r.name, r.category.value, f"{r.cycle_penalty_off:+.2f}",
+             f"{r.soft_recovery:.2f}", f"{r.mpki_on:.1f}",
+             f"{r.mpki_off:.1f}", f"{r.overfetch:+.2f}")
+            for r in table]
+    _table(("function", "category", "pen_off", "recovery", "mpki_on",
+            "mpki_off", "overfetch"), rows)
+    return 0

@@ -1,0 +1,108 @@
+"""Argument parsing and dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Limoncello (ASPLOS 2024) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    daemon = subparsers.add_parser(
+        "daemon", help="run the control loop on a scripted profile")
+    daemon.add_argument("--lower", type=float, default=60.0,
+                        help="lower threshold, %% of saturation")
+    daemon.add_argument("--upper", type=float, default=80.0,
+                        help="upper threshold, %% of saturation")
+    daemon.add_argument("--sustain", type=float, default=3.0,
+                        help="sustain duration, seconds")
+    daemon.add_argument("--duration", type=float, default=40.0,
+                        help="run length, seconds")
+    daemon.add_argument(
+        "--profile", type=str,
+        default="0:85,8:75,12:55,22:70,28:90",
+        help="bandwidth profile as t_s:GBps comma pairs "
+             "(saturation is 100 GB/s)")
+    daemon.set_defaults(run=commands.run_daemon)
+
+    curve = subparsers.add_parser(
+        "latency-curve", help="loaded-latency measurement (Figure 1)")
+    curve.add_argument("--points", type=int, default=11,
+                       help="utilization points from 0 to 1")
+    curve.add_argument("--hops", type=int, default=300,
+                       help="pointer-chase probe hops per point")
+    curve.add_argument("--chart", action="store_true",
+                       help="also render an ASCII chart of the curves")
+    curve.set_defaults(run=commands.run_latency_curve)
+
+    ablation = subparsers.add_parser(
+        "ablation", help="paired fleet ablation study")
+    ablation.add_argument("--mode", choices=("off", "hard", "hard+soft",
+                                             "soft-only"),
+                          default="off")
+    ablation.add_argument("--machines", type=int, default=16)
+    ablation.add_argument("--epochs", type=int, default=60)
+    ablation.add_argument("--warmup", type=int, default=20)
+    ablation.add_argument("--seed", type=int, default=9)
+    ablation.set_defaults(run=commands.run_ablation)
+
+    rollout = subparsers.add_parser(
+        "rollout", help="before/after rollout study (Figures 16-20)")
+    rollout.add_argument("--machines", type=int, default=20)
+    rollout.add_argument("--epochs", type=int, default=70)
+    rollout.add_argument("--warmup", type=int, default=25)
+    rollout.add_argument("--seed", type=int, default=5)
+    rollout.set_defaults(run=commands.run_rollout)
+
+    thresholds = subparsers.add_parser(
+        "thresholds", help="threshold configuration sweep (Figure 10)")
+    thresholds.add_argument("--machines", type=int, default=16)
+    thresholds.add_argument("--epochs", type=int, default=60)
+    thresholds.add_argument("--warmup", type=int, default=20)
+    thresholds.add_argument("--seed", type=int, default=9)
+    thresholds.add_argument("--hard-only", action="store_true",
+                            help="sweep without Soft Limoncello")
+    thresholds.set_defaults(run=commands.run_thresholds)
+
+    microbench = subparsers.add_parser(
+        "microbench", help="memcpy prefetch sweep (Figure 15)")
+    microbench.add_argument("--distances", type=str, default="128,256,512")
+    microbench.add_argument("--degrees", type=str, default="128,256,512")
+    microbench.add_argument("--background", type=float, default=0.6,
+                            help="background load, fraction of saturation")
+    microbench.set_defaults(run=commands.run_microbench)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="re-derive the fleet calibration table")
+    calibrate.add_argument("--seed", type=int, default=42)
+    calibrate.set_defaults(run=commands.run_calibrate)
+
+    report = subparsers.add_parser(
+        "report", help="run the headline experiments, emit a markdown "
+                       "report")
+    report.add_argument("--out", type=str, default="",
+                        help="write to this file (default: stdout)")
+    report.add_argument("--quick", action="store_true",
+                        help="smaller fleets / fewer epochs")
+    report.set_defaults(run=commands.run_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Limoncello itself: the paper's contribution.
+
+* :mod:`repro.core.config` — thresholds and timing configuration.
+* :mod:`repro.core.controller` — Hard Limoncello's hysteresis state
+  machine (Figure 8).
+* :mod:`repro.core.actuator` — prefetcher actuation through (simulated)
+  model-specific registers, with retry on transient failures.
+* :mod:`repro.core.daemon` — the per-socket control loop: sample memory
+  bandwidth every second, feed the controller, actuate on decisions.
+* :mod:`repro.core.soft` — Soft Limoncello: targeted software prefetch
+  injection for data center tax functions, target identification from
+  ablation profiles, and the distance/degree tuning loop.
+"""
+
+from repro.core.config import LimoncelloConfig
+from repro.core.controller import (
+    ControllerState,
+    HardLimoncelloController,
+    SingleThresholdController,
+)
+from repro.core.actuator import (
+    CallbackActuator,
+    MSRPrefetcherActuator,
+    PrefetcherActuator,
+)
+from repro.core.daemon import DaemonReport, LimoncelloDaemon
+from repro.core.soft import (
+    PrefetchDescriptor,
+    SoftwarePrefetchInjector,
+    TargetSelection,
+    TuningResult,
+    PrefetchTuner,
+    identify_targets,
+)
+
+__all__ = [
+    "LimoncelloConfig",
+    "ControllerState",
+    "HardLimoncelloController",
+    "SingleThresholdController",
+    "PrefetcherActuator",
+    "MSRPrefetcherActuator",
+    "CallbackActuator",
+    "LimoncelloDaemon",
+    "DaemonReport",
+    "PrefetchDescriptor",
+    "SoftwarePrefetchInjector",
+    "TargetSelection",
+    "identify_targets",
+    "PrefetchTuner",
+    "TuningResult",
+]

@@ -1,0 +1,64 @@
+"""Configuration for the Limoncello controller and daemon."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class LimoncelloConfig:
+    """Hard Limoncello's operating parameters.
+
+    The deployed configuration (Section 5) uses thresholds at 60% and 80%
+    of the platform's memory-bandwidth saturation, chosen by the fleet
+    threshold study (Figure 10), with telemetry sampled every second.
+
+    Attributes:
+        lower_threshold: Utilization (fraction of saturation bandwidth)
+            below which prefetchers are re-enabled.
+        upper_threshold: Utilization above which prefetchers are disabled.
+        sustain_duration_ns: How long bandwidth must stay beyond a
+            threshold before the controller changes prefetcher state —
+            the second hysteresis mechanism of Section 3.
+        sample_period_ns: Telemetry sampling period (1 s in the paper).
+        actuation_retries: wrmsr attempts before giving up on a transient
+            MSR failure; the daemon retries on the next sample anyway.
+    """
+
+    lower_threshold: float = 0.60
+    upper_threshold: float = 0.80
+    sustain_duration_ns: float = 5.0 * SECOND
+    sample_period_ns: float = 1.0 * SECOND
+    actuation_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.lower_threshold < self.upper_threshold:
+            raise ConfigError(
+                f"need 0 < lower ({self.lower_threshold}) < upper "
+                f"({self.upper_threshold})")
+        if self.upper_threshold > 1.0:
+            raise ConfigError(
+                f"upper threshold {self.upper_threshold} exceeds saturation")
+        if self.sustain_duration_ns < 0:
+            raise ConfigError("sustain duration cannot be negative")
+        if self.sample_period_ns <= 0:
+            raise ConfigError("sample period must be positive")
+        if self.actuation_retries < 1:
+            raise ConfigError("need at least one actuation attempt")
+
+    @classmethod
+    def from_percent(cls, lower: float, upper: float,
+                     **kwargs) -> "LimoncelloConfig":
+        """Build a config from thresholds given in percent (e.g. 60, 80),
+        the way the paper writes configurations like "60/80"."""
+        return cls(lower_threshold=lower / 100.0,
+                   upper_threshold=upper / 100.0, **kwargs)
+
+    @property
+    def label(self) -> str:
+        """The paper's X/Y configuration label, e.g. ``"60/80"``."""
+        return (f"{round(self.lower_threshold * 100)}/"
+                f"{round(self.upper_threshold * 100)}")

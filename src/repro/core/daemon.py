@@ -1,0 +1,119 @@
+"""The Limoncello per-socket control daemon.
+
+Ties together the three planes of Section 3: telemetry (a bandwidth
+sampler polled every second), decision (the hysteresis controller), and
+actuation (MSR writes). The daemon is deliberately defensive — telemetry
+dropouts hold the previous state, failed MSR writes are retried on the
+next tick, and an externally perturbed MSR state is detected by readback
+and re-converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.actuator import PrefetcherActuator
+from repro.core.config import LimoncelloConfig
+from repro.core.controller import ControllerState, HardLimoncelloController
+from repro.errors import TelemetryError
+from repro.telemetry.sampler import BandwidthSampler
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass
+class DaemonReport:
+    """What a daemon observed and did over its run."""
+
+    samples: int = 0
+    dropouts: int = 0
+    actuation_attempts: int = 0
+    actuation_failures: int = 0
+    transitions: int = 0
+    #: (time_ns, utilization) history of successful samples.
+    utilization: TimeSeries = field(default_factory=lambda: TimeSeries("util"))
+    #: (time_ns, 1.0/0.0) history of the applied prefetcher state.
+    prefetcher_state: TimeSeries = field(
+        default_factory=lambda: TimeSeries("prefetchers"))
+
+    def duty_cycle_disabled(self) -> float:
+        """Fraction of samples with prefetchers disabled."""
+        values = self.prefetcher_state.values
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v == 0.0) / len(values)
+
+
+class LimoncelloDaemon:
+    """The per-socket control loop.
+
+    Args:
+        sampler: Bandwidth telemetry source (1-second granularity).
+        actuator: Applies prefetcher state to the socket.
+        config: Thresholds and timing; also used to build the controller.
+        controller: Optional pre-built controller (ablation studies swap
+            in :class:`~repro.core.controller.SingleThresholdController`).
+    """
+
+    def __init__(self, sampler: BandwidthSampler,
+                 actuator: PrefetcherActuator,
+                 config: Optional[LimoncelloConfig] = None,
+                 controller=None) -> None:
+        self.config = config or LimoncelloConfig()
+        self.sampler = sampler
+        self.actuator = actuator
+        self.controller = controller if controller is not None \
+            else HardLimoncelloController(self.config)
+        self.report = DaemonReport()
+        self._pending_state: Optional[bool] = None
+
+    def step(self, now_ns: float) -> Optional[ControllerState]:
+        """One control tick: sample, decide, actuate.
+
+        Returns the controller state after the tick, or None when the
+        sample was dropped (state unchanged).
+        """
+        try:
+            sample = self.sampler.sample(now_ns)
+        except TelemetryError:
+            self.report.dropouts += 1
+            self._retry_pending()
+            return None
+        self.report.samples += 1
+        self.report.utilization.append(now_ns, sample.utilization)
+        decision = self.controller.observe(now_ns, sample.utilization)
+        if decision.changed:
+            self.report.transitions += 1
+        self._apply(decision.prefetchers_enabled)
+        self.report.prefetcher_state.append(
+            now_ns, 1.0 if self.actuator.is_enabled() else 0.0)
+        return decision.state
+
+    def run(self, duration_ns: float, start_ns: float = 0.0) -> DaemonReport:
+        """Run ticks every ``config.sample_period_ns`` for ``duration_ns``."""
+        if duration_ns < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_ns}")
+        period = self.config.sample_period_ns
+        ticks = int(duration_ns // period)
+        for tick in range(ticks):
+            self.step(start_ns + tick * period)
+        return self.report
+
+    # --- internals -----------------------------------------------------------
+
+    def _apply(self, desired: bool) -> None:
+        """Actuate if the socket state differs from the decision."""
+        if self.actuator.is_enabled() == desired:
+            self._pending_state = None
+            return
+        self.report.actuation_attempts += 1
+        if self.actuator.set_enabled(desired):
+            self._pending_state = None
+        else:
+            self.report.actuation_failures += 1
+            self._pending_state = desired
+
+    def _retry_pending(self) -> None:
+        """A dropped sample still retries an actuation that failed earlier."""
+        if self._pending_state is not None:
+            self._apply(self._pending_state)

@@ -1,0 +1,86 @@
+"""Prefetch descriptors: the Section 4.2 design space as data.
+
+A descriptor pins down the three key parameters for one insertion site:
+
+* **address** — which function's streams to prefetch (we know the stream
+  extent, so the address is "current position + distance");
+* **distance** — how far ahead of the access stream to fetch (Figure 13);
+* **degree** — how many bytes each prefetch instruction covers.
+
+Plus the deployment learnings of Section 4.3: a minimum-call-size gate
+(small copies finish before any prefetch can help) and clamping to the
+object's end (software knows exactly how much data will be accessed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class PrefetchDescriptor:
+    """One software-prefetch insertion policy for one function.
+
+    Attributes:
+        function: Trace function name whose streams get prefetched.
+        distance_bytes: Lead of the prefetch over the demand stream.
+        degree_bytes: Bytes fetched per prefetch instruction.
+        min_size_bytes: Streams shorter than this are left alone — the
+            size gate that removed the small-copy regressions (Section 4.3).
+        clamp_to_stream: Never prefetch past the stream's end. True for
+            production descriptors; the raw design-space sweeps of
+            Figure 15 disable it to expose the overshoot cost.
+    """
+
+    function: str
+    distance_bytes: int = 512
+    degree_bytes: int = 256
+    min_size_bytes: int = 0
+    clamp_to_stream: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise ConfigError("descriptor needs a function name")
+        if self.distance_bytes < CACHE_LINE_BYTES:
+            raise ConfigError(
+                f"distance must be at least one line, got {self.distance_bytes}")
+        if self.degree_bytes < CACHE_LINE_BYTES:
+            raise ConfigError(
+                f"degree must be at least one line, got {self.degree_bytes}")
+        if self.distance_bytes % CACHE_LINE_BYTES:
+            raise ConfigError("distance must be line-aligned")
+        if self.degree_bytes % CACHE_LINE_BYTES:
+            raise ConfigError("degree must be line-aligned")
+        if self.min_size_bytes < 0:
+            raise ConfigError("min_size_bytes cannot be negative")
+
+    @property
+    def distance_lines(self) -> int:
+        """Prefetch distance in cache lines."""
+        return self.distance_bytes // CACHE_LINE_BYTES
+
+    @property
+    def degree_lines(self) -> int:
+        """Prefetch degree in cache lines."""
+        return self.degree_bytes // CACHE_LINE_BYTES
+
+    def with_distance(self, distance_bytes: int) -> "PrefetchDescriptor":
+        """A copy with a different prefetch distance."""
+        return replace(self, distance_bytes=distance_bytes)
+
+    def with_degree(self, degree_bytes: int) -> "PrefetchDescriptor":
+        """A copy with a different prefetch degree."""
+        return replace(self, degree_bytes=degree_bytes)
+
+    def applies_to(self, stream_bytes: int) -> bool:
+        """Whether a stream of this length passes the size gate."""
+        return stream_bytes >= self.min_size_bytes
+
+    def label(self) -> str:
+        """Human-readable descriptor summary."""
+        return (f"{self.function}: d={self.distance_bytes}B "
+                f"g={self.degree_bytes}B gate>={self.min_size_bytes}B"
+                f"{'' if self.clamp_to_stream else ' unclamped'}")

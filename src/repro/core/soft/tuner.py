@@ -1,0 +1,108 @@
+"""The distance/degree tuning loop (Section 4.2, Figure 15).
+
+"We first use these benchmarks to sweep a chosen set of prefetching
+addresses, distances, and degrees. Then we select the best performing
+parameters for load testing [...]. If either microbenchmarks or load tests
+fail to return positive performance improvements, we choose a different
+set of prefetching addresses, degrees, or distances for testing."
+
+:class:`PrefetchTuner` implements exactly that loop over two callables:
+a *microbenchmark* (fast, sweepable) and a *load test* (expensive,
+authoritative), each mapping a descriptor to a fractional speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.soft.descriptor import PrefetchDescriptor
+from repro.errors import ConfigError
+
+#: Maps a candidate descriptor to fractional speedup vs. no-SW-prefetch
+#: (+0.10 means 10% faster).
+BenchmarkFn = Callable[[PrefetchDescriptor], float]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One microbenchmark measurement in the sweep grid."""
+
+    descriptor: PrefetchDescriptor
+    speedup: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run for one function."""
+
+    function: str
+    sweep: List[SweepPoint] = field(default_factory=list)
+    #: Candidates that won the sweep but failed load testing.
+    rejected: List[SweepPoint] = field(default_factory=list)
+    chosen: Optional[PrefetchDescriptor] = None
+    chosen_microbench_speedup: float = 0.0
+    chosen_loadtest_speedup: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a descriptor survived load testing."""
+        return self.chosen is not None
+
+    def best_by_distance(self):
+        """distance -> best sweep point, for plotting Figure 15a."""
+        best = {}
+        for point in self.sweep:
+            distance = point.descriptor.distance_bytes
+            if distance not in best or point.speedup > best[distance].speedup:
+                best[distance] = point
+        return best
+
+
+class PrefetchTuner:
+    """Sweeps the descriptor grid, validates winners under load."""
+
+    def __init__(self, microbenchmark: BenchmarkFn,
+                 loadtest: BenchmarkFn,
+                 min_speedup: float = 0.0,
+                 max_candidates: int = 5) -> None:
+        if max_candidates < 1:
+            raise ConfigError("need at least one candidate")
+        self._microbenchmark = microbenchmark
+        self._loadtest = loadtest
+        self._min_speedup = min_speedup
+        self._max_candidates = max_candidates
+
+    def tune(self, base: PrefetchDescriptor,
+             distances: Sequence[int],
+             degrees: Sequence[int]) -> TuningResult:
+        """Run the sweep-then-validate loop for one function.
+
+        Args:
+            base: Template descriptor (function name, size gate, clamping).
+            distances: Candidate prefetch distances, bytes.
+            degrees: Candidate prefetch degrees, bytes.
+        """
+        if not distances or not degrees:
+            raise ConfigError("need at least one distance and one degree")
+        result = TuningResult(function=base.function)
+        for distance in distances:
+            for degree in degrees:
+                candidate = base.with_distance(distance).with_degree(degree)
+                speedup = self._microbenchmark(candidate)
+                result.sweep.append(SweepPoint(candidate, speedup))
+
+        # Paper flow: best microbench candidates go to load testing; a
+        # candidate that fails there is discarded and the next one tried.
+        ranked = sorted(result.sweep, key=lambda p: p.speedup, reverse=True)
+        for point in ranked[:self._max_candidates]:
+            if point.speedup <= self._min_speedup:
+                break  # nothing left that even helps the microbenchmark
+            load_speedup = self._loadtest(point.descriptor)
+            if load_speedup > self._min_speedup:
+                result.chosen = point.descriptor
+                result.chosen_microbench_speedup = point.speedup
+                result.chosen_loadtest_speedup = load_speedup
+                return result
+            result.rejected.append(point)
+        return result

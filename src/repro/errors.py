@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError``/``ValueError`` raised
+by Python itself) from domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class MSRError(ReproError):
+    """Base class for simulated model-specific-register failures."""
+
+
+class UnknownRegisterError(MSRError):
+    """A read or write targeted a register address the platform lacks."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"unknown MSR address {address:#x}")
+        self.address = address
+
+
+class MSRAccessError(MSRError):
+    """An injected fault prevented the register access from completing."""
+
+
+class SchedulingError(ReproError):
+    """The cluster scheduler could not satisfy a placement request."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry collection failed (for example, a sampler dropout)."""
+
+
+class TraceError(ReproError):
+    """A memory trace was malformed or internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state."""

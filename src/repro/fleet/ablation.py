@@ -1,0 +1,152 @@
+"""The hardware ablation study harness (Sections 3 and 4.1).
+
+The paper's methodology: split machines into an experiment group and a
+control group, run the experiment arm with prefetchers ablated (or under
+Hard Limoncello), profile both fleetwide, and compare. Here the two arms
+are two fleets built from the *same seed*, so they receive identical
+machine populations and traffic — a paired experiment, tighter than the
+paper could manage on live traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet.cluster import Fleet, FleetMetrics
+from repro.profiling.profiler import FleetProfiler
+from repro.profiling.profile_data import ProfileData
+
+#: Experiment-arm configurations.
+MODES = ("off", "hard", "hard+soft", "soft-only", "control")
+
+
+@dataclass
+class AblationResult:
+    """Paired metrics and profiles for control vs. experiment arms."""
+
+    mode: str
+    control: FleetMetrics
+    experiment: FleetMetrics
+    control_profile: ProfileData
+    experiment_profile: ProfileData
+
+    def bandwidth_reduction(self) -> Dict[str, float]:
+        """Fractional socket-bandwidth change, experiment vs control —
+        negative values are reductions (Table 1 / Figure 18)."""
+        return self.experiment.bandwidth_summary().relative_change(
+            self.control.bandwidth_summary())
+
+    def latency_reduction(self) -> Dict[str, float]:
+        """Fractional memory-latency change (Figure 17)."""
+        return self.experiment.latency_summary().relative_change(
+            self.control.latency_summary())
+
+    def throughput_change(self) -> float:
+        """Fractional change in fleet normalized throughput."""
+        base = self.control.normalized_throughput
+        if base <= 0:
+            return 0.0
+        return self.experiment.normalized_throughput / base - 1.0
+
+    def function_cycle_deltas(self) -> Dict[str, float]:
+        """Per-function fractional cycle change at equal work — the
+        Figure 11 green bars. Cycles are normalized per instruction so
+        that fleet-level load differences between arms cancel."""
+        deltas = {}
+        for function, control_stats in self.control_profile:
+            experiment_stats = self.experiment_profile.function(function)
+            if (control_stats.instructions == 0
+                    or experiment_stats.instructions == 0):
+                continue
+            control_cpi = control_stats.cycles / control_stats.instructions
+            experiment_cpi = (experiment_stats.cycles
+                              / experiment_stats.instructions)
+            deltas[function] = experiment_cpi / control_cpi - 1.0
+        return deltas
+
+    def function_mpki_deltas(self) -> Dict[str, float]:
+        """Per-function fractional MPKI change — the Figure 11 blue bars."""
+        deltas = {}
+        for function, control_stats in self.control_profile:
+            experiment_stats = self.experiment_profile.function(function)
+            if control_stats.llc_mpki <= 0:
+                continue
+            deltas[function] = (experiment_stats.llc_mpki
+                                / control_stats.llc_mpki - 1.0)
+        return deltas
+
+
+class AblationStudy:
+    """Builds and runs a paired control/experiment fleet comparison."""
+
+    def __init__(self, mode: str = "off", machines: int = 30,
+                 epochs: int = 100, seed: int = 11,
+                 warmup_epochs: int = 20,
+                 config: Optional[LimoncelloConfig] = None,
+                 fleet_factory: Optional[Callable[[int], Fleet]] = None,
+                 profile_sample_rate: float = 0.25) -> None:
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        if epochs <= 0:
+            raise ConfigError("epochs must be positive")
+        if warmup_epochs < 0:
+            raise ConfigError("warmup cannot be negative")
+        self.mode = mode
+        self.machines = machines
+        self.epochs = epochs
+        self.warmup_epochs = warmup_epochs
+        self.seed = seed
+        self.config = config
+        self._fleet_factory = fleet_factory
+        self._sample_rate = profile_sample_rate
+
+    def _build_fleet(self, seed: int) -> Fleet:
+        if self._fleet_factory is not None:
+            return self._fleet_factory(seed)
+        return Fleet(machines=self.machines, seed=seed)
+
+    def _apply_mode(self, fleet: Fleet) -> None:
+        if self.mode == "control":
+            return
+        if self.mode == "off":
+            fleet.force_prefetchers(False)
+        elif self.mode == "hard":
+            fleet.deploy_hard_limoncello(self.config)
+        elif self.mode == "hard+soft":
+            fleet.deploy_hard_limoncello(self.config)
+            fleet.deploy_soft_limoncello()
+        elif self.mode == "soft-only":
+            fleet.deploy_soft_limoncello()
+
+    def run(self) -> AblationResult:
+        """Run both arms and collect the paired result."""
+        control_fleet = self._build_fleet(self.seed)
+        experiment_fleet = self._build_fleet(self.seed)
+        self._apply_mode(experiment_fleet)
+
+        control_profiler = FleetProfiler(
+            self._sample_rate, rng=random.Random(71))
+        experiment_profiler = FleetProfiler(
+            self._sample_rate, rng=random.Random(71))
+
+        # Warm both arms past scheduler ramp-up and controller sustain
+        # timers before measuring (the paper measures a steady-state
+        # fleet; its rollout took weeks).
+        if self.warmup_epochs:
+            control_fleet.run(self.warmup_epochs)
+            experiment_fleet.run(self.warmup_epochs)
+        control = control_fleet.run(self.epochs,
+                                    observers=[control_profiler])
+        experiment = experiment_fleet.run(self.epochs,
+                                          observers=[experiment_profiler])
+        return AblationResult(
+            mode=self.mode,
+            control=control,
+            experiment=experiment,
+            control_profile=control_profiler.data,
+            experiment_profile=experiment_profiler.data,
+        )

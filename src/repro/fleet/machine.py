@@ -1,0 +1,133 @@
+"""A machine: sockets plus optional per-socket Limoncello daemons."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.core.actuator import MSRPrefetcherActuator
+from repro.core.config import LimoncelloConfig
+from repro.core.daemon import LimoncelloDaemon
+from repro.errors import ConfigError
+from repro.fleet.platform import PlatformSpec
+from repro.fleet.socket import SimulatedSocket, SocketEpoch
+from repro.fleet.task import Task
+from repro.telemetry.sampler import PerfBandwidthSampler
+from repro.units import SECOND
+
+
+class Machine:
+    """One fleet machine: N sockets of one platform.
+
+    When Hard Limoncello is deployed, each socket gets its own daemon
+    (telemetry, controller, MSR actuator) — the paper's controller is
+    per-socket (Section 3).
+    """
+
+    def __init__(self, name: str, platform: PlatformSpec,
+                 sockets: int = 2, telemetry_dropout: float = 0.0,
+                 demand_noise_sigma: float = 0.12,
+                 rng: Optional[random.Random] = None) -> None:
+        if sockets <= 0:
+            raise ConfigError("machines need at least one socket")
+        if demand_noise_sigma < 0:
+            raise ConfigError("demand noise sigma cannot be negative")
+        self.name = name
+        self.platform = platform
+        self.demand_noise_sigma = demand_noise_sigma
+        #: AR(1) persistence of the machine's demand swings: bursts last
+        #: several epochs (Figure 7), which is what gives the controller's
+        #: sustain timer something real to filter.
+        self.demand_noise_rho = 0.7
+        self._log_demand_noise = 0.0
+        self.sockets: List[SimulatedSocket] = [
+            SimulatedSocket(platform, index=i) for i in range(sockets)]
+        self._telemetry_dropout = telemetry_dropout
+        self._rng = rng or random.Random(hash(name) & 0xFFFF)
+        self.daemons: List[LimoncelloDaemon] = []
+
+    # --- Limoncello deployment -------------------------------------------------
+
+    def deploy_hard_limoncello(self, config: Optional[LimoncelloConfig] = None,
+                               controller_factory=None) -> None:
+        """Install a per-socket control daemon (idempotent)."""
+        if self.daemons:
+            return
+        for socket in self.sockets:
+            sampler = PerfBandwidthSampler(
+                socket, dropout_rate=self._telemetry_dropout, rng=self._rng)
+            actuator = MSRPrefetcherActuator(socket.msrs, socket.msr_map)
+            controller = (controller_factory() if controller_factory
+                          else None)
+            self.daemons.append(LimoncelloDaemon(
+                sampler, actuator, config, controller=controller))
+
+    def deploy_soft_limoncello(self) -> None:
+        """Mark the tax-function prefetch insertions as rolled out."""
+        for socket in self.sockets:
+            socket.soft_deployed = True
+
+    def force_prefetchers(self, enabled: bool) -> None:
+        """Directly set prefetcher state on every socket."""
+        for socket in self.sockets:
+            socket.force_prefetchers(enabled)
+
+    # --- capacity ------------------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        """Total CPU cores."""
+        return sum(socket.cores for socket in self.sockets)
+
+    @property
+    def cores_used(self) -> float:
+        """Cores occupied by placed tasks."""
+        return sum(socket.cores_used for socket in self.sockets)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Occupied cores / total cores — the x-axis of Figures 4 and 19."""
+        return self.cores_used / self.total_cores
+
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks across this machine's sockets."""
+        return [task for socket in self.sockets for task in socket.tasks]
+
+    # --- simulation ------------------------------------------------------------------
+
+    def step(self, now_ns: float, duration_ns: float = SECOND,
+             rng: Optional[random.Random] = None,
+             demand_scale: float = 1.0) -> List[SocketEpoch]:
+        """Advance one epoch: resample noise, run daemons, solve sockets.
+
+        ``demand_scale`` is the fleet-level demand multiplier: at peak
+        traffic every placed task serves more requests, and therefore
+        pulls more bandwidth, than its placement-time estimate — which is
+        how real machines end up past the saturation threshold the
+        scheduler tried to respect.
+        """
+        rng = rng or self._rng
+        for socket in self.sockets:
+            for task in socket.tasks:
+                task.resample_noise(rng)
+        # Machine-level volatility, shared by co-located tasks (bursts of
+        # correlated traffic are what make Figure 7's trace swing). An
+        # AR(1) process in log space: persistent bursts, stationary
+        # variance equal to demand_noise_sigma**2.
+        if self.demand_noise_sigma > 0:
+            rho = self.demand_noise_rho
+            innovation_sigma = self.demand_noise_sigma * (1 - rho * rho) ** 0.5
+            self._log_demand_noise = (rho * self._log_demand_noise
+                                      + rng.gauss(0.0, innovation_sigma))
+            demand_factor = math.exp(self._log_demand_noise)
+        else:
+            demand_factor = 1.0
+        demand_factor *= demand_scale
+        # Daemons act on the *previous* epoch's telemetry, as real
+        # controllers do — they cannot see the epoch being computed.
+        for daemon in self.daemons:
+            daemon.step(now_ns)
+        return [socket.step(now_ns, duration_ns, demand_factor)
+                for socket in self.sockets]

@@ -1,0 +1,75 @@
+"""Server platform specifications and the generation catalog (Figure 2).
+
+Figure 2's point is that total memory bandwidth grew with core counts for
+a decade while *bandwidth per core* plateaued around a few GB/s — the
+scarcity that motivates Limoncello. The catalog below models successive
+server generations with exactly that property; Platform 1 and Platform 2
+are the two recent generations the evaluation runs on (Section 5 gives
+them ~3 GB/s of achievable bandwidth per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One server platform generation."""
+
+    name: str
+    year: int
+    vendor: str
+    cores_per_socket: int
+    #: Qualified memory bandwidth saturation per socket, bytes/ns (GB/s).
+    saturation_bandwidth: float
+    #: Abstract compute units per core (Borg-style normalization [15]);
+    #: newer cores do more work per core.
+    compute_units_per_core: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_socket <= 0:
+            raise ConfigError(f"{self.name}: cores must be positive")
+        if self.saturation_bandwidth <= 0:
+            raise ConfigError(f"{self.name}: bandwidth must be positive")
+        if self.compute_units_per_core <= 0:
+            raise ConfigError(f"{self.name}: compute units must be positive")
+
+    @property
+    def bandwidth_per_core(self) -> float:
+        """GB/s of saturation bandwidth per core."""
+        return self.saturation_bandwidth / self.cores_per_socket
+
+    @property
+    def compute_units(self) -> float:
+        """Total abstract compute units per socket."""
+        return self.cores_per_socket * self.compute_units_per_core
+
+
+#: Successive generations, 2010-2022. Total bandwidth grows ~8x while
+#: bandwidth per core stays in a narrow 2.6-3.3 GB/s band (Figure 2).
+PLATFORM_CATALOG = (
+    PlatformSpec("gen-2010", 2010, "intel-like", 8, 26.0, 1.00),
+    PlatformSpec("gen-2012", 2012, "intel-like", 12, 38.0, 1.10),
+    PlatformSpec("gen-2014", 2014, "intel-like", 16, 51.0, 1.22),
+    PlatformSpec("gen-2016", 2016, "intel-like", 24, 77.0, 1.35),
+    PlatformSpec("gen-2018", 2018, "intel-like", 32, 102.0, 1.50),
+    PlatformSpec("gen-2020", 2020, "amd-like", 48, 141.0, 1.65),
+    PlatformSpec("gen-2022", 2022, "amd-like", 64, 205.0, 1.80),
+)
+
+#: The two evaluation platforms of Section 5 — the last two generations.
+PLATFORM_1 = PLATFORM_CATALOG[-2]
+PLATFORM_2 = PLATFORM_CATALOG[-1]
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    """Look up a catalog platform by name."""
+    for spec in PLATFORM_CATALOG:
+        if spec.name == name:
+            return spec
+    raise ConfigError(
+        f"unknown platform {name!r}; catalog has "
+        f"{[s.name for s in PLATFORM_CATALOG]}")

@@ -1,0 +1,179 @@
+"""The fleet rollout study — before/after full Limoncello (Section 6).
+
+"Due to the size of the fleet, we rollout Limoncello to the entire fleet
+over a period of a few weeks. [Figures] provide a comparison of average
+fleetwide performance metrics before the rollout [...] and after the
+rollout, when both Hard and Soft Limoncello were in full effect."
+
+:class:`RolloutStudy` runs three arms from the same seed — before
+(prefetchers always on), Hard-only, and full Limoncello — which is enough
+to regenerate Figures 16 through 20.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet.cluster import Fleet, FleetMetrics
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import FleetProfiler
+from repro.workloads.base import FunctionCategory, TAX_CATEGORIES
+
+
+@dataclass
+class RolloutResult:
+    """Metrics and profiles for the rollout arms.
+
+    ``before``, ``hard_only``, and ``full`` hold the machine populations
+    fixed (the scheduler is not yet prefetch-aware), isolating
+    Limoncello's direct effect on latency, bandwidth, and throughput
+    (Figures 16-18, 20). ``full_integrated`` additionally lets the
+    scheduler see prefetcher state, converting the bandwidth savings into
+    extra scheduled work — the capacity effect of Figure 19.
+    """
+
+    before: FleetMetrics
+    hard_only: FleetMetrics
+    full: FleetMetrics
+    full_integrated: FleetMetrics
+    before_profile: ProfileData
+    hard_profile: ProfileData
+    full_profile: ProfileData
+
+    # --- Figure 16 ------------------------------------------------------------
+
+    def throughput_gain_by_band(self, bands=((0.55, 0.65), (0.65, 0.75),
+                                             (0.75, 0.85))) -> Dict[str, float]:
+        """Fractional throughput gain per CPU-utilization band."""
+        before = self.before.throughput_by_cpu_band(bands)
+        after = self.full.throughput_by_cpu_band(bands)
+        gains = {}
+        for band, base in before.items():
+            if base > 0 and band in after:
+                gains[band] = after[band] / base - 1.0
+        return gains
+
+    # --- Figure 17 -------------------------------------------------------------
+
+    def latency_reduction(self) -> Dict[str, float]:
+        """Fractional memory-latency change, full arm vs before (Figure 17)."""
+        return self.full.latency_summary().relative_change(
+            self.before.latency_summary())
+
+    # --- Figure 18 -------------------------------------------------------------
+
+    def bandwidth_reduction(self) -> Dict[str, float]:
+        """Fractional socket-bandwidth change, full arm vs before (Figure 18)."""
+        return self.full.bandwidth_summary().relative_change(
+            self.before.bandwidth_summary())
+
+    def saturated_socket_change(self) -> float:
+        """Fractional change in the saturated-socket share."""
+        before = self.before.saturated_socket_fraction()
+        if before <= 0:
+            return 0.0
+        return self.full.saturated_socket_fraction() / before - 1.0
+
+    # --- capacity (Figure 19 companion numbers) ----------------------------------
+
+    def cpu_utilization_gain(self) -> float:
+        """Fractional mean CPU-utilization increase once the scheduler
+        exploits Limoncello's bandwidth savings."""
+        before = self.before.cpu_utilization_mean()
+        if before <= 0:
+            return 0.0
+        return self.full_integrated.cpu_utilization_mean() / before - 1.0
+
+    # --- Figure 19 --------------------------------------------------------------
+
+    def bandwidth_vs_cpu(self) -> Dict[str, Dict[str, float]]:
+        """Figure 19's before/after bandwidth-vs-CPU curves."""
+        return {
+            "before": self.before.bandwidth_by_cpu_bucket(),
+            "after": self.full_integrated.bandwidth_by_cpu_bucket(),
+        }
+
+    # --- Figure 20 ---------------------------------------------------------------
+
+    def tax_cycle_shares(self) -> Dict[str, Dict[str, float]]:
+        """Fleet cycle share per tax category under the three arms."""
+        out: Dict[str, Dict[str, float]] = {}
+        for arm, profile in (("none", self.before_profile),
+                             ("hard", self.hard_profile),
+                             ("full", self.full_profile)):
+            shares = profile.category_cycle_shares()
+            out[arm] = {
+                category.value: shares.get(category, 0.0)
+                for category in FunctionCategory
+                if category in TAX_CATEGORIES
+            }
+            out[arm]["all targeted DC tax"] = sum(out[arm].values())
+        return out
+
+
+class RolloutStudy:
+    """Runs the before / Hard-only / full-Limoncello arms."""
+
+    def __init__(self, machines: int = 30, epochs: int = 100, seed: int = 5,
+                 warmup_epochs: int = 20,
+                 config: Optional[LimoncelloConfig] = None,
+                 fleet_factory: Optional[Callable[[int], Fleet]] = None,
+                 profile_sample_rate: float = 0.25) -> None:
+        if epochs <= 0:
+            raise ConfigError("epochs must be positive")
+        if warmup_epochs < 0:
+            raise ConfigError("warmup cannot be negative")
+        self.machines = machines
+        self.epochs = epochs
+        self.warmup_epochs = warmup_epochs
+        self.seed = seed
+        self.config = config
+        self._fleet_factory = fleet_factory
+        self._sample_rate = profile_sample_rate
+
+    def _build(self, prefetch_aware: bool = False) -> Fleet:
+        if self._fleet_factory is not None:
+            return self._fleet_factory(self.seed)
+        from repro.fleet.scheduler import BandwidthAwareScheduler
+        return Fleet(
+            machines=self.machines, seed=self.seed,
+            scheduler=BandwidthAwareScheduler(prefetch_aware=prefetch_aware))
+
+    def _run_arm(self, deploy, prefetch_aware: bool = False) -> tuple:
+        fleet = self._build(prefetch_aware)
+        deploy(fleet)
+        if self.warmup_epochs:
+            fleet.run(self.warmup_epochs)
+        profiler = FleetProfiler(self._sample_rate, rng=random.Random(37))
+        metrics = fleet.run(self.epochs, observers=[profiler])
+        return metrics, profiler.data
+
+    def run(self) -> RolloutResult:
+        """Run all four arms and collect the result."""
+        before, before_profile = self._run_arm(lambda fleet: None)
+
+        def hard(fleet: Fleet) -> None:
+            """Deploy Hard Limoncello only."""
+            fleet.deploy_hard_limoncello(self.config)
+
+        def full(fleet: Fleet) -> None:
+            """Deploy Hard and Soft Limoncello."""
+            fleet.deploy_hard_limoncello(self.config)
+            fleet.deploy_soft_limoncello()
+
+        hard_metrics, hard_profile = self._run_arm(hard)
+        full_metrics, full_profile = self._run_arm(full)
+        integrated_metrics, _ = self._run_arm(full, prefetch_aware=True)
+        return RolloutResult(
+            before=before,
+            hard_only=hard_metrics,
+            full=full_metrics,
+            full_integrated=integrated_metrics,
+            before_profile=before_profile,
+            hard_profile=hard_profile,
+            full_profile=full_profile,
+        )

@@ -1,0 +1,224 @@
+"""The per-socket fixed-point model.
+
+Each epoch a socket balances two coupled quantities: the bandwidth its
+tasks offer (which falls as they slow down) and the DRAM latency that
+slowdown depends on (which rises with offered bandwidth). The fixed point
+of that loop is the socket's operating point for the epoch — the same
+feedback the queuing DRAM model produces per-request at the micro level.
+
+Hardware prefetcher state lives in a real simulated MSR file, so the
+Limoncello daemon actuates the socket exactly as it would real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.fleet.platform import PlatformSpec
+from repro.fleet.task import Task
+from repro.memsys.config import DRAMConfig
+from repro.memsys.dram import DRAMModel
+from repro.msr.platform_defs import msr_map_for_vendor
+from repro.msr.registers import MSRFile
+from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class SocketEpoch:
+    """One epoch's operating point for a socket."""
+
+    time_ns: float
+    #: Offered bandwidth, bytes/ns.
+    bandwidth: float
+    #: Bandwidth as a fraction of the *qualification saturation threshold*
+    #: (the knee of the latency curve), the unit the paper's thresholds
+    #: and utilization axes use. May exceed 1 when overloaded.
+    utilization: float
+    #: Loaded DRAM latency, ns.
+    latency_ns: float
+    #: Requests served during the epoch.
+    qps: float
+    #: Cores occupied by placed tasks.
+    cores_used: float
+    hw_prefetchers_on: bool
+
+    @property
+    def saturated(self) -> bool:
+        """Whether this epoch ran at or above 95% of saturation."""
+        return self.utilization >= 0.95
+
+
+class SimulatedSocket:
+    """One socket: tasks + MSR-controlled prefetcher state + DRAM curve."""
+
+    #: Fixed-point iterations per epoch. The bare loop is *not* a
+    #: contraction near the latency knee (offered bandwidth falls steeply
+    #: as latency rises), so the update is damped by ``DAMPING``; with
+    #: these settings the operating point converges to well under 1%.
+    ITERATIONS = 24
+    DAMPING = 0.35
+
+    #: Fraction of an epoch's throughput lost when prefetcher state flips
+    #: during it: the wrmsr broadcasts serialize every core and the
+    #: hardware prefetchers retrain from scratch on re-enable. This is
+    #: the cost that makes controller thrashing expensive — the reason
+    #: for the hysteresis design (Section 3).
+    TOGGLE_PENALTY = 0.05
+
+    def __init__(self, platform: PlatformSpec, index: int = 0,
+                 dram: Optional[DRAMConfig] = None) -> None:
+        self.platform = platform
+        self.index = index
+        self.tasks: List[Task] = []
+        self.soft_deployed = False
+        self.msrs = MSRFile()
+        self.msr_map = msr_map_for_vendor(platform.vendor)
+        self.msr_map.declare_registers(self.msrs)
+        dram_config = dram or DRAMConfig(
+            saturation_bandwidth=platform.saturation_bandwidth)
+        if dram_config.saturation_bandwidth != platform.saturation_bandwidth:
+            raise ConfigError(
+                "DRAM config saturation must match the platform's")
+        self._dram = DRAMModel(dram_config)
+        self._unloaded_latency = dram_config.unloaded_latency_ns
+        self.history: List[SocketEpoch] = []
+        self._last_bandwidth = 0.0
+        self._last_utilization = 0.0
+        self._last_hw_state: Optional[bool] = None
+        self.toggles = 0
+
+    # --- prefetcher state (via MSRs) ---------------------------------------------
+
+    @property
+    def hw_prefetchers_on(self) -> bool:
+        """True unless *all* prefetchers are disabled (the paper's actuator
+        always disables the full set)."""
+        return not self.msr_map.all_disabled(self.msrs)
+
+    def force_prefetchers(self, enabled: bool) -> None:
+        """Directly set prefetcher state (for always-on/off study arms)."""
+        if enabled:
+            self.msr_map.enable_all(self.msrs)
+        else:
+            self.msr_map.disable_all(self.msrs)
+
+    # --- BandwidthSource protocol (for the Limoncello daemon's sampler) -----------
+
+    @property
+    def saturation_bandwidth(self) -> float:
+        """The qualification "memory bandwidth saturation threshold".
+
+        Section 3 defines it as the bandwidth established during machine
+        qualification beyond which latency rises sharply — i.e. the knee
+        of the latency curve, not the raw channel capacity. Thresholds
+        (and every utilization this simulator reports) are expressed
+        relative to this value, as in the paper.
+        """
+        return (self._dram.config.max_utilization
+                * self.platform.saturation_bandwidth)
+
+    @property
+    def raw_capacity(self) -> float:
+        """The physical channel capacity, bytes/ns."""
+        return self.platform.saturation_bandwidth
+
+    def memory_bandwidth(self, now_ns: float) -> float:
+        """Most recent epoch's offered bandwidth — what perf would read."""
+        return self._last_bandwidth
+
+    # --- capacity accounting -------------------------------------------------------
+
+    @property
+    def cores(self) -> int:
+        """CPU cores on this socket."""
+        return self.platform.cores_per_socket
+
+    @property
+    def cores_used(self) -> float:
+        """Cores occupied by placed tasks."""
+        return sum(task.cores for task in self.tasks)
+
+    @property
+    def cores_free(self) -> float:
+        """Cores not yet occupied by tasks."""
+        return self.cores - self.cores_used
+
+    def estimated_bandwidth(self, prefetch_aware: bool = False) -> float:
+        """Full-speed bandwidth estimate — the scheduler's admission view.
+
+        With ``prefetch_aware`` the estimate reflects the socket's current
+        prefetcher state. That awareness is what converts Limoncello's
+        bandwidth savings into schedulable capacity — with prefetchers
+        disabled the same tasks are estimated ~11-16% cheaper, so the
+        scheduler packs more cores onto the socket (Figure 19). A
+        pre-Limoncello scheduler (ablation studies) estimates as if
+        prefetchers were always on."""
+        hw_on = self.hw_prefetchers_on if prefetch_aware else True
+        return sum(task.estimated_bandwidth(hw_on) for task in self.tasks)
+
+    def add_task(self, task: Task) -> None:
+        """Place a task on this socket (validates core capacity)."""
+        if task.cores > self.cores_free + 1e-9:
+            raise ConfigError(
+                f"socket has {self.cores_free:.1f} free cores; task "
+                f"{task.name} needs {task.cores:.1f}")
+        self.tasks.append(task)
+
+    def remove_task(self, task: Task) -> None:
+        """Remove a placed task."""
+        self.tasks.remove(task)
+
+    # --- the epoch fixed point --------------------------------------------------------
+
+    def latency_at(self, utilization: float) -> float:
+        """Loaded DRAM latency (ns) at a raw-capacity utilization."""
+        return self._dram.latency_at_utilization(utilization)
+
+    def step(self, now_ns: float, duration_ns: float = SECOND,
+             demand_factor: float = 1.0) -> SocketEpoch:
+        """Solve this epoch's operating point and record it.
+
+        ``demand_factor`` is a machine-level multiplier on bandwidth
+        demand this epoch (shared volatility across the socket's tasks —
+        the minute-scale swings of Figure 7).
+        """
+        hw_on = self.hw_prefetchers_on
+        load = self._last_utilization  # fraction of raw capacity
+        capacity = self.platform.saturation_bandwidth
+        bandwidth = 0.0
+        for _ in range(self.ITERATIONS):
+            latency_ratio = (self.latency_at(load)
+                             / self._unloaded_latency)
+            bandwidth = demand_factor * sum(
+                task.offered_bandwidth(
+                    task.speed(latency_ratio, hw_on, self.soft_deployed),
+                    hw_on)
+                for task in self.tasks)
+            load += self.DAMPING * (bandwidth / capacity - load)
+        bandwidth = load * capacity
+
+        latency_ns = self.latency_at(load)
+        latency_ratio = latency_ns / self._unloaded_latency
+        qps = sum(
+            task.base_qps
+            * task.speed(latency_ratio, hw_on, self.soft_deployed)
+            for task in self.tasks) * (duration_ns / SECOND)
+        if self._last_hw_state is not None and hw_on != self._last_hw_state:
+            self.toggles += 1
+            qps *= 1.0 - self.TOGGLE_PENALTY
+        self._last_hw_state = hw_on
+        epoch = SocketEpoch(
+            time_ns=now_ns,
+            bandwidth=bandwidth,
+            utilization=bandwidth / self.saturation_bandwidth,
+            latency_ns=latency_ns,
+            qps=qps,
+            cores_used=self.cores_used,
+            hw_prefetchers_on=hw_on,
+        )
+        self.history.append(epoch)
+        self._last_bandwidth = bandwidth
+        self._last_utilization = load
+        return epoch

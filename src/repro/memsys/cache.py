@@ -1,0 +1,148 @@
+"""A set-associative cache with true-LRU replacement.
+
+Each line carries a ``prefetched`` flag so the simulator can account
+prefetch usefulness: a prefetched line that is evicted before any demand
+touch was a wasted fetch (the bandwidth cost the paper blames for the
+latency penalty of aggressive prefetching), while a demand hit on a
+prefetched line is a covered miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.memsys.config import CacheConfig
+
+
+@dataclass
+class EvictedLine:
+    """What fell out of the cache on an installation."""
+
+    line: int
+    prefetched: bool
+    referenced: bool
+
+    @property
+    def wasted_prefetch(self) -> bool:
+        """True when a prefetched line dies without a single demand touch."""
+        return self.prefetched and not self.referenced
+
+
+class _LineState:
+    __slots__ = ("prefetched", "referenced")
+
+    def __init__(self, prefetched: bool) -> None:
+        self.prefetched = prefetched
+        self.referenced = not prefetched
+
+
+class SetAssociativeCache:
+    """A classic set-associative LRU cache over line addresses."""
+
+    __slots__ = ("config", "_sets", "_set_mask", "_line_shift",
+                 "hits", "misses", "prefetch_hits", "wasted_prefetches")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            # Non-power-of-two set counts use modulo indexing instead.
+            self._set_mask = None
+        else:
+            self._set_mask = num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_hits = 0
+        self.wasted_prefetches = 0
+
+    def _index(self, line: int) -> int:
+        tag = line >> self._line_shift
+        if self._set_mask is not None:
+            return tag & self._set_mask
+        return tag % self.config.num_sets
+
+    def lookup(self, line: int, demand: bool = True) -> bool:
+        """Probe for ``line``; updates LRU and hit/miss counters.
+
+        Args:
+            line: Line-aligned address.
+            demand: True for demand accesses (counted, marks the line
+                referenced); False for probes by the prefetch path
+                (not counted as hits/misses).
+        """
+        cache_set = self._sets.get(self._index(line))
+        if cache_set is not None and line in cache_set:
+            state = cache_set[line]
+            cache_set.move_to_end(line)
+            if demand:
+                self.hits += 1
+                if state.prefetched and not state.referenced:
+                    self.prefetch_hits += 1
+                state.referenced = True
+            return True
+        if demand:
+            self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without touching LRU state or counters."""
+        cache_set = self._sets.get(self._index(line))
+        return cache_set is not None and line in cache_set
+
+    def install(self, line: int, prefetched: bool = False) -> Optional[EvictedLine]:
+        """Insert ``line``; returns the evicted victim, if any.
+
+        Installing a line that is already present refreshes its LRU
+        position (and clears nothing); a demand install of a prefetched
+        line keeps its ``prefetched`` provenance.
+        """
+        index = self._index(line)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            if not prefetched:
+                cache_set[line].referenced = True
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.config.associativity:
+            victim_line, victim_state = cache_set.popitem(last=False)
+            victim = EvictedLine(victim_line, victim_state.prefetched,
+                                 victim_state.referenced)
+            if victim.wasted_prefetch:
+                self.wasted_prefetches += 1
+        cache_set[line] = _LineState(prefetched)
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns whether it was present."""
+        cache_set = self._sets.get(self._index(line))
+        if cache_set is not None and line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        self._sets.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets.values())
+
+    @property
+    def accesses(self) -> int:
+        """Total demand lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand misses / demand lookups (0 when idle)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0

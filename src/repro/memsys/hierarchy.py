@@ -1,0 +1,274 @@
+"""The trace-driven timing simulator tying caches, prefetchers, and DRAM.
+
+Timing model (documented in DESIGN.md §5): an in-order core retires one
+instruction per cycle; memory stalls add the hit latency of the level that
+serves each demand access, with DRAM latency coming from the
+utilization-dependent queuing model. Prefetches — hardware proposals from
+the :class:`~repro.memsys.prefetchers.PrefetcherBank` and software-prefetch
+trace records — are issued non-blocking: the line is installed immediately
+(so it can pollute) and tagged with an arrival time (so a demand access that
+arrives too early stalls for the residual; this is what makes prefetch
+*distance* a real tradeoff, Figure 15a).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional
+
+from repro.access.record import AccessKind, MemoryAccess
+from repro.access.trace import Trace
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.config import HierarchyConfig
+from repro.memsys.dram import DRAMModel
+from repro.memsys.prefetchers.bank import PrefetcherBank, default_prefetcher_bank
+from repro.memsys.stats import FunctionStats, RunResult
+from repro.units import CACHE_LINE_BYTES
+
+
+class MemoryHierarchy:
+    """One simulated core: L1/L2/LLC + prefetcher bank + DRAM.
+
+    Args:
+        config: Geometry, latencies, and the DRAM curve.
+        prefetchers: The hardware prefetcher complement; defaults to the
+            aggressive four-prefetcher bank of the modelled platforms.
+        external_load: Optional ``now_ns -> bytes_per_ns`` callable adding
+            co-tenant bandwidth pressure to the DRAM model.
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 prefetchers: Optional[PrefetcherBank] = None,
+                 external_load: Optional[Callable[[float], float]] = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.prefetchers = prefetchers if prefetchers is not None \
+            else default_prefetcher_bank()
+        self.l1 = SetAssociativeCache(self.config.l1)
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.llc = SetAssociativeCache(self.config.llc)
+        self.dram = DRAMModel(self.config.dram, external_load=external_load)
+        #: line -> arrival time of an issued, not-yet-demanded prefetch.
+        self._in_flight: Dict[int, float] = {}
+        #: Recent demand-miss lines, for the sequential-MLP discount. A
+        #: short history (rather than just the previous miss) lets the
+        #: discount recognise multiple interleaved streams, e.g. memcpy's
+        #: alternating source/destination misses.
+        self._recent_miss_lines: deque = deque(maxlen=8)
+        self.now_ns = 0.0
+        self._sw_issued = 0
+        self._useful = 0
+
+    # --- public controls -------------------------------------------------------
+
+    def set_hardware_prefetchers(self, enabled: bool) -> None:
+        """Direct (non-MSR) enable/disable of every hardware prefetcher."""
+        self.prefetchers.set_all(enabled)
+
+    def reset(self) -> None:
+        """Flush all state: caches, prefetcher training, bandwidth window."""
+        self.l1.flush()
+        self.l2.flush()
+        self.llc.flush()
+        self.prefetchers.reset()
+        self.dram.reset_window()
+        self._in_flight.clear()
+        self._recent_miss_lines.clear()
+
+    # --- execution ---------------------------------------------------------------
+
+    def run(self, trace: Trace, start_ns: Optional[float] = None) -> RunResult:
+        """Execute ``trace``; returns timing and per-function statistics.
+
+        State (cache contents, prefetcher training, clock) persists across
+        calls so multi-phase experiments can share warmed state; call
+        :meth:`reset` between independent runs.
+        """
+        if start_ns is not None:
+            if start_ns < self.now_ns:
+                raise ValueError(
+                    f"cannot start at {start_ns}ns; clock is at {self.now_ns}ns")
+            self.now_ns = start_ns
+
+        cycle_ns = self.config.cycle_ns
+        sw_cost_cycles = self.config.software_prefetch_cost_cycles
+        result = RunResult()
+        begin_ns = self.now_ns
+        dram_demand0 = self.dram.demand_fills
+        dram_prefetch0 = self.dram.prefetch_fills
+        dram_demand_bytes0 = self.dram.demand_bytes
+        dram_prefetch_bytes0 = self.dram.prefetch_bytes
+        hw_issued0 = self.prefetchers.total_issued
+        useful0 = self._useful
+        wasted0 = (self.l1.wasted_prefetches + self.l2.wasted_prefetches
+                   + self.llc.wasted_prefetches)
+
+        for record in trace:
+            stats = self._function_stats(result, record.function)
+            if record.gap_cycles:
+                self.now_ns += record.gap_cycles * cycle_ns
+                stats.instructions += record.gap_cycles
+                stats.compute_cycles += record.gap_cycles
+
+            if record.kind is AccessKind.SOFTWARE_PREFETCH:
+                stats.instructions += 1
+                stats.compute_cycles += sw_cost_cycles
+                stats.software_prefetches += 1
+                self.now_ns += sw_cost_cycles * cycle_ns
+                for line in record.lines_touched():
+                    self._issue_prefetch(line, software=True)
+                continue
+
+            if record.kind is AccessKind.STREAM_HINT:
+                # One instruction handing the stream extent to hardware
+                # (the Section 8.3 interface prototype).
+                stats.instructions += 1
+                stats.compute_cycles += sw_cost_cycles
+                stats.software_prefetches += 1
+                self.now_ns += sw_cost_cycles * cycle_ns
+                self.prefetchers.accept_hint(record.address, record.size)
+                continue
+
+            stats.instructions += 1
+            stats.compute_cycles += 1
+            self.now_ns += cycle_ns
+            is_store = record.kind is AccessKind.STORE
+            if is_store:
+                stats.stores += 1
+            else:
+                stats.loads += 1
+            for line in record.lines_touched():
+                self._demand_access(line, record.pc, stats, is_store)
+
+        result.elapsed_ns = self.now_ns - begin_ns
+        result.dram_demand_fills = self.dram.demand_fills - dram_demand0
+        result.dram_prefetch_fills = self.dram.prefetch_fills - dram_prefetch0
+        result.dram_demand_bytes = self.dram.demand_bytes - dram_demand_bytes0
+        result.dram_prefetch_bytes = self.dram.prefetch_bytes - dram_prefetch_bytes0
+        result.hw_prefetches_issued = self.prefetchers.total_issued - hw_issued0
+        result.useful_prefetches = self._useful - useful0
+        result.wasted_prefetches = (
+            self.l1.wasted_prefetches + self.l2.wasted_prefetches
+            + self.llc.wasted_prefetches - wasted0)
+        for stats in result.functions.values():
+            result.total.merge(stats)
+        return result
+
+    # --- internals -------------------------------------------------------------------
+
+    @staticmethod
+    def _function_stats(result: RunResult, function: str) -> FunctionStats:
+        stats = result.functions.get(function)
+        if stats is None:
+            stats = result.functions[function] = FunctionStats()
+        return stats
+
+    def _demand_access(self, line: int, pc: int, stats: FunctionStats,
+                       is_store: bool = False) -> None:
+        cycle_ns = self.config.cycle_ns
+        # Stores drain through the write buffer; the core feels only a
+        # fraction of their miss latency as back-pressure.
+        scale = self.config.store_stall_fraction if is_store else 1.0
+        l1_hit = self.l1.lookup(line)
+        hw_lines = self.prefetchers.observe(line, pc, l1_hit)
+
+        if l1_hit:
+            stall_ns = 0.0
+        elif self.l2.lookup(line):
+            stats.l1_misses += 1
+            stall_ns = self.config.l2.hit_latency_cycles * cycle_ns
+            stall_ns += self._residual_wait(line, stats, scale)
+            self.l1.install(line)
+        elif self.llc.lookup(line):
+            stats.l1_misses += 1
+            stats.l2_misses += 1
+            stall_ns = self.config.llc.hit_latency_cycles * cycle_ns
+            stall_ns += self._residual_wait(line, stats, scale)
+            self.l2.install(line)
+            self.l1.install(line)
+        else:
+            stats.l1_misses += 1
+            stats.l2_misses += 1
+            # If a prefetch was issued for this line but it has already been
+            # evicted from every cache, the prefetch was wasted: drop the
+            # stale in-flight entry and pay for a fresh demand fill.
+            self._in_flight.pop(line, None)
+            completion = self.dram.request(self.now_ns, is_prefetch=False)
+            wait_ns = (completion - self.now_ns) * scale
+            # Sequential misses overlap in an OoO core: a miss adjacent to
+            # any recent miss exposes only a fraction of the latency.
+            if any(abs(line - recent) == CACHE_LINE_BYTES
+                   for recent in self._recent_miss_lines):
+                wait_ns /= self.config.sequential_mlp
+            self._recent_miss_lines.append(line)
+            stats.llc_misses += 1
+            stats.dram_wait_ns += wait_ns
+            stall_ns = self.config.llc.hit_latency_cycles * cycle_ns * scale \
+                + wait_ns
+            self.llc.install(line)
+            self.l2.install(line)
+            self.l1.install(line)
+
+        self.now_ns += stall_ns
+        stats.stall_cycles += stall_ns / cycle_ns
+
+        for hw_line in hw_lines:
+            self._issue_prefetch(hw_line, software=False)
+
+    def _residual_wait(self, line: int, stats: FunctionStats,
+                       scale: float = 1.0) -> float:
+        """Extra wait if ``line`` was prefetched but hasn't arrived yet.
+
+        ``scale`` discounts the wait for stores (write-buffer drain).
+        """
+        arrival = self._in_flight.pop(line, None)
+        if arrival is None:
+            return 0.0
+        stats.prefetch_covered += 1
+        self._useful += 1
+        residual = (arrival - self.now_ns) * scale
+        if residual <= 0.0:
+            return 0.0
+        stats.late_prefetch_hits += 1
+        stats.late_prefetch_wait_ns += residual
+        return residual
+
+    #: In-flight entries are pruned once the table grows past this size;
+    #: only already-arrived entries are dropped, which can at worst
+    #: under-count ``prefetch_covered`` slightly on very long runs.
+    _IN_FLIGHT_PRUNE_THRESHOLD = 1 << 18
+
+    def _issue_prefetch(self, line: int, software: bool) -> None:
+        if line < 0:
+            return
+        if line in self._in_flight:
+            return
+        if len(self._in_flight) > self._IN_FLIGHT_PRUNE_THRESHOLD:
+            now = self.now_ns
+            self._in_flight = {
+                pending: arrival
+                for pending, arrival in self._in_flight.items()
+                if arrival > now
+            }
+        if self.l1.contains(line) or self.l2.contains(line) \
+                or self.llc.contains(line):
+            return
+        completion = self.dram.request(self.now_ns, is_prefetch=True)
+        self._in_flight[line] = completion
+        # Install immediately (tagged prefetched) so pollution is modelled;
+        # the in-flight entry makes early demand hits pay the residual.
+        self.llc.install(line, prefetched=True)
+        self.l2.install(line, prefetched=True)
+        if software:
+            self._sw_issued += 1
+
+    # --- introspection ------------------------------------------------------------
+
+    @property
+    def software_prefetches_issued(self) -> int:
+        """Software-prefetch lines actually fetched (post-dedup)."""
+        return self._sw_issued
+
+    @property
+    def in_flight_prefetches(self) -> int:
+        """Prefetched lines whose data has not been demanded yet."""
+        return len(self._in_flight)

@@ -1,0 +1,32 @@
+"""Hardware prefetcher models.
+
+These reproduce the behavioural essentials the paper leans on:
+
+* stream/next-line prefetchers cover sequential code extremely well but
+  over-fetch at stream ends and need a warm-up window, so short streams
+  (small memcpys, Figure 14) get poor coverage and high waste;
+* stride prefetchers train per-PC and handle regular strides;
+* on irregular (pointer-chasing) code, all of them either stay quiet or
+  fetch garbage, and the garbage costs bandwidth that inflates everyone's
+  DRAM latency.
+
+Each prefetcher is a pure observer: it watches the demand access stream and
+returns line addresses to fetch. The hierarchy issues those fetches and
+charges them to DRAM bandwidth.
+"""
+
+from repro.memsys.prefetchers.base import HardwarePrefetcher
+from repro.memsys.prefetchers.nextline import AdjacentLinePrefetcher, NextLinePrefetcher
+from repro.memsys.prefetchers.stride import StridePrefetcher
+from repro.memsys.prefetchers.stream import StreamPrefetcher
+from repro.memsys.prefetchers.bank import PrefetcherBank, default_prefetcher_bank
+
+__all__ = [
+    "HardwarePrefetcher",
+    "NextLinePrefetcher",
+    "AdjacentLinePrefetcher",
+    "StridePrefetcher",
+    "StreamPrefetcher",
+    "PrefetcherBank",
+    "default_prefetcher_bank",
+]

@@ -1,0 +1,41 @@
+"""Common interface for hardware prefetcher models."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class HardwarePrefetcher:
+    """Base class: observe demand accesses, propose line addresses to fetch.
+
+    Subclasses implement :meth:`_observe`; this base class handles the
+    enable switch (driven, ultimately, by the simulated MSR bits) and the
+    issue counter. A disabled prefetcher neither trains nor issues, which
+    matches how the MSR disable bits behave on real parts.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.enabled = True
+        self.issued = 0
+
+    def observe(self, line: int, pc: int, was_hit: bool) -> List[int]:
+        """Feed one demand access; returns line addresses to prefetch.
+
+        Args:
+            line: Line-aligned address of the demand access.
+            pc: Program counter of the access (stride tables key on it).
+            was_hit: Whether the access hit in the cache the prefetcher
+                observes (some policies only train on misses).
+        """
+        if not self.enabled:
+            return []
+        lines = self._observe(line, pc, was_hit)
+        self.issued += len(lines)
+        return lines
+
+    def _observe(self, line: int, pc: int, was_hit: bool) -> List[int]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all training state (counters are preserved)."""

@@ -1,0 +1,78 @@
+"""A per-PC stride prefetcher (IP-stride) with confidence counters."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.memsys.prefetchers.base import HardwarePrefetcher
+from repro.units import CACHE_LINE_BYTES, line_address
+
+
+class _StrideEntry:
+    __slots__ = ("last_line", "stride", "confidence")
+
+    def __init__(self, last_line: int) -> None:
+        self.last_line = last_line
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher(HardwarePrefetcher):
+    """Trains a (last address, stride, confidence) tuple per load PC.
+
+    After ``confidence_threshold`` consecutive accesses with the same line
+    stride, it fetches ``degree`` lines ahead along the stride starting
+    ``distance`` strides out. The warm-up requirement is the behaviour
+    Soft Limoncello exploits: short streams finish before the table is
+    confident, so hardware gets no coverage there while software — which
+    knows the length up front — can prefetch from the first iteration.
+    """
+
+    def __init__(self, name: str = "l1_stride", table_size: int = 256,
+                 confidence_threshold: int = 2, distance: int = 4,
+                 degree: int = 2) -> None:
+        super().__init__(name)
+        if table_size <= 0:
+            raise ValueError(f"table_size must be positive, got {table_size}")
+        if confidence_threshold < 1:
+            raise ValueError("confidence threshold must be at least 1")
+        if distance < 1 or degree < 1:
+            raise ValueError("distance and degree must be at least 1")
+        self.table_size = table_size
+        self.confidence_threshold = confidence_threshold
+        self.distance = distance
+        self.degree = degree
+        self._table: "OrderedDict[int, _StrideEntry]" = OrderedDict()
+
+    def _observe(self, line: int, pc: int, was_hit: bool) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            self._table[pc] = _StrideEntry(line)
+            return []
+        self._table.move_to_end(pc)
+        observed = line - entry.last_line
+        entry.last_line = line
+        if observed == 0:
+            return []
+        if observed == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 2 * self.confidence_threshold)
+        else:
+            entry.stride = observed
+            entry.confidence = 1
+            return []
+        if entry.confidence < self.confidence_threshold:
+            return []
+        base = line + entry.stride * self.distance
+        return [line_address(base + entry.stride * k) for k in range(self.degree)]
+
+    def reset(self) -> None:
+        """Drop all training/tracking state (counters survive)."""
+        self._table.clear()
+
+    @property
+    def tracked_pcs(self) -> int:
+        """Load PCs currently being tracked."""
+        return len(self._table)

@@ -1,0 +1,152 @@
+"""Result containers for simulator runs: per-function and whole-run stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class FunctionStats:
+    """Execution statistics attributed to one function (or to a whole run).
+
+    These are exactly the quantities the paper's fleetwide profiler
+    collects per function — instructions, CPU cycles, LLC misses — plus
+    the prefetch-accounting detail the ablation analysis needs.
+    """
+
+    instructions: int = 0
+    compute_cycles: int = 0
+    stall_cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    software_prefetches: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    #: Demand accesses that had to go all the way to DRAM.
+    llc_misses: int = 0
+    #: Demand accesses covered by a prefetched line (resident or in flight).
+    prefetch_covered: int = 0
+    #: Covered accesses that still stalled because the prefetch was late.
+    late_prefetch_hits: int = 0
+    #: Nanoseconds spent waiting on true demand DRAM fills.
+    dram_wait_ns: float = 0.0
+    #: Nanoseconds spent waiting for late (in-flight) prefetches to land.
+    late_prefetch_wait_ns: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        """Total CPU cycles: compute plus memory stalls."""
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def accesses(self) -> int:
+        """Total demand lookups (hits + misses)."""
+        return self.loads + self.stores
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC misses per kilo-instruction — the paper's MPKI metric."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def average_load_to_use_ns(self) -> float:
+        """Mean load-to-use latency per DRAM demand request (Figure 1)."""
+        if self.llc_misses == 0:
+            return 0.0
+        return self.dram_wait_ns / self.llc_misses
+
+    @property
+    def memory_wait_ns(self) -> float:
+        """All nanoseconds lost to DRAM: demand fills plus late prefetches."""
+        return self.dram_wait_ns + self.late_prefetch_wait_ns
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0 when no cycles)."""
+        total = self.cycles
+        return self.instructions / total if total else 0.0
+
+    def merge(self, other: "FunctionStats") -> None:
+        """Accumulate ``other`` into this record."""
+        self.instructions += other.instructions
+        self.compute_cycles += other.compute_cycles
+        self.stall_cycles += other.stall_cycles
+        self.loads += other.loads
+        self.stores += other.stores
+        self.software_prefetches += other.software_prefetches
+        self.l1_misses += other.l1_misses
+        self.l2_misses += other.l2_misses
+        self.llc_misses += other.llc_misses
+        self.prefetch_covered += other.prefetch_covered
+        self.late_prefetch_hits += other.late_prefetch_hits
+        self.dram_wait_ns += other.dram_wait_ns
+        self.late_prefetch_wait_ns += other.late_prefetch_wait_ns
+
+
+@dataclass
+class RunResult:
+    """The outcome of running one trace through a memory hierarchy."""
+
+    #: Aggregate over the whole trace.
+    total: FunctionStats = field(default_factory=FunctionStats)
+    #: Per-function breakdown keyed by ``MemoryAccess.function``.
+    functions: Dict[str, FunctionStats] = field(default_factory=dict)
+    #: Wall-clock duration of the simulated execution, ns.
+    elapsed_ns: float = 0.0
+    #: DRAM traffic: line fills triggered by demand misses.
+    dram_demand_fills: int = 0
+    #: DRAM traffic: line fills triggered by hardware or software prefetch.
+    dram_prefetch_fills: int = 0
+    dram_demand_bytes: int = 0
+    dram_prefetch_bytes: int = 0
+    #: Prefetch lines proposed by hardware prefetchers (pre-dedup).
+    hw_prefetches_issued: int = 0
+    #: Prefetch lines that were fetched and later demanded.
+    useful_prefetches: int = 0
+    #: Prefetched lines evicted without any demand touch.
+    wasted_prefetches: int = 0
+
+    def function(self, name: str) -> FunctionStats:
+        """Stats for ``name``, defaulting to an empty record."""
+        return self.functions.get(name, FunctionStats())
+
+    @property
+    def dram_total_fills(self) -> int:
+        """All DRAM line fills (demand + prefetch)."""
+        return self.dram_demand_fills + self.dram_prefetch_fills
+
+    @property
+    def dram_total_bytes(self) -> int:
+        """All DRAM bytes (demand + prefetch)."""
+        return self.dram_demand_bytes + self.dram_prefetch_bytes
+
+    @property
+    def average_bandwidth(self) -> float:
+        """Mean DRAM bandwidth over the run, bytes/ns (== GB/s)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.dram_total_bytes / self.elapsed_ns
+
+    @property
+    def prefetch_traffic_fraction(self) -> float:
+        """Share of DRAM fills that were prefetches."""
+        total = self.dram_total_fills
+        return self.dram_prefetch_fills / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Useful / fetched prefetch lines (resolved ones only)."""
+        resolved = self.useful_prefetches + self.wasted_prefetches
+        return self.useful_prefetches / resolved if resolved else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """This run's speedup versus ``baseline`` (elapsed-time ratio).
+
+        Greater than 1.0 means this run was faster.
+        """
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return baseline.elapsed_ns / self.elapsed_ns

@@ -1,0 +1,21 @@
+"""Microbenchmarks and load tests for tuning software prefetches.
+
+The stand-ins for the LLVM-libc mem* benchmark suite and the production
+load tests of Section 4.3: size-swept memcpy kernels run through the
+cycle-level simulator under configurable background memory load, measuring
+the speedup of candidate prefetch descriptors.
+"""
+
+from repro.microbench.memcpy_bench import (
+    MemcpyMicrobenchmark,
+    MicrobenchResult,
+    PAPER_SIZES,
+)
+from repro.microbench.loadtest import FleetMixLoadTest
+
+__all__ = [
+    "MemcpyMicrobenchmark",
+    "MicrobenchResult",
+    "PAPER_SIZES",
+    "FleetMixLoadTest",
+]

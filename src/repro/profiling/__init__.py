@@ -1,0 +1,13 @@
+"""Fleetwide profiling — the measurement plane of the ablation studies.
+
+Models the Google-Wide-Profiler-style tool of Section 4.1: it samples "a
+limited number of random machines at any given time [...] activated only
+for small time intervals", collecting per-function CPU cycles and LLC
+misses. Aggregated over enough machine-epochs, the samples expose the
+per-function impact of prefetcher configuration changes.
+"""
+
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import FleetProfiler
+
+__all__ = ["ProfileData", "FleetProfiler"]

@@ -1,0 +1,180 @@
+"""Serialization: traces and experiment results to portable JSON.
+
+Traces round-trip losslessly through JSON Lines (one record per line), so
+workloads captured once can be replayed across simulator versions and
+shared alongside results. Experiment results flatten to plain dicts for
+archiving next to the benchmark outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Union
+
+from repro.access.record import AccessKind, MemoryAccess
+from repro.access.trace import Trace
+from repro.errors import TraceError
+from repro.memsys.stats import FunctionStats, RunResult
+
+_PathLike = Union[str, pathlib.Path]
+
+
+# --- traces -----------------------------------------------------------------
+
+def access_to_dict(record: MemoryAccess) -> Dict:
+    """One trace record as a plain dict (JSON-safe)."""
+    return {
+        "address": record.address,
+        "size": record.size,
+        "kind": record.kind.value,
+        "pc": record.pc,
+        "function": record.function,
+        "gap_cycles": record.gap_cycles,
+    }
+
+
+def access_from_dict(data: Dict) -> MemoryAccess:
+    """Inverse of :func:`access_to_dict`."""
+    try:
+        kind = AccessKind(data.get("kind", AccessKind.LOAD.value))
+        return MemoryAccess(
+            address=data["address"],
+            size=data.get("size", 8),
+            kind=kind,
+            pc=data.get("pc", 0),
+            function=data.get("function", ""),
+            gap_cycles=data.get("gap_cycles", 0),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise TraceError(f"malformed trace record {data!r}: {error}") from error
+
+
+def trace_to_dicts(trace: Trace) -> List[Dict]:
+    """A whole trace as a list of plain dicts."""
+    return [access_to_dict(record) for record in trace]
+
+
+def trace_from_dicts(records: Iterable[Dict]) -> Trace:
+    """Inverse of :func:`trace_to_dicts`."""
+    return Trace(access_from_dict(record) for record in records)
+
+
+def save_trace_jsonl(trace: Trace, path: _PathLike) -> None:
+    """Write a trace as JSON Lines (one record per line)."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        for record in trace:
+            handle.write(json.dumps(access_to_dict(record)) + "\n")
+
+
+def load_trace_jsonl(path: _PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace_jsonl`."""
+    path = pathlib.Path(path)
+    records = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{line_number}: invalid JSON: {error}") from error
+            records.append(access_from_dict(data))
+    return Trace(records)
+
+
+# --- results -----------------------------------------------------------------
+
+def function_stats_to_dict(stats: FunctionStats) -> Dict:
+    """One function's statistics as a plain dict, including the derived
+    metrics the paper reports (MPKI, load-to-use)."""
+    return {
+        "instructions": stats.instructions,
+        "compute_cycles": stats.compute_cycles,
+        "stall_cycles": stats.stall_cycles,
+        "cycles": stats.cycles,
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "software_prefetches": stats.software_prefetches,
+        "l1_misses": stats.l1_misses,
+        "l2_misses": stats.l2_misses,
+        "llc_misses": stats.llc_misses,
+        "llc_mpki": stats.llc_mpki,
+        "prefetch_covered": stats.prefetch_covered,
+        "late_prefetch_hits": stats.late_prefetch_hits,
+        "average_load_to_use_ns": stats.average_load_to_use_ns,
+    }
+
+
+def run_result_to_dict(result: RunResult) -> Dict:
+    """A simulator run's outcome as a plain dict."""
+    return {
+        "elapsed_ns": result.elapsed_ns,
+        "dram_demand_fills": result.dram_demand_fills,
+        "dram_prefetch_fills": result.dram_prefetch_fills,
+        "dram_total_bytes": result.dram_total_bytes,
+        "average_bandwidth": result.average_bandwidth,
+        "prefetch_traffic_fraction": result.prefetch_traffic_fraction,
+        "prefetch_accuracy": result.prefetch_accuracy,
+        "hw_prefetches_issued": result.hw_prefetches_issued,
+        "useful_prefetches": result.useful_prefetches,
+        "wasted_prefetches": result.wasted_prefetches,
+        "total": function_stats_to_dict(result.total),
+        "functions": {name: function_stats_to_dict(stats)
+                      for name, stats in sorted(result.functions.items())},
+    }
+
+
+def save_run_result(result: RunResult, path: _PathLike) -> None:
+    """Archive a run result as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(run_result_to_dict(result), indent=2)
+                    + "\n")
+
+
+def fleet_metrics_to_dict(metrics, include_samples: bool = False) -> Dict:
+    """A fleet run's metrics as a plain dict.
+
+    By default only the summaries the evaluation quotes are included;
+    ``include_samples`` additionally embeds every raw per-socket sample
+    (large, but enough to recompute any percentile later).
+    """
+    bandwidth = metrics.bandwidth_summary()
+    latency = metrics.latency_summary()
+    data = {
+        "epochs": metrics.epochs,
+        "rejections": metrics.rejections,
+        "total_qps": metrics.total_qps,
+        "ideal_qps": metrics.ideal_qps,
+        "normalized_throughput": metrics.normalized_throughput,
+        "cpu_utilization_mean": metrics.cpu_utilization_mean(),
+        "saturated_socket_fraction": metrics.saturated_socket_fraction(),
+        "bandwidth": {"mean": bandwidth.mean, "p50": bandwidth.p50,
+                      "p90": bandwidth.p90, "p99": bandwidth.p99,
+                      "peak": bandwidth.peak},
+        "latency_ns": {"mean": latency.mean, "p50": latency.p50,
+                       "p90": latency.p90, "p99": latency.p99,
+                       "peak": latency.peak},
+        "throughput_by_cpu_band": metrics.throughput_by_cpu_band(),
+        "bandwidth_by_cpu_bucket": metrics.bandwidth_by_cpu_bucket(),
+    }
+    if include_samples:
+        data["samples"] = {
+            "socket_bandwidth": list(metrics.socket_bandwidth),
+            "socket_utilization": list(metrics.socket_utilization),
+            "socket_latency": list(metrics.socket_latency),
+            "machine_points": [list(point)
+                               for point in metrics.machine_points],
+        }
+    return data
+
+
+def save_fleet_metrics(metrics, path: _PathLike,
+                       include_samples: bool = False) -> None:
+    """Archive fleet metrics as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(
+        fleet_metrics_to_dict(metrics, include_samples), indent=2) + "\n")

@@ -1,0 +1,31 @@
+"""Telemetry primitives: time series, sliding windows, percentiles.
+
+These are the building blocks for the paper's measurement plane: the
+per-socket 1-second memory-bandwidth sampler that feeds Hard Limoncello's
+controller, and the fleetwide percentile summaries (P50/P90/P99 latency,
+average/P99/peak bandwidth) reported throughout the evaluation.
+"""
+
+from repro.telemetry.timeseries import TimeSeries, TimePoint
+from repro.telemetry.window import SlidingWindow
+from repro.telemetry.percentile import PercentileSummary, percentile
+from repro.telemetry.counters import CounterSet
+from repro.telemetry.sampler import (
+    BandwidthSample,
+    BandwidthSampler,
+    PerfBandwidthSampler,
+    ScriptedBandwidthSource,
+)
+
+__all__ = [
+    "TimeSeries",
+    "TimePoint",
+    "SlidingWindow",
+    "PercentileSummary",
+    "percentile",
+    "CounterSet",
+    "BandwidthSample",
+    "BandwidthSampler",
+    "PerfBandwidthSampler",
+    "ScriptedBandwidthSource",
+]

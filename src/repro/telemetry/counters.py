@@ -1,0 +1,60 @@
+"""Named monotonic counters, in the style of hardware performance counters."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class CounterSet:
+    """A bag of named, monotonically increasing counters.
+
+    The cache hierarchy, prefetchers, and DRAM model all expose their event
+    counts (hits, misses, prefetch issues, useful prefetches, bytes moved)
+    through a :class:`CounterSet`, which supports snapshot-and-diff so the
+    profiler can attribute deltas to intervals or functions.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Add an observation."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {name!r} is monotonic; cannot add {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never touched)."""
+        return self._counts.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counts.items()))
+
+    def snapshot(self) -> Dict[str, float]:
+        """An independent copy of the current counts."""
+        return dict(self._counts)
+
+    def delta(self, since: Dict[str, float]) -> Dict[str, float]:
+        """Per-counter increase since a previous :meth:`snapshot`."""
+        names = set(self._counts) | set(since)
+        return {name: self._counts.get(name, 0.0) - since.get(name, 0.0)
+                for name in names}
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter in ``other`` into this set."""
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain dict copy of all counters."""
+        return dict(self._counts)

@@ -1,0 +1,81 @@
+"""Percentile computation and the P50/P90/P99 summaries the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import TelemetryError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Matches ``numpy.percentile``'s default method but avoids pulling numpy
+    into hot simulator paths for tiny inputs.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        raise TelemetryError("cannot take a percentile of no observations")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    # The a + (b - a) * f form is exact when a == b, so the result can
+    # never round outside [min, max].
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """Mean plus the standard fleet percentiles of a set of observations.
+
+    The evaluation reports averages, P50/P90/P99, and peaks for both memory
+    latency (Figure 17) and socket bandwidth (Figure 18, Table 1); this is
+    the container for those rows.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    peak: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "PercentileSummary":
+        """Build a summary from raw observations."""
+        if not values:
+            raise TelemetryError("cannot summarize zero observations")
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50.0),
+            p90=percentile(values, 90.0),
+            p99=percentile(values, 99.0),
+            peak=max(values),
+        )
+
+    def relative_change(self, baseline: "PercentileSummary") -> Dict[str, float]:
+        """Fractional change of each statistic versus ``baseline``.
+
+        A value of ``-0.15`` means this summary is 15% below the baseline —
+        the form in which the paper quotes its reductions.
+        """
+        def change(new: float, old: float) -> float:
+            """Fractional change of one statistic."""
+            if old == 0.0:
+                return 0.0
+            return (new - old) / old
+
+        return {
+            "mean": change(self.mean, baseline.mean),
+            "p50": change(self.p50, baseline.p50),
+            "p90": change(self.p90, baseline.p90),
+            "p99": change(self.p99, baseline.p99),
+            "peak": change(self.peak, baseline.peak),
+        }

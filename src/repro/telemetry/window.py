@@ -1,0 +1,68 @@
+"""A time-bounded sliding window over numeric observations.
+
+The DRAM model measures recent bandwidth by summing the bytes transferred
+in a short trailing window; the Hard Limoncello controller checks whether
+bandwidth has stayed above/below its thresholds for a sustained duration.
+Both use :class:`SlidingWindow`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class SlidingWindow:
+    """Sum/mean of observations within a trailing time window.
+
+    Observations are (time, value) pairs appended in non-decreasing time
+    order; anything older than ``span_ns`` relative to the latest
+    observation (or an explicit ``now``) is evicted lazily.
+    """
+
+    __slots__ = ("span_ns", "_points", "_sum")
+
+    def __init__(self, span_ns: float) -> None:
+        if span_ns <= 0:
+            raise ValueError(f"window span must be positive, got {span_ns}")
+        self.span_ns = span_ns
+        self._points: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+
+    def add(self, time_ns: float, value: float) -> None:
+        """Add an observation."""
+        if self._points and time_ns < self._points[-1][0]:
+            raise ValueError(
+                f"observations must be time-ordered: {time_ns} < "
+                f"{self._points[-1][0]}")
+        self._points.append((time_ns, value))
+        self._sum += value
+        self._evict(time_ns)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.span_ns
+        while self._points and self._points[0][0] <= horizon:
+            _, value = self._points.popleft()
+            self._sum -= value
+
+    def advance(self, now: float) -> None:
+        """Evict stale observations as of ``now`` without adding any."""
+        self._evict(now)
+
+    def total(self, now: float = None) -> float:
+        """Sum of values currently in the window."""
+        if now is not None:
+            self._evict(now)
+        return self._sum
+
+    def rate(self, now: float = None) -> float:
+        """Sum divided by the window span — e.g. bytes/ns for byte counts."""
+        return self.total(now) / self.span_ns
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def clear(self) -> None:
+        """Forget all remembered pages."""
+        self._points.clear()
+        self._sum = 0.0

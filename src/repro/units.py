@@ -1,0 +1,70 @@
+"""Units and conversion helpers used across the simulator.
+
+The simulator's canonical units are:
+
+* time        — nanoseconds (``float``)
+* data size   — bytes (``int``)
+* bandwidth   — bytes per nanosecond (numerically equal to GB/s)
+
+``bytes/ns`` was chosen deliberately: ``1 byte/ns == 1 GB/s`` (using the
+decimal gigabyte the paper and vendors use for bandwidth), so bandwidth
+values printed anywhere in the code read directly as GB/s.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Size of one cache line in bytes; all modelled platforms use 64B lines.
+CACHE_LINE_BYTES = 64
+
+# --- time -----------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SECOND = 1_000_000_000.0
+MINUTE = 60.0 * SECOND
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to the canonical time unit (nanoseconds)."""
+    return value * SECOND
+
+
+def to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / SECOND
+
+
+# --- bandwidth --------------------------------------------------------------
+
+
+def gb_per_s(value: float) -> float:
+    """Convert GB/s to the canonical bandwidth unit (bytes/ns).
+
+    Numerically the identity (1 GB/s == 1 byte/ns with decimal GB); this
+    function exists so call sites document their intent.
+    """
+    return float(value)
+
+
+def to_gb_per_s(bytes_per_ns: float) -> float:
+    """Convert bytes/ns to GB/s (numerically the identity)."""
+    return float(bytes_per_ns)
+
+
+def cache_lines(num_bytes: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Number of cache lines needed to hold ``num_bytes`` bytes (ceiling)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return -(-num_bytes // line_bytes)
+
+
+def line_address(address: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Round ``address`` down to the start of its cache line."""
+    return address & ~(line_bytes - 1)

@@ -1,0 +1,86 @@
+"""Synthetic workload and trace generators.
+
+The paper characterizes fleet software through a small vocabulary of
+memory-access behaviours: *data center tax* functions (data movement,
+compression, hashing, RPC serialization) that stream sequentially over
+well-defined extents, and everything else — pointer chasing, hash-table
+probing, irregular application code. This package generates traces for
+each, plus composite application models (search, ML serving, database), a
+SPEC-like suite, and Fleetbench-like machine mixes.
+
+All generators are deterministic given a seeded ``random.Random``.
+"""
+
+from repro.workloads.base import (
+    FunctionCategory,
+    TAX_CATEGORIES,
+    Workload,
+    category_of_function,
+)
+from repro.workloads.sizes import MemcpySizeDistribution, size_histogram
+from repro.workloads.tax import (
+    compress_trace,
+    crc32_trace,
+    decompress_trace,
+    deserialize_trace,
+    hashing_trace,
+    memcpy_call_trace,
+    memcpy_trace,
+    memmove_trace,
+    memset_trace,
+    serialize_trace,
+)
+from repro.workloads.irregular import (
+    btree_lookup_trace,
+    hashmap_probe_trace,
+    pointer_chase_trace,
+    random_access_trace,
+)
+from repro.workloads.functions import (
+    FUNCTION_ROSTER,
+    FunctionProfile,
+    generate_function_trace,
+)
+from repro.workloads.apps import (
+    ApplicationModel,
+    database_server,
+    ml_model_server,
+    search_backend,
+)
+from repro.workloads.spec import SPEC_SUITE, SpecBenchmark, suite_trace
+from repro.workloads.mixes import fleet_mix_trace, fleetbench_trace
+
+__all__ = [
+    "FunctionCategory",
+    "TAX_CATEGORIES",
+    "Workload",
+    "category_of_function",
+    "MemcpySizeDistribution",
+    "size_histogram",
+    "memcpy_trace",
+    "memcpy_call_trace",
+    "memmove_trace",
+    "memset_trace",
+    "compress_trace",
+    "crc32_trace",
+    "decompress_trace",
+    "hashing_trace",
+    "serialize_trace",
+    "deserialize_trace",
+    "pointer_chase_trace",
+    "random_access_trace",
+    "btree_lookup_trace",
+    "hashmap_probe_trace",
+    "FUNCTION_ROSTER",
+    "FunctionProfile",
+    "generate_function_trace",
+    "ApplicationModel",
+    "search_backend",
+    "ml_model_server",
+    "database_server",
+    "SPEC_SUITE",
+    "SpecBenchmark",
+    "suite_trace",
+    "fleet_mix_trace",
+    "fleetbench_trace",
+]

@@ -1,0 +1,54 @@
+"""Common vocabulary for workloads: categories and the Workload protocol."""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Protocol
+
+from repro.access import AddressSpace, Trace
+
+
+class FunctionCategory(enum.Enum):
+    """The paper's function taxonomy (Figures 11, 12, 20).
+
+    The first four are the *data center tax* categories found to be
+    prefetch-friendly; ``NON_TAX`` covers everything else.
+    """
+
+    COMPRESSION = "compression"
+    DATA_TRANSMISSION = "data transmission"
+    HASHING = "hashing"
+    DATA_MOVEMENT = "data movement"
+    NON_TAX = "non-DC tax"
+
+
+#: The prefetch-friendly categories Soft Limoncello targets.
+TAX_CATEGORIES = frozenset({
+    FunctionCategory.COMPRESSION,
+    FunctionCategory.DATA_TRANSMISSION,
+    FunctionCategory.HASHING,
+    FunctionCategory.DATA_MOVEMENT,
+})
+
+#: Function-name -> category map, extended by the function roster module.
+_FUNCTION_CATEGORIES = {}
+
+
+def register_function(name: str, category: FunctionCategory) -> None:
+    """Associate a trace function name with its taxonomy category."""
+    _FUNCTION_CATEGORIES[name] = category
+
+
+def category_of_function(name: str) -> FunctionCategory:
+    """Category for a function name; unknown names are non-tax."""
+    return _FUNCTION_CATEGORIES.get(name, FunctionCategory.NON_TAX)
+
+
+class Workload(Protocol):
+    """Anything that can produce a memory trace."""
+
+    name: str
+
+    def generate(self, rng: random.Random, space: AddressSpace) -> Trace:
+        """Produce a fresh trace using ``rng`` and regions from ``space``."""

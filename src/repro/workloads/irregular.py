@@ -1,0 +1,144 @@
+"""Trace generators for prefetch-*unfriendly* code.
+
+These model the "other functions" of Figures 11/12 — the ones that *gain*
+performance when hardware prefetchers are disabled, because the prefetcher
+cannot predict their accesses and only pollutes the cache and burns
+bandwidth on their behalf.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.access import AddressSpace, MemoryAccess, Trace
+from repro.units import CACHE_LINE_BYTES
+
+_PC_CHASE = 0x5000_0010
+_PC_RANDOM = 0x5000_0110
+_PC_BTREE = 0x5000_0210
+_PC_HASHMAP_BUCKET = 0x5000_0310
+_PC_HASHMAP_ENTRY = 0x5000_0318
+_PC_MISC_STREAM = 0x5000_0410
+
+
+def pointer_chase_trace(space: AddressSpace, working_set_bytes: int,
+                        hops: int, rng: Optional[random.Random] = None,
+                        gap_cycles: int = 4,
+                        function: str = "pointer_chase") -> Trace:
+    """A dependent random walk over a working set: one load per hop.
+
+    Each hop lands on a uniformly random line, so no prefetcher can help
+    and a load-to-use latency probe built from this trace measures pure
+    DRAM latency — this is also how we reproduce the MLC-style
+    measurement in Figure 1.
+    """
+    if working_set_bytes < CACHE_LINE_BYTES:
+        raise ValueError("working set must hold at least one line")
+    if hops <= 0:
+        raise ValueError(f"hops must be positive, got {hops}")
+    rng = rng or random.Random(0)
+    base = space.allocate(working_set_bytes)
+    num_lines = working_set_bytes // CACHE_LINE_BYTES
+    return Trace([
+        MemoryAccess(
+            address=base + rng.randrange(num_lines) * CACHE_LINE_BYTES,
+            size=8, pc=_PC_CHASE, function=function, gap_cycles=gap_cycles)
+        for _ in range(hops)
+    ])
+
+
+def random_access_trace(space: AddressSpace, working_set_bytes: int,
+                        accesses: int, rng: Optional[random.Random] = None,
+                        gap_cycles: int = 2,
+                        function: str = "random_access") -> Trace:
+    """Independent uniform random loads (no dependence between them)."""
+    return pointer_chase_trace(space, working_set_bytes, accesses, rng,
+                               gap_cycles=gap_cycles, function=function)
+
+
+def btree_lookup_trace(space: AddressSpace, keys: int,
+                       rng: Optional[random.Random] = None,
+                       depth: int = 5, node_bytes: int = 256,
+                       fanout_region_bytes: int = 64 * 1024 * 1024,
+                       gap_cycles: int = 8) -> Trace:
+    """B-tree lookups: per key, ``depth`` dependent node reads.
+
+    Upper levels live in a small (cacheable) region; leaves are scattered
+    across a large one — the classic mostly-random tree pattern.
+    """
+    if keys <= 0 or depth <= 0:
+        raise ValueError("keys and depth must be positive")
+    rng = rng or random.Random(0)
+    level_regions: List[int] = []
+    level_sizes: List[int] = []
+    region = 4 * 1024
+    for _ in range(depth):
+        region = min(region * 16, fanout_region_bytes)
+        level_regions.append(space.allocate(region))
+        level_sizes.append(region)
+    records: List[MemoryAccess] = []
+    for _ in range(keys):
+        for level, (base, size) in enumerate(zip(level_regions, level_sizes)):
+            node = rng.randrange(size // node_bytes) * node_bytes
+            records.append(MemoryAccess(
+                address=base + node, size=min(node_bytes, 64),
+                pc=_PC_BTREE + level * 8, function="btree_lookup",
+                gap_cycles=gap_cycles))
+    return Trace(records)
+
+
+def misc_streaming_trace(space: AddressSpace, bursts: int,
+                         rng: Optional[random.Random] = None,
+                         gap_cycles: int = 6) -> Trace:
+    """Scattered short sequential bursts in miscellaneous application code.
+
+    Section 4.1 notes that "some non-tax functions also regress with
+    hardware prefetchers disabled, but many of these functions are not hot
+    enough to warrant standalone optimizations." This generator models
+    that long tail: streaming loops buried across thousands of call sites
+    — prefetch-friendly, but *not* a Soft Limoncello target, so their
+    regression is the residual cost of running with prefetchers off.
+    """
+    if bursts <= 0:
+        raise ValueError(f"bursts must be positive, got {bursts}")
+    rng = rng or random.Random(0)
+    records: List[MemoryAccess] = []
+    for burst in range(bursts):
+        lines = rng.randrange(16, 64)
+        base = space.allocate(lines * CACHE_LINE_BYTES)
+        # Thousands of distinct call sites: vary the PC per burst so no
+        # single site is hot enough to justify a hand insertion.
+        pc = _PC_MISC_STREAM + (burst % 1024) * 8
+        for i in range(lines):
+            records.append(MemoryAccess(
+                address=base + i * CACHE_LINE_BYTES, size=CACHE_LINE_BYTES,
+                pc=pc, function="misc_streaming", gap_cycles=gap_cycles))
+    return Trace(records)
+
+
+def hashmap_probe_trace(space: AddressSpace, probes: int,
+                        table_bytes: int = 128 * 1024 * 1024,
+                        rng: Optional[random.Random] = None,
+                        gap_cycles: int = 6) -> Trace:
+    """Open-addressing hash-map probes: a random bucket plus its entry.
+
+    Two dependent loads per probe, both effectively random — the poster
+    child of prefetch-unfriendly code.
+    """
+    if probes <= 0:
+        raise ValueError(f"probes must be positive, got {probes}")
+    rng = rng or random.Random(0)
+    base = space.allocate(table_bytes)
+    num_lines = table_bytes // CACHE_LINE_BYTES
+    records: List[MemoryAccess] = []
+    for _ in range(probes):
+        bucket = rng.randrange(num_lines) * CACHE_LINE_BYTES
+        records.append(MemoryAccess(
+            address=base + bucket, size=8, pc=_PC_HASHMAP_BUCKET,
+            function="hashmap_probe", gap_cycles=gap_cycles))
+        entry = rng.randrange(num_lines) * CACHE_LINE_BYTES
+        records.append(MemoryAccess(
+            address=base + entry, size=32, pc=_PC_HASHMAP_ENTRY,
+            function="hashmap_probe", gap_cycles=2))
+    return Trace(records)

@@ -1,0 +1,163 @@
+"""Tests for the access-pattern analyzer and descriptor proposer (§8.2),
+plus curve-derived thresholds (§3)."""
+
+import random
+
+import pytest
+
+from repro.access import AddressSpace, MemoryAccess, Trace
+from repro.analysis import (
+    analyze_trace,
+    measure_latency_curve,
+    propose_descriptors,
+)
+from repro.analysis.latency_curves import LatencyCurve, LatencyPoint
+from repro.analysis.thresholds import derive_thresholds_from_curve
+from repro.errors import ConfigError
+from repro.units import KB
+from repro.workloads import (
+    hashing_trace,
+    memcpy_trace,
+    pointer_chase_trace,
+    serialize_trace,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestAnalyzeTrace:
+    def test_memcpy_recognized_as_streaming(self):
+        patterns = analyze_trace(memcpy_trace(0x10000, 0x90000, 64 * KB))
+        pattern = patterns["memcpy"]
+        assert pattern.is_streaming
+        assert pattern.sequential_fraction > 0.9
+        assert pattern.dominant_stride == 64
+        assert pattern.stream_p50_bytes >= 32 * KB
+
+    def test_pointer_chase_recognized_as_irregular(self, space):
+        patterns = analyze_trace(pointer_chase_trace(
+            space, 64 << 20, 500, rng=random.Random(1)))
+        pattern = patterns["pointer_chase"]
+        assert not pattern.is_streaming
+        assert pattern.sequential_fraction < 0.05
+        assert pattern.stream_count == 0
+
+    def test_sub_line_strides_count_as_sequential(self, space):
+        patterns = analyze_trace(serialize_trace(space, 8 * KB))
+        assert patterns["serialize"].is_streaming
+
+    def test_working_set(self, space):
+        patterns = analyze_trace(hashing_trace(space, 8 * KB))
+        assert patterns["hash"].working_set_lines == 8 * KB // 64
+
+    def test_interleaved_functions_separated(self, space):
+        trace = (memcpy_trace(0x10000, 0x90000, 8 * KB)
+                 + pointer_chase_trace(space, 1 << 24, 100,
+                                       rng=random.Random(2)))
+        patterns = analyze_trace(trace)
+        assert patterns["memcpy"].is_streaming
+        assert not patterns["pointer_chase"].is_streaming
+
+    def test_unattributed_records_ignored(self):
+        trace = Trace([MemoryAccess(address=0x1000)])
+        assert analyze_trace(trace) == {}
+
+
+class TestProposeDescriptors:
+    def test_targets_only_streaming_functions(self, space):
+        trace = (memcpy_trace(0x10000, 0x90000, 64 * KB)
+                 + pointer_chase_trace(space, 64 << 20, 500,
+                                       rng=random.Random(1)))
+        proposals = propose_descriptors(analyze_trace(trace),
+                                        min_accesses=10)
+        functions = {d.function for d in proposals}
+        assert "memcpy" in functions
+        assert "pointer_chase" not in functions
+
+    def test_cold_functions_skipped(self):
+        trace = memcpy_trace(0x10000, 0x90000, 1 * KB)
+        proposals = propose_descriptors(analyze_trace(trace),
+                                        min_accesses=1000)
+        assert proposals == []
+
+    def test_proposals_are_valid_descriptors(self, space):
+        trace = memcpy_trace(0x10000, 0x90000, 64 * KB) \
+            + hashing_trace(space, 32 * KB)
+        for descriptor in propose_descriptors(analyze_trace(trace),
+                                              min_accesses=10):
+            assert descriptor.distance_bytes % 64 == 0
+            assert descriptor.degree_bytes % 64 == 0
+            assert descriptor.clamp_to_stream
+
+    def test_candidate_budget(self, space):
+        trace = Trace()
+        for index in range(12):
+            trace = trace + memcpy_trace(
+                0x10000 + index * (1 << 20),
+                0x90000 + index * (1 << 20), 16 * KB,
+                function=f"fn{index}")
+        proposals = propose_descriptors(analyze_trace(trace),
+                                        min_accesses=10, max_candidates=3)
+        assert len(proposals) == 3
+
+    def test_proposals_actually_help(self):
+        """End to end: analyzer proposals speed up the workload they were
+        derived from (the §8.2 promise: less guesswork)."""
+        from repro.core import SoftwarePrefetchInjector
+        from repro.memsys import MemoryHierarchy, PrefetcherBank
+
+        trace = memcpy_trace(0x10_0000, 0x90_0000, 128 * KB)
+        proposals = propose_descriptors(analyze_trace(trace),
+                                        min_accesses=10)
+        assert proposals
+        injected = SoftwarePrefetchInjector(proposals).inject(trace)
+        plain = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+        tuned = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(injected)
+        assert tuned.elapsed_ns < plain.elapsed_ns
+
+
+class TestDerivedThresholds:
+    def synthetic_curve(self):
+        points = [LatencyPoint(u / 10, 90.0 * (1 + (u / 10) ** 3 * 3))
+                  for u in range(11)]
+        return LatencyCurve(True, tuple(points))
+
+    def test_upper_at_knee(self):
+        config = derive_thresholds_from_curve(self.synthetic_curve(),
+                                              knee_ratio=1.5)
+        # 1.5x unloaded is crossed between u=0.5 and u=0.6.
+        assert 0.5 <= config.upper_threshold <= 0.7
+        assert config.lower_threshold == pytest.approx(
+            config.upper_threshold - 0.2)
+
+    def test_higher_knee_ratio_raises_thresholds(self):
+        low = derive_thresholds_from_curve(self.synthetic_curve(),
+                                           knee_ratio=1.3)
+        high = derive_thresholds_from_curve(self.synthetic_curve(),
+                                            knee_ratio=2.5)
+        assert high.upper_threshold > low.upper_threshold
+
+    def test_measured_curve_yields_valid_config(self):
+        curve = measure_latency_curve(True, [x / 10 for x in range(11)],
+                                      probe_hops=80)
+        config = derive_thresholds_from_curve(curve)
+        assert 0.0 < config.lower_threshold < config.upper_threshold <= 0.95
+
+    def test_flat_curve_rejected(self):
+        flat = LatencyCurve(True, tuple(
+            LatencyPoint(u / 10, 90.0) for u in range(11)))
+        with pytest.raises(ConfigError):
+            derive_thresholds_from_curve(flat)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            derive_thresholds_from_curve(self.synthetic_curve(),
+                                         knee_ratio=1.0)
+        with pytest.raises(ConfigError):
+            derive_thresholds_from_curve(self.synthetic_curve(),
+                                         hysteresis_gap=0.0)
+        with pytest.raises(ConfigError):
+            derive_thresholds_from_curve(LatencyCurve(True, ()))

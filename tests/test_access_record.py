@@ -1,0 +1,72 @@
+"""Tests for repro.access.record."""
+
+import pytest
+
+from repro.access import AccessKind, MemoryAccess
+
+
+class TestConstruction:
+    def test_defaults(self):
+        access = MemoryAccess(address=0x1000)
+        assert access.size == 8
+        assert access.kind is AccessKind.LOAD
+        assert access.gap_cycles == 0
+        assert access.is_demand
+        assert access.is_load
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, size=0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, gap_cycles=-1)
+
+    def test_frozen(self):
+        access = MemoryAccess(address=0x1000)
+        with pytest.raises(AttributeError):
+            access.address = 0x2000
+
+
+class TestKinds:
+    def test_store_is_demand(self):
+        access = MemoryAccess(address=0, kind=AccessKind.STORE)
+        assert access.is_demand
+        assert not access.is_load
+
+    def test_software_prefetch_is_not_demand(self):
+        access = MemoryAccess(address=0, kind=AccessKind.SOFTWARE_PREFETCH)
+        assert not access.is_demand
+
+
+class TestLines:
+    def test_line_alignment(self):
+        assert MemoryAccess(address=0x1039).line == 0x1000
+
+    def test_lines_touched_single(self):
+        lines = list(MemoryAccess(address=0x1000, size=8).lines_touched())
+        assert lines == [0x1000]
+
+    def test_lines_touched_straddles_boundary(self):
+        lines = list(MemoryAccess(address=0x103C, size=8).lines_touched())
+        assert lines == [0x1000, 0x1040]
+
+    def test_lines_touched_multi_line(self):
+        lines = list(MemoryAccess(address=0x1000, size=256).lines_touched())
+        assert lines == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+
+class TestTransforms:
+    def test_with_function(self):
+        access = MemoryAccess(address=0x1000).with_function("memcpy")
+        assert access.function == "memcpy"
+        assert access.address == 0x1000
+
+    def test_shifted(self):
+        access = MemoryAccess(address=0x1000, pc=7).shifted(0x40)
+        assert access.address == 0x1040
+        assert access.pc == 7

@@ -1,0 +1,125 @@
+"""Tests for repro.access.trace."""
+
+import pytest
+
+from repro.access import AccessKind, MemoryAccess, Trace, interleave
+from repro.access.trace import software_prefetch
+from repro.errors import TraceError
+
+
+def loads(*addresses, **kwargs):
+    return [MemoryAccess(address=a, **kwargs) for a in addresses]
+
+
+class TestBasics:
+    def test_len_and_iter(self):
+        trace = Trace(loads(0, 64, 128))
+        assert len(trace) == 3
+        assert [r.address for r in trace] == [0, 64, 128]
+
+    def test_indexing_and_slicing(self):
+        trace = Trace(loads(0, 64, 128))
+        assert trace[1].address == 64
+        sliced = trace[1:]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 2
+
+    def test_concatenation(self):
+        combined = Trace(loads(0)) + Trace(loads(64))
+        assert [r.address for r in combined] == [0, 64]
+
+    def test_equality(self):
+        assert Trace(loads(0)) == Trace(loads(0))
+        assert Trace(loads(0)) != Trace(loads(64))
+
+    def test_rejects_non_access(self):
+        with pytest.raises(TraceError):
+            Trace([1, 2, 3])
+
+
+class TestTransforms:
+    def test_attributed(self):
+        trace = Trace(loads(0, 64)).attributed("hash")
+        assert all(r.function == "hash" for r in trace)
+
+    def test_shifted(self):
+        trace = Trace(loads(0, 64)).shifted(0x1000)
+        assert [r.address for r in trace] == [0x1000, 0x1040]
+
+    def test_repeated(self):
+        trace = Trace(loads(0)).repeated(3)
+        assert len(trace) == 3
+
+    def test_repeated_zero(self):
+        assert len(Trace(loads(0)).repeated(0)) == 0
+
+    def test_demand_only_strips_prefetches(self):
+        trace = Trace(loads(0) + [software_prefetch(64)])
+        assert trace.demand_only() == Trace(loads(0))
+
+
+class TestStats:
+    def test_counts(self):
+        trace = Trace(loads(0, 64) + [software_prefetch(128)])
+        assert trace.demand_count == 2
+        assert trace.prefetch_count == 1
+
+    def test_compute_cycles(self):
+        trace = Trace(loads(0, 64, gap_cycles=5))
+        assert trace.compute_cycles == 10
+
+    def test_instruction_count(self):
+        trace = Trace(loads(0, 64, gap_cycles=5))
+        assert trace.instruction_count == 2 + 10
+
+    def test_unique_lines(self):
+        trace = Trace(loads(0, 8, 64))
+        assert trace.unique_lines() == 2
+
+    def test_footprint(self):
+        trace = Trace(loads(0, 1024))
+        assert trace.footprint_bytes() == 1024 + 8
+
+    def test_footprint_empty(self):
+        assert Trace().footprint_bytes() == 0
+
+    def test_functions_in_first_seen_order(self):
+        trace = Trace([
+            MemoryAccess(address=0, function="b"),
+            MemoryAccess(address=64, function="a"),
+            MemoryAccess(address=128, function="b"),
+        ])
+        assert list(trace.functions()) == ["b", "a"]
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        t1 = Trace(loads(0, 64, 128, 192))
+        t2 = Trace(loads(1000, 1064, 1128, 1192))
+        merged = interleave([t1, t2], chunk=2)
+        addresses = [r.address for r in merged]
+        assert addresses == [0, 64, 1000, 1064, 128, 192, 1128, 1192]
+
+    def test_uneven_lengths(self):
+        t1 = Trace(loads(0, 64, 128))
+        t2 = Trace(loads(1000))
+        merged = interleave([t1, t2], chunk=2)
+        assert len(merged) == 4
+
+    def test_limit(self):
+        t1 = Trace(loads(*range(0, 640, 64)))
+        merged = interleave([t1], chunk=4, limit=3)
+        assert len(merged) == 3
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            interleave([Trace()], chunk=0)
+
+
+class TestSoftwarePrefetchHelper:
+    def test_kind(self):
+        record = software_prefetch(0x1000, size=128, pc=9, function="memcpy")
+        assert record.kind is AccessKind.SOFTWARE_PREFETCH
+        assert record.size == 128
+        assert record.pc == 9
+        assert record.function == "memcpy"

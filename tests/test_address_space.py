@@ -1,0 +1,36 @@
+"""Tests for repro.access.address."""
+
+import pytest
+
+from repro.access import AddressSpace
+
+
+class TestAddressSpace:
+    def test_regions_are_disjoint(self):
+        space = AddressSpace()
+        a = space.allocate(4096)
+        b = space.allocate(4096)
+        assert b >= a + 4096 + AddressSpace.GUARD
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=4096)
+        for _ in range(5):
+            assert space.allocate(100) % 4096 == 0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate(0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(alignment=100)  # not a multiple of 64
+
+    def test_high_water_mark_advances(self):
+        space = AddressSpace()
+        before = space.high_water_mark
+        space.allocate(1 << 20)
+        assert space.high_water_mark > before + (1 << 20)
+
+    def test_base_respected(self):
+        space = AddressSpace(base=0x5000_0000)
+        assert space.allocate(64) >= 0x5000_0000

@@ -1,0 +1,108 @@
+"""Tests for micro ablation analysis and the threshold study."""
+
+import pytest
+
+from repro.analysis import (
+    MicroAblationStudy,
+    ThresholdStudy,
+    aggregate_by_category,
+)
+from repro.analysis.ablation_analysis import FunctionAblation
+from repro.errors import ConfigError
+from repro.workloads import FunctionCategory, TAX_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    return MicroAblationStudy(seed=7, scale=0.6).run()
+
+
+class TestMicroAblation:
+    def test_covers_roster(self, ablations):
+        assert len(ablations) >= 10
+
+    def test_sorted_by_cycle_delta(self, ablations):
+        deltas = [a.cycle_delta for a in ablations]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_tax_functions_top_the_ranking(self, ablations):
+        """Figure 11: the biggest regressions are tax functions."""
+        top5 = ablations[:5]
+        assert all(a.category in TAX_CATEGORIES for a in top5)
+
+    def test_non_tax_improves(self, ablations):
+        for ablation in ablations:
+            if ablation.category is FunctionCategory.NON_TAX \
+                    and ablation.function != "misc_streaming":
+                assert ablation.cycle_delta < 0.05
+
+    def test_misc_streaming_is_the_non_tax_regresser(self, ablations):
+        """Section 4.1: some non-tax code regresses too, but is too cold
+        per site to target with software prefetches."""
+        by_name = {a.function: a for a in ablations}
+        assert by_name["misc_streaming"].cycle_delta > 0.10
+
+    def test_tax_mpki_delta_large(self, ablations):
+        by_name = {a.function: a for a in ablations}
+        assert by_name["memcpy"].mpki_delta > 2.0
+        assert abs(by_name["pointer_chase"].mpki_delta) < 0.1
+
+    def test_category_aggregation_matches_figure12(self, ablations):
+        rollup = aggregate_by_category(ablations)
+        for category in TAX_CATEGORIES:
+            assert rollup[category] > 0.10, category
+        assert rollup[FunctionCategory.NON_TAX] < 0.05
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError):
+            MicroAblationStudy(scale=0)
+
+
+class TestFunctionAblationMath:
+    def make(self, cycles_on=100, cycles_off=150, mpki_on=10, mpki_off=40):
+        return FunctionAblation("f", FunctionCategory.HASHING,
+                                cycles_on, cycles_off, mpki_on, mpki_off)
+
+    def test_cycle_delta(self):
+        assert self.make().cycle_delta == pytest.approx(0.5)
+
+    def test_mpki_delta(self):
+        assert self.make().mpki_delta == pytest.approx(3.0)
+
+    def test_zero_baselines(self):
+        assert self.make(cycles_on=0).cycle_delta == 0.0
+        assert self.make(mpki_on=0, mpki_off=5).mpki_delta == float("inf")
+        assert self.make(mpki_on=0, mpki_off=0).mpki_delta == 0.0
+
+
+class TestThresholdStudy:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return ThresholdStudy(machines=14, epochs=60, warmup_epochs=20,
+                              seed=9).run()
+
+    def test_covers_paper_configurations(self, outcomes):
+        assert [o.label for o in outcomes] == ["60/80", "50/70", "70/90"]
+
+    def test_eager_configs_outperform_conservative(self, outcomes):
+        """Figure 10's ordering: 70/90 (rarely triggers) trails the
+        configurations that actually disable prefetchers at load."""
+        by_label = {o.label: o for o in outcomes}
+        assert (by_label["60/80"].throughput_change
+                >= by_label["70/90"].throughput_change)
+
+    def test_triggering_configs_cut_bandwidth(self, outcomes):
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["60/80"].bandwidth_change_mean < 0
+        assert by_label["50/70"].bandwidth_change_mean < 0
+
+    def test_best_helper(self, outcomes):
+        best = ThresholdStudy.best(outcomes)
+        assert best.throughput_change == max(o.throughput_change
+                                             for o in outcomes)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThresholdStudy(configurations=())
+        with pytest.raises(ConfigError):
+            ThresholdStudy.best([])

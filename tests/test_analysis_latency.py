@@ -1,0 +1,105 @@
+"""Tests for the loaded-latency measurement (Figures 1 and 6)."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyCurve,
+    LatencyPoint,
+    limoncello_envelope,
+    measure_latency_curve,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def curves():
+    utilizations = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+    on = measure_latency_curve(True, utilizations, probe_hops=250)
+    off = measure_latency_curve(False, utilizations, probe_hops=250)
+    return on, off
+
+
+class TestFigure1Shape:
+    def test_latency_rises_with_utilization(self, curves):
+        on, off = curves
+        for curve in curves:
+            latencies = curve.latencies
+            assert latencies[-1] > latencies[0]
+            # Monotone non-decreasing within noise.
+            for a, b in zip(latencies, latencies[1:]):
+                assert b > 0.9 * a
+
+    def test_roughly_2x_or_more_growth(self, curves):
+        """Figure 1: ~2x+ latency from idle to saturation."""
+        on, off = curves
+        assert on.latency_at(1.0) > 2.5 * on.latency_at(0.0)
+
+    def test_curves_coincide_at_low_utilization(self, curves):
+        on, off = curves
+        assert on.latency_at(0.0) == pytest.approx(off.latency_at(0.0),
+                                                   rel=0.05)
+
+    def test_prefetchers_off_wins_at_high_utilization(self, curves):
+        """The paper's headline: ~15% lower load-to-use at high load."""
+        on, off = curves
+        reduction = off.reduction_versus(on, 0.9)
+        assert -0.35 < reduction < -0.05
+
+    def test_off_curve_saturates_later(self, curves):
+        """Prefetchers off, the socket sustains more useful bandwidth
+        before the latency wall (Section 3)."""
+        on, off = curves
+        threshold = 1.5 * on.latency_at(0.0)
+        on_knee = min((p.utilization for p in on.points
+                       if p.latency_ns > threshold), default=1.0)
+        off_knee = min((p.utilization for p in off.points
+                        if p.latency_ns > threshold), default=1.0)
+        assert off_knee >= on_knee
+
+
+class TestEnvelope:
+    def test_envelope_piecewise_structure(self, curves):
+        """Below the threshold the envelope is the on-curve (optimizing
+        cache hit rate); above, the off-curve (optimizing latency)."""
+        on, off = curves
+        envelope = limoncello_envelope(on, off, upper_threshold=0.8)
+        for point in envelope.points:
+            if point.utilization <= 0.8:
+                assert point.latency_ns == on.latency_at(point.utilization)
+            else:
+                assert point.latency_ns == off.latency_at(point.utilization)
+                assert point.latency_ns <= on.latency_at(point.utilization)
+
+    def test_envelope_matches_on_curve_below_threshold(self, curves):
+        on, off = curves
+        envelope = limoncello_envelope(on, off, upper_threshold=0.8)
+        assert envelope.latency_at(0.4) == on.latency_at(0.4)
+
+    def test_empty_curve_rejected(self):
+        empty = LatencyCurve(True, ())
+        with pytest.raises(ConfigError):
+            limoncello_envelope(empty, empty)
+
+
+class TestValidation:
+    def test_bad_probe_hops(self):
+        with pytest.raises(ConfigError):
+            measure_latency_curve(True, [0.5], probe_hops=0)
+
+    def test_negative_overfetch(self):
+        with pytest.raises(ConfigError):
+            measure_latency_curve(True, [0.5], overfetch=-0.1)
+
+    def test_negative_utilization(self):
+        with pytest.raises(ConfigError):
+            measure_latency_curve(True, [-0.5])
+
+    def test_latency_at_on_empty(self):
+        with pytest.raises(ConfigError):
+            LatencyCurve(True, ()).latency_at(0.5)
+
+    def test_latency_at_nearest(self):
+        curve = LatencyCurve(True, (LatencyPoint(0.0, 100.0),
+                                    LatencyPoint(1.0, 400.0)))
+        assert curve.latency_at(0.1) == 100.0
+        assert curve.latency_at(0.9) == 400.0

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.cli.commands import _parse_profile, _table
+from repro.errors import ReproError
+from repro.units import SECOND
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("daemon", "latency-curve", "ablation", "rollout",
+                        "thresholds", "microbench", "calibrate"):
+            assert command in out
+
+
+class TestProfileParsing:
+    def test_parse(self):
+        points = _parse_profile("0:85,8:75")
+        assert points == [(0.0, 85.0), (8 * SECOND, 75.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises((ReproError, ValueError)):
+            _parse_profile("")
+
+
+class TestTable:
+    def test_alignment(self, capsys):
+        _table(("a", "bb"), [("1", "2"), ("333", "4")])
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 4
+        assert all(len(line) == len(out[0]) for line in out)
+
+
+class TestCommands:
+    def test_daemon_runs(self, capsys):
+        assert main(["daemon", "--duration", "6", "--sustain", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "transitions=" in out
+        assert "prefetchers" in out
+
+    def test_latency_curve_runs(self, capsys):
+        assert main(["latency-curve", "--points", "3", "--hops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "HW on (ns)" in out
+        assert "reduction at 90%" in out
+
+    def test_ablation_runs(self, capsys):
+        assert main(["ablation", "--machines", "4", "--epochs", "10",
+                     "--warmup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet throughput" in out
+        assert "memcpy" in out
+
+    def test_thresholds_runs(self, capsys):
+        assert main(["thresholds", "--machines", "4", "--epochs", "10",
+                     "--warmup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "60/80" in out
+        assert "best configuration" in out
+
+    def test_microbench_runs(self, capsys):
+        assert main(["microbench", "--distances", "256",
+                     "--degrees", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "mean speedup" in out
+
+    def test_rollout_runs(self, capsys):
+        assert main(["rollout", "--machines", "6", "--epochs", "12",
+                     "--warmup", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 16" in out
+        assert "Figure 20" in out
+
+    def test_calibrate_runs(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "memcpy" in out
+        assert "recovery" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "# Limoncello reproduction report" in out
+        assert "Figure 10" in out
+        assert "tax cycle share" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "--out", str(target)]) == 0
+        assert "Loaded latency" in target.read_text()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Tests for prefetcher actuation through simulated MSRs."""
+
+import random
+
+import pytest
+
+from repro.core import CallbackActuator, MSRPrefetcherActuator
+from repro.msr import AMD_LIKE_MAP, FaultyMSRFile, INTEL_LIKE_MAP, MSRFile
+
+
+class TestMSRActuator:
+    def test_disable_and_enable(self):
+        msrs = MSRFile()
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP)
+        assert actuator.is_enabled()
+        assert actuator.set_enabled(False)
+        assert not actuator.is_enabled()
+        assert INTEL_LIKE_MAP.all_disabled(msrs)
+        assert actuator.set_enabled(True)
+        assert INTEL_LIKE_MAP.all_enabled(msrs)
+
+    def test_works_on_amd_layout(self):
+        msrs = MSRFile()
+        actuator = MSRPrefetcherActuator(msrs, AMD_LIKE_MAP)
+        actuator.set_enabled(False)
+        assert AMD_LIKE_MAP.all_disabled(msrs)
+
+    def test_partial_state_reports_disabled(self):
+        """If something else flipped one prefetcher off, the actuator must
+        report 'not enabled' so the daemon re-converges."""
+        msrs = MSRFile()
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP)
+        INTEL_LIKE_MAP.disable_one(msrs, "l2_stream")
+        assert not actuator.is_enabled()
+        actuator.set_enabled(True)
+        assert actuator.is_enabled()
+
+    def test_retries_through_transient_failures(self):
+        msrs = FaultyMSRFile(failure_rate=0.5, rng=random.Random(3))
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP, retries=50)
+        assert actuator.set_enabled(False)
+        assert INTEL_LIKE_MAP.all_disabled(msrs)
+
+    def test_gives_up_after_bounded_retries(self):
+        msrs = FaultyMSRFile(failure_rate=0.999, rng=random.Random(3))
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP, retries=2)
+        assert not actuator.set_enabled(False)
+        assert actuator.failed_actuations == 1
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError):
+            MSRPrefetcherActuator(MSRFile(), INTEL_LIKE_MAP, retries=0)
+
+
+class TestCallbackActuator:
+    def test_applies_and_tracks_state(self):
+        seen = []
+        actuator = CallbackActuator(seen.append)
+        assert actuator.is_enabled()
+        actuator.set_enabled(False)
+        assert seen == [False]
+        assert not actuator.is_enabled()
+
+    def test_initial_state(self):
+        actuator = CallbackActuator(lambda e: None, initial_enabled=False)
+        assert not actuator.is_enabled()

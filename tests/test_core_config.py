@@ -1,0 +1,53 @@
+"""Tests for LimoncelloConfig."""
+
+import pytest
+
+from repro.core import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.units import SECOND
+
+
+class TestConfig:
+    def test_defaults_match_deployed_config(self):
+        """Section 5: thresholds at 60% / 80% of saturation, 1s sampling."""
+        config = LimoncelloConfig()
+        assert config.lower_threshold == pytest.approx(0.60)
+        assert config.upper_threshold == pytest.approx(0.80)
+        assert config.sample_period_ns == 1.0 * SECOND
+
+    def test_from_percent(self):
+        config = LimoncelloConfig.from_percent(50, 70)
+        assert config.lower_threshold == pytest.approx(0.5)
+        assert config.upper_threshold == pytest.approx(0.7)
+
+    def test_label(self):
+        assert LimoncelloConfig.from_percent(60, 80).label == "60/80"
+
+    def test_lower_must_be_below_upper(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(lower_threshold=0.8, upper_threshold=0.6)
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(lower_threshold=0.8, upper_threshold=0.8)
+
+    def test_upper_cannot_exceed_saturation(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(lower_threshold=0.9, upper_threshold=1.1)
+
+    def test_lower_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(lower_threshold=0.0, upper_threshold=0.8)
+
+    def test_negative_sustain_rejected(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(sustain_duration_ns=-1.0)
+
+    def test_zero_sustain_allowed(self):
+        assert LimoncelloConfig(sustain_duration_ns=0.0)
+
+    def test_bad_sample_period(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(sample_period_ns=0.0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(actuation_retries=0)

@@ -1,0 +1,191 @@
+"""Tests for the Hard Limoncello hysteresis controller (Figure 8/9)."""
+
+import pytest
+
+from repro.core import (
+    ControllerState,
+    HardLimoncelloController,
+    LimoncelloConfig,
+    SingleThresholdController,
+)
+from repro.errors import TelemetryError
+from repro.units import SECOND
+
+
+def make_controller(lower=0.6, upper=0.8, sustain=3.0 * SECOND):
+    return HardLimoncelloController(LimoncelloConfig(
+        lower_threshold=lower, upper_threshold=upper,
+        sustain_duration_ns=sustain))
+
+
+def feed(controller, samples, period=1.0 * SECOND, start=0.0):
+    """Feed a list of utilizations at 1s intervals; returns final states."""
+    states = []
+    for i, utilization in enumerate(samples):
+        states.append(controller.observe(start + i * period, utilization))
+    return states
+
+
+class TestBasicTransitions:
+    def test_starts_enabled(self):
+        assert make_controller().prefetchers_enabled
+
+    def test_sustained_high_disables(self):
+        controller = make_controller()
+        feed(controller, [0.9, 0.9, 0.9, 0.9])
+        assert controller.state is ControllerState.DISABLED
+        assert not controller.prefetchers_enabled
+
+    def test_brief_spike_does_not_disable(self):
+        """The whole point of the sustain timer: a burst shorter than the
+        sustain duration must not toggle prefetchers (Figure 7)."""
+        controller = make_controller()
+        feed(controller, [0.9, 0.9, 0.5, 0.9, 0.9, 0.5])
+        assert controller.prefetchers_enabled
+
+    def test_sustained_low_reenables(self):
+        controller = make_controller()
+        feed(controller, [0.9] * 4)          # disable
+        feed(controller, [0.5] * 4, start=4.0 * SECOND)
+        assert controller.state is ControllerState.ENABLED
+
+    def test_between_thresholds_holds_state(self):
+        """0.6 < u < 0.8 must never change state, whichever side we're on
+        (the dual-threshold hysteresis)."""
+        controller = make_controller()
+        feed(controller, [0.7] * 10)
+        assert controller.prefetchers_enabled
+        feed(controller, [0.9] * 4, start=10.0 * SECOND)   # disable
+        feed(controller, [0.7] * 10, start=14.0 * SECOND)  # hold
+        assert not controller.prefetchers_enabled
+
+    def test_figure9_scenario(self):
+        """The worked example of Figure 9: UT=80, LT=60.
+
+        Bandwidth: sustained 85 (disable at ~t0+sustain), dips to 75 (no
+        re-enable: above LT), drops to 55 (re-enable after sustain), rises
+        to 70 (no disable: below UT), rises to 90 (disable again)."""
+        controller = make_controller(sustain=2.0 * SECOND)
+        feed(controller, [0.85] * 4)                       # -> disabled
+        assert not controller.prefetchers_enabled
+        feed(controller, [0.75] * 4, start=4 * SECOND)     # still disabled
+        assert not controller.prefetchers_enabled
+        feed(controller, [0.55] * 4, start=8 * SECOND)     # -> enabled
+        assert controller.prefetchers_enabled
+        feed(controller, [0.70] * 4, start=12 * SECOND)    # still enabled
+        assert controller.prefetchers_enabled
+        feed(controller, [0.90] * 4, start=16 * SECOND)    # -> disabled
+        assert not controller.prefetchers_enabled
+        assert controller.transitions == 3
+
+
+class TestTimingStates:
+    def test_overloaded_state_entered(self):
+        controller = make_controller()
+        feed(controller, [0.9])
+        assert controller.state is ControllerState.OVERLOADED
+        assert controller.prefetchers_enabled  # still on while timing
+
+    def test_underloaded_state_entered(self):
+        controller = make_controller()
+        feed(controller, [0.9] * 4)
+        controller.observe(4.0 * SECOND, 0.5)
+        assert controller.state is ControllerState.UNDERLOADED
+        assert not controller.prefetchers_enabled  # still off while timing
+
+    def test_timer_resets_when_condition_breaks(self):
+        controller = make_controller(sustain=3.0 * SECOND)
+        feed(controller, [0.9, 0.9, 0.7, 0.9, 0.9, 0.9])
+        # Timer restarted at t=3; expires at t=3+3=6, not earlier.
+        assert controller.decisions[-1].state is ControllerState.OVERLOADED
+        controller.observe(6.0 * SECOND, 0.9)
+        assert controller.state is ControllerState.DISABLED
+
+    def test_zero_sustain_flips_immediately(self):
+        controller = make_controller(sustain=0.0)
+        controller.observe(0.0, 0.9)
+        assert controller.state is ControllerState.DISABLED
+        controller.observe(1.0 * SECOND, 0.5)
+        assert controller.state is ControllerState.ENABLED
+
+    def test_exact_threshold_boundaries(self):
+        """At exactly the upper threshold nothing happens (> not >=);
+        at exactly the lower threshold nothing happens (< not <=)."""
+        controller = make_controller()
+        feed(controller, [0.8] * 10)
+        assert controller.state is ControllerState.ENABLED
+        feed(controller, [0.9] * 4, start=10 * SECOND)
+        feed(controller, [0.6] * 10, start=14 * SECOND)
+        assert controller.state is ControllerState.DISABLED
+
+
+class TestRobustness:
+    def test_time_cannot_go_backwards(self):
+        controller = make_controller()
+        controller.observe(5.0, 0.5)
+        with pytest.raises(TelemetryError):
+            controller.observe(4.0, 0.5)
+
+    def test_gap_in_samples_timer_still_runs(self):
+        """Telemetry dropouts do not freeze the sustain timer."""
+        controller = make_controller(sustain=3.0 * SECOND)
+        controller.observe(0.0, 0.9)
+        controller.observe(10.0 * SECOND, 0.9)  # big gap, still overloaded
+        assert controller.state is ControllerState.DISABLED
+
+    def test_decisions_recorded(self):
+        controller = make_controller()
+        feed(controller, [0.5, 0.9])
+        assert len(controller.decisions) == 2
+        assert controller.decisions[0].utilization == 0.5
+
+    def test_changed_flag_set_only_on_flips(self):
+        controller = make_controller(sustain=0.0)
+        states = feed(controller, [0.5, 0.9, 0.9, 0.5])
+        assert [s.changed for s in states] == [False, True, False, True]
+
+
+class TestStateIntervals:
+    def test_intervals_partition_history(self):
+        controller = make_controller(sustain=0.0)
+        feed(controller, [0.5, 0.9, 0.9, 0.5, 0.5])
+        intervals = controller.state_intervals()
+        assert intervals[0][2] is True
+        assert intervals[1][2] is False
+        assert intervals[2][2] is True
+        # Contiguous coverage.
+        for (a, b, _), (c, d, _) in zip(intervals, intervals[1:]):
+            assert b == c
+
+    def test_empty_history(self):
+        assert make_controller().state_intervals() == []
+
+
+class TestSingleThresholdBaseline:
+    def test_flips_immediately(self):
+        controller = SingleThresholdController(threshold=0.8)
+        controller.observe(0.0, 0.9)
+        assert not controller.prefetchers_enabled
+        controller.observe(1.0, 0.7)
+        assert controller.prefetchers_enabled
+
+    def test_thrashes_on_volatile_input(self):
+        """The pathology hysteresis exists to prevent."""
+        hysteresis = make_controller()
+        baseline = SingleThresholdController(threshold=0.8)
+        volatile = [0.9, 0.7, 0.9, 0.7, 0.9, 0.7, 0.9, 0.7]
+        feed(hysteresis, volatile)
+        for i, u in enumerate(volatile):
+            baseline.observe(i * SECOND, u)
+        assert baseline.transitions >= 7
+        assert hysteresis.transitions == 0
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SingleThresholdController(threshold=0.0)
+
+    def test_time_monotonicity(self):
+        controller = SingleThresholdController()
+        controller.observe(5.0, 0.5)
+        with pytest.raises(TelemetryError):
+            controller.observe(1.0, 0.5)

@@ -1,0 +1,96 @@
+"""Tests for the feedback-directed prefetcher gate (Section 8.1 prototype)."""
+
+import pytest
+
+from repro.memsys.prefetchers import NextLinePrefetcher
+from repro.memsys.prefetchers.feedback import FeedbackThrottledPrefetcher
+
+LINE = 64
+
+
+def make(window=16, gate_below=0.35, ungate_above=0.65):
+    inner = NextLinePrefetcher(name="nl", degree=1,
+                               page_filter_entries=None)
+    return FeedbackThrottledPrefetcher(inner, window=window,
+                                       gate_below=gate_below,
+                                       ungate_above=ungate_above)
+
+
+def feed_sequential(prefetcher, start, count, pc=1):
+    """Sequential misses: every next-line proposal is later demanded."""
+    out = []
+    for i in range(count):
+        out.extend(prefetcher.observe(start + i * LINE, pc, False))
+    return out
+
+
+def feed_random(prefetcher, count, pc=2, seed=99):
+    """Random misses over a huge region: proposals are never demanded."""
+    out = []
+    address = 0x5000_0000
+    for i in range(count):
+        address = (address + (i * 7919 + seed) * 4096) & 0xFFFF_FFC0
+        out.extend(prefetcher.observe(address, pc, False))
+    return out
+
+
+class TestGating:
+    def test_accurate_stream_stays_ungated(self):
+        prefetcher = make()
+        issued = feed_sequential(prefetcher, 0x1000, 200)
+        assert not prefetcher.gated
+        assert len(issued) > 150
+        assert prefetcher.window_accuracy > 0.8
+
+    def test_random_misses_get_gated(self):
+        prefetcher = make()
+        feed_random(prefetcher, 200)
+        assert prefetcher.gated
+        assert prefetcher.gate_events == 1
+        assert prefetcher.suppressed > 0
+
+    def test_gated_prefetcher_issues_nothing(self):
+        prefetcher = make()
+        feed_random(prefetcher, 200)
+        issued = feed_random(prefetcher, 50, seed=123)
+        assert issued == []
+
+    def test_shadow_mode_recovers_on_phase_change(self):
+        """After gating on a random phase, a streaming phase re-opens the
+        gate (shadow accuracy crosses the un-gate threshold)."""
+        prefetcher = make()
+        feed_random(prefetcher, 200)
+        assert prefetcher.gated
+        issued = feed_sequential(prefetcher, 0x9_0000, 400)
+        assert not prefetcher.gated
+        assert prefetcher.ungate_events == 1
+        assert issued, "post-recovery proposals are fetched again"
+
+    def test_inner_counter_vs_wrapper_counter(self):
+        """The wrapper's issued counter only counts fetched proposals."""
+        prefetcher = make()
+        feed_random(prefetcher, 300)
+        assert prefetcher.issued < prefetcher.inner.issued
+
+    def test_disabled_wrapper_is_silent(self):
+        prefetcher = make()
+        prefetcher.enabled = False
+        assert prefetcher.observe(0x1000, 1, False) == []
+
+    def test_reset_clears_gate(self):
+        prefetcher = make()
+        feed_random(prefetcher, 200)
+        prefetcher.reset()
+        assert not prefetcher.gated
+        assert prefetcher.window_accuracy == 1.0
+
+    def test_takes_inner_name_by_default(self):
+        assert make().name == "nl"
+
+    def test_validation(self):
+        inner = NextLinePrefetcher(page_filter_entries=None)
+        with pytest.raises(ValueError):
+            FeedbackThrottledPrefetcher(inner, window=0)
+        with pytest.raises(ValueError):
+            FeedbackThrottledPrefetcher(inner, gate_below=0.7,
+                                        ungate_above=0.6)

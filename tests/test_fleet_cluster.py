@@ -1,0 +1,116 @@
+"""Tests for the Fleet simulator and FleetMetrics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import Fleet, FleetMetrics
+from repro.fleet.cluster import task_mean_cores
+from repro.fleet.scheduler import BandwidthAwareScheduler
+from repro.fleet.traffic import DiurnalTraffic
+
+
+def small_fleet(**kwargs):
+    params = dict(machines=6, seed=4)
+    params.update(kwargs)
+    return Fleet(**params)
+
+
+class TestFleetRun:
+    def test_run_accumulates_metrics(self):
+        fleet = small_fleet()
+        metrics = fleet.run(10)
+        assert metrics.epochs == 10
+        assert len(metrics.socket_bandwidth) == 6 * 2 * 10
+        assert len(metrics.machine_points) == 6 * 10
+        assert metrics.total_qps > 0
+
+    def test_deterministic_given_seed(self):
+        a = small_fleet().run(10)
+        b = small_fleet().run(10)
+        assert a.socket_bandwidth == b.socket_bandwidth
+        assert a.total_qps == b.total_qps
+
+    def test_different_seeds_differ(self):
+        a = small_fleet(seed=4).run(10)
+        b = small_fleet(seed=5).run(10)
+        assert a.socket_bandwidth != b.socket_bandwidth
+
+    def test_load_tracks_traffic(self):
+        low = small_fleet(traffic=DiurnalTraffic(mean=0.3, amplitude=0.0,
+                                                 noise=0.0))
+        high = small_fleet(traffic=DiurnalTraffic(mean=0.8, amplitude=0.0,
+                                                  noise=0.0))
+        low_metrics = low.run(20)
+        high_metrics = high.run(20)
+        assert (high_metrics.cpu_utilization_mean()
+                > low_metrics.cpu_utilization_mean())
+
+    def test_observers_called_each_epoch(self):
+        calls = []
+        fleet = small_fleet()
+        fleet.run(5, observers=[lambda now, machines, rng:
+                                calls.append(now)])
+        assert len(calls) == 5
+
+    def test_force_prefetchers_off_reduces_bandwidth(self):
+        on = small_fleet().run(15)
+        off_fleet = small_fleet()
+        off_fleet.force_prefetchers(False)
+        off = off_fleet.run(15)
+        assert (off.bandwidth_summary().mean
+                < on.bandwidth_summary().mean)
+
+    def test_deploy_hard_limoncello_creates_daemons(self):
+        fleet = small_fleet()
+        fleet.deploy_hard_limoncello()
+        assert all(len(machine.daemons) == 2 for machine in fleet.machines)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Fleet(machines=0)
+        with pytest.raises(ConfigError):
+            Fleet(machines=1, epoch_ns=0)
+        with pytest.raises(ConfigError):
+            small_fleet().run(0)
+
+
+class TestFleetMetricsViews:
+    def test_throughput_by_cpu_band(self):
+        metrics = FleetMetrics()
+        metrics.machine_points = [
+            (0.60, 0.8, 90.0, 100.0),
+            (0.70, 0.8, 80.0, 100.0),
+        ]
+        bands = metrics.throughput_by_cpu_band(((0.55, 0.65), (0.65, 0.75)))
+        assert bands["60%"] == pytest.approx(0.9)
+        assert bands["70%"] == pytest.approx(0.8)
+
+    def test_empty_band_is_zero(self):
+        metrics = FleetMetrics()
+        bands = metrics.throughput_by_cpu_band(((0.9, 1.0),))
+        assert bands["95%"] == 0.0
+
+    def test_bandwidth_by_cpu_bucket(self):
+        metrics = FleetMetrics()
+        metrics.machine_points = [
+            (0.45, 0.5, 0, 0), (0.45, 0.7, 0, 0), (0.85, 0.9, 0, 0)]
+        buckets = metrics.bandwidth_by_cpu_bucket()
+        assert buckets["40-50"] == pytest.approx(0.6)
+        assert buckets["80-90"] == pytest.approx(0.9)
+
+    def test_saturated_fraction(self):
+        metrics = FleetMetrics()
+        metrics.socket_utilization = [0.5, 0.96, 0.99, 0.7]
+        assert metrics.saturated_socket_fraction() == pytest.approx(0.5)
+
+    def test_saturated_fraction_empty(self):
+        assert FleetMetrics().saturated_socket_fraction() == 0.0
+
+    def test_normalized_throughput(self):
+        metrics = FleetMetrics()
+        metrics.total_qps = 80.0
+        metrics.ideal_qps = 100.0
+        assert metrics.normalized_throughput == pytest.approx(0.8)
+
+    def test_task_mean_cores_default(self):
+        assert task_mean_cores(None) == 5.0

@@ -1,0 +1,58 @@
+"""Tests for heterogeneous (multi-platform) fleets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import Fleet, PLATFORM_1, PLATFORM_2
+
+
+class TestPlatformMix:
+    def test_default_is_homogeneous(self):
+        fleet = Fleet(machines=4, seed=1)
+        assert {m.platform for m in fleet.machines} == {PLATFORM_1}
+
+    def test_mix_proportions(self):
+        fleet = Fleet(machines=10, seed=1,
+                      platform_mix={PLATFORM_1: 0.6, PLATFORM_2: 0.4})
+        counts = {}
+        for machine in fleet.machines:
+            counts[machine.platform] = counts.get(machine.platform, 0) + 1
+        assert counts[PLATFORM_1] == 6
+        assert counts[PLATFORM_2] == 4
+
+    def test_mixed_fleet_uses_both_vendor_msr_layouts(self):
+        from repro.fleet.platform import platform_by_name
+        intel_like = platform_by_name("gen-2018")
+        fleet = Fleet(machines=4, seed=1,
+                      platform_mix={intel_like: 0.5, PLATFORM_2: 0.5})
+        vendors = {m.platform.vendor for m in fleet.machines}
+        assert vendors == {"intel-like", "amd-like"}
+        registers = {tuple(s.msr_map.registers)
+                     for m in fleet.machines for s in m.sockets}
+        assert len(registers) == 2
+
+    def test_mixed_fleet_runs_and_controls(self):
+        fleet = Fleet(machines=6, seed=2,
+                      platform_mix={PLATFORM_1: 0.5, PLATFORM_2: 0.5})
+        fleet.deploy_hard_limoncello()
+        metrics = fleet.run(30)
+        assert metrics.total_qps > 0
+        # Daemons actuate both register layouts without error.
+        toggles = sum(s.toggles for m in fleet.machines
+                      for s in m.sockets)
+        assert toggles >= 0
+
+    def test_both_platforms_host_work(self):
+        fleet = Fleet(machines=8, seed=3,
+                      platform_mix={PLATFORM_1: 0.5, PLATFORM_2: 0.5})
+        fleet.run(25)
+        by_platform = {}
+        for machine in fleet.machines:
+            by_platform.setdefault(machine.platform, []).append(
+                machine.cores_used)
+        assert sum(by_platform[PLATFORM_1]) > 0
+        assert sum(by_platform[PLATFORM_2]) > 0
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            Fleet(machines=4, platform_mix={PLATFORM_1: 0.0})

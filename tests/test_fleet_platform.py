@@ -1,0 +1,54 @@
+"""Tests for the platform catalog (Figure 2's data)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import PLATFORM_1, PLATFORM_2, PLATFORM_CATALOG, PlatformSpec
+from repro.fleet.platform import platform_by_name
+
+
+class TestCatalog:
+    def test_total_bandwidth_grows_with_generations(self):
+        bandwidths = [spec.saturation_bandwidth for spec in PLATFORM_CATALOG]
+        assert bandwidths == sorted(bandwidths)
+        assert bandwidths[-1] / bandwidths[0] > 6  # ~8x growth (Fig 2)
+
+    def test_bandwidth_per_core_plateaus(self):
+        """Figure 2's point: per-core bandwidth stays in a narrow band
+        while totals grow."""
+        per_core = [spec.bandwidth_per_core for spec in PLATFORM_CATALOG]
+        assert max(per_core) / min(per_core) < 1.5
+
+    def test_core_counts_grow(self):
+        cores = [spec.cores_per_socket for spec in PLATFORM_CATALOG]
+        assert cores == sorted(cores)
+
+    def test_years_ordered(self):
+        years = [spec.year for spec in PLATFORM_CATALOG]
+        assert years == sorted(years)
+
+    def test_evaluation_platforms_roughly_3gbps_per_core(self):
+        """Section 2.1: ~3 GB/s achievable per core on both platforms."""
+        for spec in (PLATFORM_1, PLATFORM_2):
+            assert 2.5 <= spec.bandwidth_per_core <= 3.5
+
+    def test_platforms_have_known_vendors(self):
+        from repro.msr import msr_map_for_vendor
+        for spec in PLATFORM_CATALOG:
+            assert msr_map_for_vendor(spec.vendor)
+
+    def test_lookup_by_name(self):
+        assert platform_by_name("gen-2020").year == 2020
+        with pytest.raises(ConfigError):
+            platform_by_name("gen-1999")
+
+    def test_compute_units(self):
+        spec = PlatformSpec("x", 2020, "intel-like", 10, 30.0,
+                            compute_units_per_core=1.5)
+        assert spec.compute_units == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PlatformSpec("x", 2020, "intel-like", 0, 30.0)
+        with pytest.raises(ConfigError):
+            PlatformSpec("x", 2020, "intel-like", 8, 0.0)

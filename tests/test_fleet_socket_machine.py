@@ -1,0 +1,167 @@
+"""Tests for SimulatedSocket and Machine."""
+
+import random
+
+import pytest
+
+from repro.core import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet import Machine, PLATFORM_1, SimulatedSocket, Task
+from repro.units import SECOND
+
+
+def heavy_task(name="t", cores=8.0, bandwidth=60.0):
+    return Task(name=name, cores=cores, base_qps=100.0 * cores,
+                bandwidth_demand=bandwidth, memory_boundedness=0.4,
+                function_shares={"memcpy": 0.3, "pointer_chase": 0.7},
+                noise_sigma=0.0)
+
+
+class TestSocketBasics:
+    def test_starts_with_prefetchers_on(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        assert socket.hw_prefetchers_on
+
+    def test_force_prefetchers_via_msrs(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        socket.force_prefetchers(False)
+        assert not socket.hw_prefetchers_on
+        assert socket.msr_map.all_disabled(socket.msrs)
+
+    def test_qualified_saturation_below_capacity(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        assert socket.saturation_bandwidth < socket.raw_capacity
+
+    def test_core_accounting(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        socket.add_task(heavy_task(cores=8.0))
+        assert socket.cores_used == 8.0
+        assert socket.cores_free == socket.cores - 8.0
+
+    def test_overcommit_rejected(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        with pytest.raises(ConfigError):
+            socket.add_task(heavy_task(cores=socket.cores + 1.0))
+
+    def test_remove_task(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        task = heavy_task()
+        socket.add_task(task)
+        socket.remove_task(task)
+        assert socket.cores_used == 0
+
+
+class TestSocketEpochs:
+    def test_empty_socket_idles(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        epoch = socket.step(0.0)
+        assert epoch.bandwidth == 0.0
+        assert epoch.utilization == 0.0
+        assert epoch.qps == 0.0
+
+    def test_fixed_point_converges(self):
+        """Two consecutive epochs with identical inputs must agree (the
+        damped iteration has settled)."""
+        socket = SimulatedSocket(PLATFORM_1)
+        for i in range(4):
+            socket.add_task(heavy_task(name=f"t{i}", cores=8.0,
+                                       bandwidth=35.0))
+        first = socket.step(0.0)
+        second = socket.step(1.0 * SECOND)
+        assert second.bandwidth == pytest.approx(first.bandwidth, rel=0.02)
+
+    def test_latency_grows_with_load(self):
+        light = SimulatedSocket(PLATFORM_1)
+        light.add_task(heavy_task(bandwidth=10.0))
+        heavy = SimulatedSocket(PLATFORM_1)
+        for i in range(5):
+            heavy.add_task(heavy_task(name=f"h{i}", cores=8.0,
+                                      bandwidth=35.0))
+        assert heavy.step(0.0).latency_ns > light.step(0.0).latency_ns
+
+    def test_disabling_prefetchers_cuts_bandwidth(self):
+        def loaded_socket():
+            socket = SimulatedSocket(PLATFORM_1)
+            for i in range(4):
+                socket.add_task(heavy_task(name=f"t{i}", bandwidth=30.0))
+            return socket
+
+        on = loaded_socket().step(0.0)
+        off_socket = loaded_socket()
+        off_socket.force_prefetchers(False)
+        off = off_socket.step(0.0)
+        assert off.bandwidth < on.bandwidth
+        assert off.latency_ns <= on.latency_ns
+
+    def test_soft_limoncello_recovers_qps_when_off(self):
+        def arm(soft):
+            socket = SimulatedSocket(PLATFORM_1)
+            socket.add_task(heavy_task(bandwidth=10.0))
+            socket.force_prefetchers(False)
+            socket.soft_deployed = soft
+            return socket.step(0.0).qps
+
+        assert arm(soft=True) > arm(soft=False)
+
+    def test_demand_factor_scales_bandwidth(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        socket.add_task(heavy_task(bandwidth=10.0))
+        quiet = socket.step(0.0, demand_factor=1.0)
+        loud = socket.step(1.0, demand_factor=1.5)
+        assert loud.bandwidth > quiet.bandwidth
+
+    def test_memory_bandwidth_reports_last_epoch(self):
+        socket = SimulatedSocket(PLATFORM_1)
+        socket.add_task(heavy_task(bandwidth=10.0))
+        epoch = socket.step(0.0)
+        assert socket.memory_bandwidth(1.0) == pytest.approx(epoch.bandwidth)
+
+    def test_dram_config_saturation_must_match(self):
+        from repro.memsys import DRAMConfig
+        with pytest.raises(ConfigError):
+            SimulatedSocket(PLATFORM_1, dram=DRAMConfig(
+                saturation_bandwidth=1.0))
+
+
+class TestMachine:
+    def test_cpu_utilization(self):
+        machine = Machine("m", PLATFORM_1, sockets=2)
+        machine.sockets[0].add_task(heavy_task(cores=24.0))
+        assert machine.cpu_utilization == pytest.approx(
+            24.0 / machine.total_cores)
+
+    def test_step_returns_per_socket_epochs(self):
+        machine = Machine("m", PLATFORM_1, sockets=2)
+        epochs = machine.step(0.0)
+        assert len(epochs) == 2
+
+    def test_hard_limoncello_daemons_per_socket(self):
+        machine = Machine("m", PLATFORM_1, sockets=2)
+        machine.deploy_hard_limoncello(LimoncelloConfig(
+            sample_period_ns=SECOND, sustain_duration_ns=2 * SECOND))
+        assert len(machine.daemons) == 2
+        machine.deploy_hard_limoncello()  # idempotent
+        assert len(machine.daemons) == 2
+
+    def test_daemon_disables_prefetchers_under_load(self):
+        machine = Machine("m", PLATFORM_1, sockets=1,
+                          demand_noise_sigma=0.0)
+        socket = machine.sockets[0]
+        for i in range(5):
+            socket.add_task(heavy_task(name=f"t{i}", cores=8.0,
+                                       bandwidth=40.0))
+        machine.deploy_hard_limoncello(LimoncelloConfig(
+            sample_period_ns=SECOND, sustain_duration_ns=2 * SECOND))
+        rng = random.Random(0)
+        for tick in range(8):
+            machine.step(tick * SECOND, SECOND, rng=rng)
+        assert not socket.hw_prefetchers_on
+
+    def test_soft_deployment_flags_sockets(self):
+        machine = Machine("m", PLATFORM_1)
+        machine.deploy_soft_limoncello()
+        assert all(s.soft_deployed for s in machine.sockets)
+
+    def test_zero_sockets_rejected(self):
+        with pytest.raises(ConfigError):
+            Machine("m", PLATFORM_1, sockets=0)

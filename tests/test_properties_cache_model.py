@@ -1,0 +1,81 @@
+"""A reference-model equivalence test for the set-associative cache.
+
+Hypothesis drives random lookup/install/invalidate sequences against both
+:class:`repro.memsys.SetAssociativeCache` and a tiny, obviously-correct
+LRU reference; every observable (hit/miss, residency, occupancy) must
+agree at every step.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsys import CacheConfig, SetAssociativeCache
+
+SETS = 4
+WAYS = 2
+LINE = 64
+
+
+class ReferenceCache:
+    """The simplest possible correct set-associative LRU cache."""
+
+    def __init__(self) -> None:
+        self.sets = [OrderedDict() for _ in range(SETS)]
+
+    def _set(self, line):
+        return self.sets[(line // LINE) % SETS]
+
+    def lookup(self, line) -> bool:
+        cache_set = self._set(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        return False
+
+    def install(self, line) -> None:
+        cache_set = self._set(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return
+        if len(cache_set) >= WAYS:
+            cache_set.popitem(last=False)
+        cache_set[line] = None
+
+    def invalidate(self, line) -> None:
+        self._set(line).pop(line, None)
+
+    def contains(self, line) -> bool:
+        return line in self._set(line)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(("lookup", "install", "invalidate")),
+              st.integers(min_value=0, max_value=31).map(lambda x: x * LINE)),
+    max_size=400)
+
+
+@given(ops=operations)
+@settings(max_examples=300, deadline=None)
+def test_cache_matches_reference_model(ops):
+    cache = SetAssociativeCache(CacheConfig(
+        "t", size_bytes=SETS * WAYS * LINE, associativity=WAYS,
+        hit_latency_cycles=1))
+    reference = ReferenceCache()
+    for op, line in ops:
+        if op == "lookup":
+            assert cache.lookup(line) == reference.lookup(line)
+        elif op == "install":
+            cache.install(line)
+            reference.install(line)
+        else:
+            cache.invalidate(line)
+            reference.invalidate(line)
+        assert cache.occupancy == reference.occupancy
+    # Final residency agrees line by line.
+    for line in range(0, 32 * LINE, LINE):
+        assert cache.contains(line) == reference.contains(line), line

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the controller and Soft
+Limoncello invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessKind, MemoryAccess, Trace
+from repro.core import (
+    HardLimoncelloController,
+    LimoncelloConfig,
+    PrefetchDescriptor,
+    SoftwarePrefetchInjector,
+)
+from repro.core.controller import ControllerState
+from repro.units import SECOND
+
+utilizations = st.lists(
+    st.floats(min_value=0.0, max_value=1.5, allow_nan=False), min_size=1,
+    max_size=120)
+
+
+class TestControllerProperties:
+    @given(samples=utilizations,
+           sustain=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=150, deadline=None)
+    def test_transitions_respect_sustain_duration(self, samples, sustain):
+        """Two consecutive prefetcher flips are always separated by at
+        least the sustain duration (the anti-thrash guarantee)."""
+        config = LimoncelloConfig(sustain_duration_ns=sustain * SECOND)
+        controller = HardLimoncelloController(config)
+        flip_times = []
+        for tick, utilization in enumerate(samples):
+            decision = controller.observe(tick * SECOND, utilization)
+            if decision.changed:
+                flip_times.append(decision.time_ns)
+        for a, b in zip(flip_times, flip_times[1:]):
+            assert b - a >= sustain * SECOND
+
+    @given(samples=utilizations)
+    @settings(max_examples=150, deadline=None)
+    def test_state_always_consistent_with_prefetcher_flag(self, samples):
+        controller = HardLimoncelloController()
+        for tick, utilization in enumerate(samples):
+            decision = controller.observe(tick * SECOND, utilization)
+            assert decision.state in ControllerState
+            assert (decision.prefetchers_enabled
+                    == decision.state.prefetchers_enabled)
+            assert (controller.prefetchers_enabled
+                    == decision.prefetchers_enabled)
+
+    @given(samples=utilizations)
+    @settings(max_examples=100, deadline=None)
+    def test_never_disables_below_upper_threshold(self, samples):
+        """If utilization never exceeds the upper threshold, prefetchers
+        stay enabled forever."""
+        controller = HardLimoncelloController(
+            LimoncelloConfig(upper_threshold=0.8))
+        for tick, utilization in enumerate(samples):
+            controller.observe(tick * SECOND, min(utilization, 0.8))
+        assert controller.prefetchers_enabled
+        assert controller.transitions == 0
+
+    @given(samples=utilizations)
+    @settings(max_examples=100, deadline=None)
+    def test_transition_count_matches_changed_flags(self, samples):
+        controller = HardLimoncelloController(
+            LimoncelloConfig(sustain_duration_ns=0.0))
+        changes = 0
+        for tick, utilization in enumerate(samples):
+            if controller.observe(tick * SECOND, utilization).changed:
+                changes += 1
+        assert controller.transitions == changes
+
+    @given(samples=utilizations)
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_partition_time(self, samples):
+        controller = HardLimoncelloController(
+            LimoncelloConfig(sustain_duration_ns=0.0))
+        for tick, utilization in enumerate(samples):
+            controller.observe(tick * SECOND, utilization)
+        intervals = controller.state_intervals()
+        assert intervals[0][0] == controller.decisions[0].time_ns
+        assert intervals[-1][1] == controller.decisions[-1].time_ns
+        for (_, end, state_a), (start, _, state_b) in zip(intervals,
+                                                          intervals[1:]):
+            assert end == start
+            assert state_a != state_b
+
+
+line_counts = st.integers(min_value=1, max_value=200)
+descriptor_params = st.tuples(
+    st.sampled_from((64, 128, 256, 512, 1024)),     # distance
+    st.sampled_from((64, 128, 256, 512, 1024)),     # degree
+    st.sampled_from((0, 256, 2048)),                # gate
+)
+
+
+class TestInjectorProperties:
+    @staticmethod
+    def stream(lines, base=0x40_0000, pc=5):
+        return Trace([
+            MemoryAccess(address=base + i * 64, pc=pc, function="f")
+            for i in range(lines)
+        ])
+
+    @given(lines=line_counts, params=descriptor_params)
+    @settings(max_examples=150, deadline=None)
+    def test_demand_records_always_preserved(self, lines, params):
+        distance, degree, gate = params
+        descriptor = PrefetchDescriptor(
+            "f", distance_bytes=distance, degree_bytes=degree,
+            min_size_bytes=gate)
+        out = SoftwarePrefetchInjector([descriptor]).inject(
+            self.stream(lines))
+        assert list(out.demand_only()) == list(self.stream(lines))
+
+    @given(lines=line_counts, params=descriptor_params)
+    @settings(max_examples=150, deadline=None)
+    def test_clamped_prefetches_stay_inside_the_stream(self, lines, params):
+        distance, degree, gate = params
+        descriptor = PrefetchDescriptor(
+            "f", distance_bytes=distance, degree_bytes=degree,
+            min_size_bytes=gate, clamp_to_stream=True)
+        out = SoftwarePrefetchInjector([descriptor]).inject(
+            self.stream(lines))
+        end = 0x40_0000 + lines * 64
+        for record in out:
+            if record.kind is AccessKind.SOFTWARE_PREFETCH:
+                assert 0x40_0000 <= record.address
+                assert record.address + record.size <= end
+
+    @given(lines=line_counts, params=descriptor_params)
+    @settings(max_examples=150, deadline=None)
+    def test_gate_semantics_exact(self, lines, params):
+        distance, degree, gate = params
+        descriptor = PrefetchDescriptor(
+            "f", distance_bytes=distance, degree_bytes=degree,
+            min_size_bytes=gate, clamp_to_stream=True)
+        injector = SoftwarePrefetchInjector([descriptor])
+        injector.inject(self.stream(lines))
+        stats = injector.last_stats
+        if lines * 64 < gate:
+            assert stats.streams_gated == 1
+            assert stats.prefetches_inserted == 0
+        else:
+            assert stats.streams_instrumented == 1
+
+    @given(lines=line_counts, params=descriptor_params)
+    @settings(max_examples=100, deadline=None)
+    def test_prefetch_never_targets_already_demanded_offsets_behind(
+            self, lines, params):
+        """Prefetches always aim ahead of the position they are issued
+        from (distance is forward-only)."""
+        distance, degree, gate = params
+        descriptor = PrefetchDescriptor(
+            "f", distance_bytes=distance, degree_bytes=degree,
+            min_size_bytes=gate, clamp_to_stream=False)
+        out = SoftwarePrefetchInjector([descriptor]).inject(
+            self.stream(lines))
+        last_demand = 0x40_0000 - 64
+        for record in out:
+            if record.kind is AccessKind.SOFTWARE_PREFETCH:
+                assert record.address > last_demand
+            else:
+                last_demand = record.address

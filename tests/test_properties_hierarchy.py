@@ -1,0 +1,89 @@
+"""Property-based tests for MemoryHierarchy timing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessKind, MemoryAccess, Trace
+from repro.memsys import MemoryHierarchy, PrefetcherBank
+
+records = st.lists(
+    st.builds(
+        MemoryAccess,
+        address=st.integers(min_value=0, max_value=1 << 16).map(
+            lambda x: x * 64),
+        size=st.just(64),
+        kind=st.sampled_from((AccessKind.LOAD, AccessKind.STORE,
+                              AccessKind.SOFTWARE_PREFETCH)),
+        pc=st.integers(min_value=0, max_value=7),
+        gap_cycles=st.integers(min_value=0, max_value=20),
+    ),
+    max_size=150,
+)
+
+
+class TestTimingInvariants:
+    @given(trace_records=records)
+    @settings(max_examples=100, deadline=None)
+    def test_elapsed_equals_cycles_times_period(self, trace_records):
+        """For single-line records, wall time is exactly total cycles
+        (compute + stall) times the clock period."""
+        trace = Trace(trace_records)
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        result = hierarchy.run(trace)
+        expected = result.total.cycles * hierarchy.config.cycle_ns
+        assert abs(result.elapsed_ns - expected) <= 1e-6 * max(1, expected)
+
+    @given(trace_records=records)
+    @settings(max_examples=100, deadline=None)
+    def test_clock_is_monotone_across_runs(self, trace_records):
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        before = hierarchy.now_ns
+        hierarchy.run(Trace(trace_records))
+        assert hierarchy.now_ns >= before
+
+    @given(trace_records=records)
+    @settings(max_examples=100, deadline=None)
+    def test_no_prefetchers_means_demand_only_traffic(self, trace_records):
+        trace = Trace(trace_records).demand_only()
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        result = hierarchy.run(trace)
+        assert result.dram_prefetch_fills == 0
+        assert result.dram_demand_fills == result.total.llc_misses
+        assert result.hw_prefetches_issued == 0
+
+    @given(trace_records=records)
+    @settings(max_examples=100, deadline=None)
+    def test_instruction_accounting_matches_trace(self, trace_records):
+        trace = Trace(trace_records)
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        result = hierarchy.run(trace)
+        assert result.total.instructions == trace.instruction_count
+
+    @given(trace_records=records)
+    @settings(max_examples=60, deadline=None)
+    def test_prefetching_never_increases_demand_fills(self, trace_records):
+        """Hardware prefetching can add prefetch traffic, but the demand
+        misses it covers must disappear from demand traffic: demand fills
+        with prefetchers on never exceed demand fills with them off."""
+        trace = Trace(trace_records).demand_only()
+        off = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+        on = MemoryHierarchy().run(trace)
+        assert on.dram_demand_fills <= off.dram_demand_fills
+
+    @given(trace_records=records)
+    @settings(max_examples=60, deadline=None)
+    def test_covered_plus_misses_bounded_by_demand_lines(self,
+                                                         trace_records):
+        trace = Trace(trace_records).demand_only()
+        result = MemoryHierarchy().run(trace)
+        demand_line_touches = sum(len(r.lines_touched()) for r in trace)
+        assert (result.total.llc_misses + result.total.prefetch_covered
+                <= demand_line_touches)
+
+    @given(trace_records=records)
+    @settings(max_examples=60, deadline=None)
+    def test_runs_are_deterministic(self, trace_records):
+        trace = Trace(trace_records)
+        a = MemoryHierarchy().run(trace)
+        b = MemoryHierarchy().run(trace)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert a.dram_total_fills == b.dram_total_fills

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the substrate data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memsys import CacheConfig, DRAMConfig, DRAMModel, SetAssociativeCache
+from repro.memsys.stats import FunctionStats
+from repro.msr import INTEL_LIKE_MAP, MSRFile
+from repro.telemetry import SlidingWindow, percentile
+
+lines = st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 64)
+
+
+class TestCacheProperties:
+    @given(addresses=st.lists(lines, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache(CacheConfig(
+            "t", size_bytes=8 * 1024, associativity=4,
+            hit_latency_cycles=1))
+        capacity = 8 * 1024 // 64
+        for address in addresses:
+            cache.install(address)
+            assert cache.occupancy <= capacity
+
+    @given(addresses=st.lists(lines, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_installed_line_immediately_hits(self, addresses):
+        cache = SetAssociativeCache(CacheConfig(
+            "t", size_bytes=8 * 1024, associativity=4,
+            hit_latency_cycles=1))
+        for address in addresses:
+            cache.install(address)
+            assert cache.lookup(address)
+
+    @given(addresses=st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_hits_plus_misses_equals_demand_lookups(self, addresses):
+        cache = SetAssociativeCache(CacheConfig(
+            "t", size_bytes=4 * 1024, associativity=2,
+            hit_latency_cycles=1))
+        for address in addresses:
+            if not cache.lookup(address):
+                cache.install(address)
+        assert cache.hits + cache.misses == len(addresses)
+
+    @given(addresses=st.lists(lines, max_size=100),
+           evictions=st.lists(lines, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_invalidate_really_removes(self, addresses, evictions):
+        cache = SetAssociativeCache(CacheConfig(
+            "t", size_bytes=64 * 1024, associativity=8,
+            hit_latency_cycles=1))
+        for address in addresses:
+            cache.install(address)
+        for address in evictions:
+            cache.invalidate(address)
+            assert not cache.contains(address)
+
+
+class TestWindowProperties:
+    @given(points=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e6),
+                  st.floats(min_value=0, max_value=1e3)),
+        max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_total_matches_bruteforce(self, points):
+        points = sorted(points)
+        span = 1000.0
+        window = SlidingWindow(span)
+        for index, (time_ns, value) in enumerate(points):
+            window.add(time_ns, value)
+            now = time_ns
+            expected = sum(v for t, v in points[:index + 1]
+                           if t > now - span)
+            assert abs(window.total() - expected) < 1e-6 * max(1, expected)
+
+
+class TestPercentileProperties:
+    values = st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False), min_size=1, max_size=200)
+
+    @given(values=values, q=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=150, deadline=None)
+    def test_bounded_by_min_max(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(values=values,
+           qs=st.tuples(st.floats(min_value=0, max_value=100),
+                        st.floats(min_value=0, max_value=100)))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_q(self, values, qs):
+        low_q, high_q = sorted(qs)
+        assert percentile(values, low_q) <= percentile(values, high_q)
+
+    @given(values=values, q=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, values, q):
+        assert percentile(values, q) == np.float64(
+            np.percentile(values, q)) or abs(
+            percentile(values, q) - np.percentile(values, q)) <= 1e-6 * (
+            abs(np.percentile(values, q)) + 1)
+
+
+class TestDRAMProperties:
+    @given(u1=st.floats(min_value=0, max_value=2),
+           u2=st.floats(min_value=0, max_value=2))
+    @settings(max_examples=150, deadline=None)
+    def test_latency_monotone(self, u1, u2):
+        dram = DRAMModel(DRAMConfig())
+        low, high = sorted((u1, u2))
+        assert (dram.latency_at_utilization(low)
+                <= dram.latency_at_utilization(high) + 1e-9)
+
+    @given(requests=st.lists(st.booleans(), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_fill_accounting_conserved(self, requests):
+        dram = DRAMModel(DRAMConfig())
+        for index, is_prefetch in enumerate(requests):
+            dram.request(float(index), is_prefetch=is_prefetch)
+        assert dram.total_fills == len(requests)
+        assert dram.total_bytes == 64 * len(requests)
+        assert dram.prefetch_fills == sum(requests)
+
+
+class TestMSRProperties:
+    registers = st.lists(st.sampled_from([c.name for c in
+                                          INTEL_LIKE_MAP.controls]),
+                         max_size=30)
+
+    @given(toggles=registers)
+    @settings(max_examples=100, deadline=None)
+    def test_enable_disable_algebra(self, toggles):
+        """Any interleaving of per-prefetcher disables followed by
+        enable_all returns to the reset state."""
+        msrs = MSRFile()
+        INTEL_LIKE_MAP.declare_registers(msrs)
+        for name in toggles:
+            INTEL_LIKE_MAP.disable_one(msrs, name)
+            state = INTEL_LIKE_MAP.enabled_prefetchers(msrs)
+            assert state[name] is False
+        INTEL_LIKE_MAP.enable_all(msrs)
+        assert INTEL_LIKE_MAP.all_enabled(msrs)
+
+
+stats_values = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=5_000),
+)
+
+
+def make_stats(values):
+    instructions, compute, stall, misses = values
+    return FunctionStats(instructions=instructions, compute_cycles=compute,
+                         stall_cycles=stall, llc_misses=misses)
+
+
+class TestStatsProperties:
+    @given(a=stats_values, b=stats_values)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_adds_fields(self, a, b):
+        merged = make_stats(a)
+        merged.merge(make_stats(b))
+        assert merged.instructions == a[0] + b[0]
+        assert merged.llc_misses == a[3] + b[3]
+        expected = make_stats(a).cycles + make_stats(b).cycles
+        assert abs(merged.cycles - expected) <= 1e-9 * max(1.0, expected)
+
+    @given(a=stats_values)
+    @settings(max_examples=100, deadline=None)
+    def test_mpki_definition(self, a):
+        stats = make_stats(a)
+        if stats.instructions:
+            assert stats.llc_mpki == 1000.0 * a[3] / a[0]
+        else:
+            assert stats.llc_mpki == 0.0

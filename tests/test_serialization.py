@@ -1,0 +1,135 @@
+"""Tests for trace and result serialization."""
+
+import json
+
+import pytest
+
+from repro.access import AccessKind, MemoryAccess, Trace
+from repro.access.trace import software_prefetch
+from repro.errors import TraceError
+from repro.memsys import MemoryHierarchy, PrefetcherBank
+from repro.serialization import (
+    access_from_dict,
+    access_to_dict,
+    load_trace_jsonl,
+    run_result_to_dict,
+    save_run_result,
+    save_trace_jsonl,
+    trace_from_dicts,
+    trace_to_dicts,
+)
+from repro.workloads import memcpy_trace
+
+
+def sample_trace():
+    return (memcpy_trace(0x1000, 0x9000, 512)
+            + Trace([software_prefetch(0x2000, size=128, pc=3,
+                                       function="memcpy"),
+                     MemoryAccess(address=0x3000, size=4096,
+                                  kind=AccessKind.STREAM_HINT,
+                                  function="memcpy")]))
+
+
+class TestAccessRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        for record in sample_trace():
+            restored = access_from_dict(access_to_dict(record))
+            assert restored == record
+
+    def test_defaults_filled(self):
+        record = access_from_dict({"address": 64})
+        assert record.size == 8
+        assert record.kind is AccessKind.LOAD
+        assert record.function == ""
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TraceError):
+            access_from_dict({})
+        with pytest.raises(TraceError):
+            access_from_dict({"address": 0, "kind": "warp_drive"})
+        with pytest.raises(TraceError):
+            access_from_dict({"address": -5})
+
+
+class TestTraceRoundTrip:
+    def test_dicts_round_trip(self):
+        trace = sample_trace()
+        assert trace_from_dicts(trace_to_dicts(trace)) == trace
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        assert load_trace_jsonl(path) == trace
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"address": 64}\n\n{"address": 128}\n')
+        assert len(load_trace_jsonl(path)) == 2
+
+    def test_jsonl_reports_bad_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"address": 64}\nnot json\n')
+        with pytest.raises(TraceError, match="2"):
+            load_trace_jsonl(path)
+
+    def test_replay_of_loaded_trace_matches_original(self, tmp_path):
+        """A saved-and-reloaded trace simulates identically."""
+        trace = memcpy_trace(0x10000, 0x90000, 8192)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        original = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+        replayed = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(
+            load_trace_jsonl(path))
+        assert replayed.elapsed_ns == original.elapsed_ns
+        assert replayed.total.llc_misses == original.total.llc_misses
+
+
+class TestResultSerialization:
+    def test_run_result_dict_contents(self):
+        trace = memcpy_trace(0x10000, 0x90000, 4096)
+        result = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+        data = run_result_to_dict(result)
+        assert data["elapsed_ns"] == result.elapsed_ns
+        assert data["total"]["llc_mpki"] == result.total.llc_mpki
+        assert "memcpy" in data["functions"]
+        json.dumps(data)  # JSON-safe
+
+    def test_save_run_result(self, tmp_path):
+        trace = memcpy_trace(0x10000, 0x90000, 1024)
+        result = MemoryHierarchy(prefetchers=PrefetcherBank([])).run(trace)
+        path = tmp_path / "result.json"
+        save_run_result(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["dram_demand_fills"] == result.dram_demand_fills
+
+
+class TestFleetMetricsSerialization:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        from repro.fleet import Fleet
+        return Fleet(machines=4, seed=2).run(10)
+
+    def test_summary_contents(self, metrics):
+        from repro.serialization import fleet_metrics_to_dict
+        data = fleet_metrics_to_dict(metrics)
+        assert data["epochs"] == 10
+        assert data["bandwidth"]["mean"] == pytest.approx(
+            metrics.bandwidth_summary().mean)
+        assert data["normalized_throughput"] == pytest.approx(
+            metrics.normalized_throughput)
+        assert "samples" not in data
+        json.dumps(data)
+
+    def test_samples_optional(self, metrics):
+        from repro.serialization import fleet_metrics_to_dict
+        data = fleet_metrics_to_dict(metrics, include_samples=True)
+        assert (len(data["samples"]["socket_bandwidth"])
+                == len(metrics.socket_bandwidth))
+
+    def test_save_fleet_metrics(self, metrics, tmp_path):
+        from repro.serialization import save_fleet_metrics
+        path = tmp_path / "metrics.json"
+        save_fleet_metrics(metrics, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["epochs"] == 10

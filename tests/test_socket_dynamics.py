@@ -1,0 +1,85 @@
+"""Tests for socket-level dynamics: toggle costs, damping, saturation."""
+
+import pytest
+
+from repro.fleet import PLATFORM_1, SimulatedSocket, Task
+from repro.units import SECOND
+
+
+def task(name="t", cores=8.0, bandwidth=35.0, mb=0.4, sigma=0.0):
+    return Task(name=name, cores=cores, base_qps=100.0 * cores,
+                bandwidth_demand=bandwidth, memory_boundedness=mb,
+                function_shares={"memcpy": 0.3, "pointer_chase": 0.7},
+                noise_sigma=sigma)
+
+
+def loaded_socket(tasks=4, bandwidth=35.0):
+    socket = SimulatedSocket(PLATFORM_1)
+    for index in range(tasks):
+        socket.add_task(task(name=f"t{index}", bandwidth=bandwidth))
+    return socket
+
+
+class TestTogglePenalty:
+    def test_toggle_costs_one_epoch_of_qps(self):
+        socket = loaded_socket()
+        steady = socket.step(0.0).qps
+        socket.force_prefetchers(False)
+        toggled = socket.step(1 * SECOND).qps
+        socket.step(2 * SECOND)  # settle in the new state
+        settled = socket.step(3 * SECOND).qps
+        assert socket.toggles == 1
+        # The toggle epoch pays the penalty relative to the settled state.
+        assert toggled < settled
+        assert toggled == pytest.approx(
+            settled * (1 - SimulatedSocket.TOGGLE_PENALTY), rel=0.05)
+
+    def test_no_toggle_no_penalty(self):
+        socket = loaded_socket()
+        socket.step(0.0)
+        socket.step(1 * SECOND)
+        assert socket.toggles == 0
+
+    def test_toggle_counted_each_flip(self):
+        socket = loaded_socket()
+        socket.step(0.0)
+        for tick in range(1, 5):
+            socket.force_prefetchers(tick % 2 == 0)
+            socket.step(tick * SECOND)
+        assert socket.toggles == 4
+
+
+class TestFixedPointStability:
+    def test_no_oscillation_under_heavy_overload(self):
+        """The damped iteration must settle even far past the knee."""
+        socket = loaded_socket(tasks=5, bandwidth=45.0)
+        values = [socket.step(t * SECOND).bandwidth for t in range(6)]
+        # Consecutive steady-state epochs agree closely.
+        for a, b in zip(values[2:], values[3:]):
+            assert b == pytest.approx(a, rel=0.02)
+
+    def test_saturated_flag(self):
+        socket = loaded_socket(tasks=5, bandwidth=45.0)
+        epoch = socket.step(0.0)
+        assert epoch.saturated
+        idle = SimulatedSocket(PLATFORM_1).step(0.0)
+        assert not idle.saturated
+
+    def test_latency_never_below_unloaded(self):
+        socket = loaded_socket()
+        epoch = socket.step(0.0)
+        assert epoch.latency_ns >= socket.latency_at(0.0)
+
+
+class TestSoftDeploymentDynamics:
+    def test_soft_only_matters_when_prefetchers_off(self):
+        """Soft Limoncello is inert while hardware prefetchers run."""
+        def qps(soft, hw):
+            socket = loaded_socket(tasks=2, bandwidth=10.0)
+            socket.soft_deployed = soft
+            socket.force_prefetchers(hw)
+            return socket.step(0.0).qps
+
+        assert qps(soft=True, hw=True) == pytest.approx(
+            qps(soft=False, hw=True))
+        assert qps(soft=True, hw=False) > qps(soft=False, hw=False)

@@ -1,0 +1,65 @@
+"""Tests for PrefetchDescriptor (the Section 4.2 design space)."""
+
+import pytest
+
+from repro.core import PrefetchDescriptor
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults(self):
+        d = PrefetchDescriptor("memcpy")
+        assert d.distance_bytes == 512
+        assert d.degree_bytes == 256
+        assert d.clamp_to_stream
+
+    def test_lines_properties(self):
+        d = PrefetchDescriptor("memcpy", distance_bytes=512, degree_bytes=256)
+        assert d.distance_lines == 8
+        assert d.degree_lines == 4
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchDescriptor("")
+
+    def test_sub_line_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchDescriptor("f", distance_bytes=32)
+
+    def test_unaligned_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchDescriptor("f", distance_bytes=100)
+
+    def test_unaligned_degree_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchDescriptor("f", degree_bytes=100)
+
+    def test_negative_gate_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchDescriptor("f", min_size_bytes=-1)
+
+
+class TestBehaviour:
+    def test_with_distance_and_degree(self):
+        d = PrefetchDescriptor("f").with_distance(1024).with_degree(512)
+        assert d.distance_bytes == 1024
+        assert d.degree_bytes == 512
+        assert d.function == "f"
+
+    def test_size_gate(self):
+        d = PrefetchDescriptor("f", min_size_bytes=4096)
+        assert not d.applies_to(1024)
+        assert d.applies_to(4096)
+        assert d.applies_to(1 << 20)
+
+    def test_no_gate_applies_to_everything(self):
+        assert PrefetchDescriptor("f").applies_to(64)
+
+    def test_label_mentions_parameters(self):
+        d = PrefetchDescriptor("memcpy", distance_bytes=512,
+                               degree_bytes=256, min_size_bytes=1024,
+                               clamp_to_stream=False)
+        label = d.label()
+        assert "memcpy" in label
+        assert "512" in label
+        assert "unclamped" in label

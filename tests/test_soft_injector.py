@@ -1,0 +1,152 @@
+"""Tests for the software-prefetch trace injector."""
+
+import pytest
+
+from repro.access import AccessKind, AddressSpace, MemoryAccess, Trace
+from repro.core import PrefetchDescriptor, SoftwarePrefetchInjector
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads import hashing_trace, memcpy_trace
+
+
+def prefetches(trace):
+    return [r for r in trace if r.kind is AccessKind.SOFTWARE_PREFETCH]
+
+
+def injector_for(function="memcpy", **kwargs):
+    return SoftwarePrefetchInjector([PrefetchDescriptor(function, **kwargs)])
+
+
+class TestStreamDetection:
+    def test_untargeted_functions_untouched(self):
+        trace = memcpy_trace(0x10000, 0x90000, 4096)
+        injector = injector_for("some_other_function")
+        out = injector.inject(trace)
+        assert out == trace
+        assert injector.last_stats.streams_seen == 0
+
+    def test_memcpy_has_two_streams(self):
+        """memcpy's loads and stores are separate (function, pc) streams."""
+        trace = memcpy_trace(0x10000, 0x90000, 8192)
+        injector = injector_for("memcpy", min_size_bytes=0)
+        injector.inject(trace)
+        assert injector.last_stats.streams_seen == 2
+        assert injector.last_stats.streams_instrumented == 2
+
+    def test_broken_stream_splits_runs(self):
+        records = [MemoryAccess(address=0x10000 + i * 64, pc=1, function="f")
+                   for i in range(8)]
+        records += [MemoryAccess(address=0x90000 + i * 64, pc=1, function="f")
+                    for i in range(8)]
+        injector = injector_for("f")
+        injector.inject(Trace(records))
+        assert injector.last_stats.streams_seen == 2
+
+    def test_existing_prefetches_ignored(self):
+        trace = memcpy_trace(0x10000, 0x90000, 4096)
+        injector = injector_for("memcpy")
+        once = injector.inject(trace)
+        count_once = len(prefetches(once))
+        twice = injector_for("memcpy").inject(once)
+        assert len(prefetches(twice)) == 2 * count_once  # re-inserts for
+        # demand records but never treats prefetch records as stream parts.
+
+
+class TestInsertionSemantics:
+    def test_prefetch_addresses_are_distance_ahead(self):
+        size = 64 * CACHE_LINE_BYTES
+        trace = Trace([
+            MemoryAccess(address=0x10000 + i * 64, pc=7, function="f")
+            for i in range(64)
+        ])
+        injector = injector_for("f", distance_bytes=512, degree_bytes=64,
+                                clamp_to_stream=False)
+        out = injector.inject(trace)
+        for record in prefetches(out):
+            # Every prefetch lands exactly 512B ahead of some stream point.
+            offset = record.address - 0x10000
+            assert offset >= 512
+            assert offset % 64 == 0
+
+    def test_one_prefetch_per_degree_bytes(self):
+        lines = 64
+        trace = Trace([
+            MemoryAccess(address=0x10000 + i * 64, pc=7, function="f")
+            for i in range(lines)
+        ])
+        injector = injector_for("f", distance_bytes=64, degree_bytes=256,
+                                clamp_to_stream=False)
+        out = injector.inject(trace)
+        assert len(prefetches(out)) == lines * 64 // 256
+
+    def test_clamping_never_prefetches_past_stream(self):
+        trace = Trace([
+            MemoryAccess(address=0x10000 + i * 64, pc=7, function="f")
+            for i in range(16)  # 1 KiB stream
+        ])
+        injector = injector_for("f", distance_bytes=512, degree_bytes=256,
+                                clamp_to_stream=True)
+        out = injector.inject(trace)
+        end = 0x10000 + 16 * 64
+        for record in prefetches(out):
+            assert record.address + record.size <= end
+
+    def test_unclamped_overshoots(self):
+        trace = Trace([
+            MemoryAccess(address=0x10000 + i * 64, pc=7, function="f")
+            for i in range(16)
+        ])
+        injector = injector_for("f", distance_bytes=512, degree_bytes=256,
+                                clamp_to_stream=False)
+        out = injector.inject(trace)
+        end = 0x10000 + 16 * 64
+        assert any(r.address + r.size > end for r in prefetches(out))
+
+    def test_size_gate_skips_short_streams(self):
+        short = memcpy_trace(0x10000, 0x90000, 256)
+        injector = injector_for("memcpy", min_size_bytes=4096)
+        out = injector.inject(short)
+        assert prefetches(out) == []
+        assert injector.last_stats.streams_gated == 2
+
+    def test_prefetch_pc_differs_from_demand_pc(self):
+        trace = memcpy_trace(0x10000, 0x90000, 8192)
+        injector = injector_for("memcpy")
+        out = injector.inject(trace)
+        demand_pcs = {r.pc for r in out if r.is_demand}
+        prefetch_pcs = {r.pc for r in prefetches(out)}
+        assert demand_pcs.isdisjoint(prefetch_pcs)
+
+    def test_demand_records_preserved_in_order(self):
+        trace = memcpy_trace(0x10000, 0x90000, 8192)
+        out = injector_for("memcpy").inject(trace)
+        assert list(out.demand_only()) == list(trace)
+
+    def test_multiple_descriptors(self):
+        space = AddressSpace()
+        trace = memcpy_trace(0x10000, 0x90000, 8192) + hashing_trace(space, 8192)
+        injector = SoftwarePrefetchInjector([
+            PrefetchDescriptor("memcpy"),
+            PrefetchDescriptor("hash"),
+        ])
+        out = injector.inject(trace)
+        functions = {r.function for r in prefetches(out)}
+        assert functions == {"memcpy", "hash"}
+
+    def test_duplicate_descriptor_rejected(self):
+        with pytest.raises(ConfigError):
+            SoftwarePrefetchInjector([
+                PrefetchDescriptor("f"), PrefetchDescriptor("f")])
+
+    def test_stats_per_function(self):
+        trace = memcpy_trace(0x10000, 0x90000, 8192)
+        injector = injector_for("memcpy")
+        injector.inject(trace)
+        assert injector.last_stats.per_function["memcpy"] > 0
+        assert (injector.last_stats.prefetches_inserted
+                == sum(injector.last_stats.per_function.values()))
+
+    def test_functions_property(self):
+        injector = SoftwarePrefetchInjector([
+            PrefetchDescriptor("b"), PrefetchDescriptor("a")])
+        assert injector.functions == ["a", "b"]

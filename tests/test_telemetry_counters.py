@@ -1,0 +1,59 @@
+"""Tests for repro.telemetry.counters."""
+
+import pytest
+
+from repro.telemetry import CounterSet
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("hits")
+        counters.add("hits", 2)
+        assert counters.get("hits") == 3
+        assert counters["hits"] == 3
+
+    def test_missing_is_zero(self):
+        assert CounterSet().get("nope") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1)
+
+    def test_contains(self):
+        counters = CounterSet()
+        counters.add("x")
+        assert "x" in counters
+        assert "y" not in counters
+
+    def test_snapshot_is_independent(self):
+        counters = CounterSet()
+        counters.add("x", 5)
+        snap = counters.snapshot()
+        counters.add("x", 5)
+        assert snap["x"] == 5
+        assert counters["x"] == 10
+
+    def test_delta(self):
+        counters = CounterSet()
+        counters.add("x", 5)
+        snap = counters.snapshot()
+        counters.add("x", 3)
+        counters.add("y", 1)
+        delta = counters.delta(snap)
+        assert delta == {"x": 3, "y": 1}
+
+    def test_merge(self):
+        a, b = CounterSet(), CounterSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_iter_sorted(self):
+        counters = CounterSet()
+        counters.add("b")
+        counters.add("a")
+        assert [name for name, _ in counters] == ["a", "b"]

@@ -1,0 +1,54 @@
+"""Tests for repro.telemetry.percentile."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import PercentileSummary, percentile
+
+
+class TestPercentile:
+    def test_matches_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 25, 50, 90, 99, 100):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestPercentileSummary:
+    def test_of(self):
+        values = list(map(float, range(1, 101)))
+        summary = PercentileSummary.of(values)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(np.percentile(values, 50))
+        assert summary.p99 == pytest.approx(np.percentile(values, 99))
+        assert summary.peak == 100.0
+
+    def test_of_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            PercentileSummary.of([])
+
+    def test_relative_change(self):
+        baseline = PercentileSummary.of([100.0] * 10)
+        lower = PercentileSummary.of([85.0] * 10)
+        change = lower.relative_change(baseline)
+        assert change["mean"] == pytest.approx(-0.15)
+        assert change["p99"] == pytest.approx(-0.15)
+
+    def test_relative_change_zero_baseline(self):
+        baseline = PercentileSummary.of([0.0])
+        other = PercentileSummary.of([1.0])
+        assert other.relative_change(baseline)["mean"] == 0.0

@@ -1,0 +1,90 @@
+"""Tests for repro.telemetry.timeseries."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import TimeSeries
+
+
+class TestAppend:
+    def test_append_and_len(self):
+        series = TimeSeries("bw")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_rejects_backwards_time(self):
+        series = TimeSeries()
+        series.append(10.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.append(5.0, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = TimeSeries()
+        series.append(10.0, 1.0)
+        series.append(10.0, 2.0)
+        assert len(series) == 2
+
+    def test_extend(self):
+        series = TimeSeries()
+        series.extend([(0.0, 1.0), (1.0, 2.0)])
+        assert series.values == (1.0, 2.0)
+
+
+class TestQueries:
+    def make(self):
+        series = TimeSeries("x")
+        series.extend([(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 40.0)])
+        return series
+
+    def test_last(self):
+        point = self.make().last()
+        assert point.time_ns == 3.0
+        assert point.value == 40.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            TimeSeries().last()
+
+    def test_between_half_open(self):
+        sub = self.make().between(1.0, 3.0)
+        assert sub.values == (20.0, 30.0)
+
+    def test_mean_max_min(self):
+        series = self.make()
+        assert series.mean() == 25.0
+        assert series.maximum() == 40.0
+        assert series.minimum() == 10.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            TimeSeries().mean()
+
+
+class TestResample:
+    def test_buckets_average(self):
+        series = TimeSeries()
+        series.extend([(0.0, 1.0), (0.5, 3.0), (1.0, 10.0)])
+        resampled = series.resample(1.0)
+        assert resampled.values == (2.0, 10.0)
+
+    def test_empty_buckets_skipped(self):
+        series = TimeSeries()
+        series.extend([(0.0, 1.0), (5.0, 9.0)])
+        resampled = series.resample(1.0)
+        assert len(resampled) == 2
+        assert resampled.times == (0.0, 5.0)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample(0.0)
+
+    def test_empty_series(self):
+        assert len(TimeSeries().resample(1.0)) == 0
+
+    def test_iteration_yields_points(self):
+        series = TimeSeries()
+        series.append(1.0, 2.0)
+        points = list(series)
+        assert points[0].time_ns == 1.0
+        assert points[0].value == 2.0

@@ -1,0 +1,59 @@
+"""Tests for repro.telemetry.window."""
+
+import pytest
+
+from repro.telemetry import SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_sum_within_window(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        window.add(5.0, 7.0)
+        assert window.total() == 12.0
+
+    def test_old_entries_evicted(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        window.add(11.0, 7.0)
+        assert window.total() == 7.0
+
+    def test_boundary_is_exclusive(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        window.add(10.0, 1.0)
+        # Entry at t=0 is exactly span old -> evicted.
+        assert window.total() == 1.0
+
+    def test_rate(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 30.0)
+        assert window.rate() == pytest.approx(3.0)
+
+    def test_advance_evicts(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        window.advance(100.0)
+        assert window.total() == 0.0
+        assert len(window) == 0
+
+    def test_total_with_now_evicts(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        assert window.total(now=50.0) == 0.0
+
+    def test_rejects_time_regression(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            window.add(4.0, 1.0)
+
+    def test_bad_span(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(span_ns=0.0)
+
+    def test_clear(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        window.clear()
+        assert window.total() == 0.0

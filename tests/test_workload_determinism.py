@@ -1,0 +1,60 @@
+"""Every workload generator must be deterministic given its seed —
+the foundation of the paired-experiment methodology."""
+
+import random
+
+import pytest
+
+from repro.access import AddressSpace
+from repro.workloads import (
+    FUNCTION_ROSTER,
+    SPEC_SUITE,
+    database_server,
+    fleetbench_trace,
+    ml_model_server,
+    search_backend,
+    suite_trace,
+)
+
+
+def twice(build):
+    """Build the same artifact twice from identical seeds."""
+    return (build(random.Random(123), AddressSpace()),
+            build(random.Random(123), AddressSpace()))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(FUNCTION_ROSTER))
+    def test_roster_functions(self, name):
+        profile = FUNCTION_ROSTER[name]
+        a, b = twice(lambda rng, space: profile.trace(rng, space, scale=0.3))
+        assert a == b
+
+    @pytest.mark.parametrize("factory", [search_backend, ml_model_server,
+                                         database_server])
+    def test_applications(self, factory):
+        app = factory()
+        a, b = twice(lambda rng, space: app.request_trace(rng, space,
+                                                          scale=0.2))
+        assert a == b
+
+    @pytest.mark.parametrize("spec_member", SPEC_SUITE,
+                             ids=lambda member: member.name)
+    def test_spec_members(self, spec_member):
+        a, b = twice(lambda rng, space: spec_member.trace(rng, space,
+                                                          scale=0.2))
+        assert a == b
+
+    def test_spec_suite(self):
+        a, b = twice(lambda rng, space: suite_trace(rng, space, scale=0.2))
+        assert a == b
+
+    def test_fleet_mix(self):
+        a, b = twice(lambda rng, space: fleetbench_trace(rng, space,
+                                                         scale=0.4))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = fleetbench_trace(random.Random(1), AddressSpace(), scale=0.4)
+        b = fleetbench_trace(random.Random(2), AddressSpace(), scale=0.4)
+        assert a != b

@@ -1,0 +1,210 @@
+"""Tests for irregular, app, SPEC, size-distribution, and mix generators."""
+
+import random
+
+import pytest
+
+from repro.access import AddressSpace
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads import (
+    FUNCTION_ROSTER,
+    FunctionCategory,
+    MemcpySizeDistribution,
+    SPEC_SUITE,
+    TAX_CATEGORIES,
+    btree_lookup_trace,
+    database_server,
+    fleet_mix_trace,
+    fleetbench_trace,
+    generate_function_trace,
+    hashmap_probe_trace,
+    ml_model_server,
+    pointer_chase_trace,
+    search_backend,
+    size_histogram,
+    suite_trace,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+class TestSizeDistribution:
+    def test_samples_in_bounds(self, rng):
+        dist = MemcpySizeDistribution(min_bytes=16, max_bytes=1 << 20)
+        for _ in range(500):
+            size = dist.sample(rng)
+            assert 16 <= size <= 1 << 20
+
+    def test_mostly_small_with_long_tail(self, rng):
+        """Figure 14: most copies are small; a long tail of large ones."""
+        dist = MemcpySizeDistribution()
+        samples = dist.sample_many(rng, 5000)
+        small = sum(1 for s in samples if s <= 1024)
+        huge = sum(1 for s in samples if s >= 64 * 1024)
+        assert small / len(samples) > 0.7
+        assert huge > 0
+
+    def test_scaled_increases_mean(self, rng):
+        base = MemcpySizeDistribution()
+        bigger = base.scaled(1.26)
+        mean_base = base.mean_of(random.Random(1), 5000)
+        mean_big = bigger.mean_of(random.Random(1), 5000)
+        assert mean_big > mean_base * 1.1
+
+    def test_deterministic_given_seed(self):
+        dist = MemcpySizeDistribution()
+        a = dist.sample_many(random.Random(9), 100)
+        b = dist.sample_many(random.Random(9), 100)
+        assert a == b
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            MemcpySizeDistribution(scale=0)
+        with pytest.raises(ValueError):
+            MemcpySizeDistribution(min_bytes=10, max_bytes=5)
+
+    def test_histogram_sums_to_one(self, rng):
+        samples = MemcpySizeDistribution().sample_many(rng, 1000)
+        edges = [16, 64, 256, 1024, 4096, 1 << 16, 1 << 23]
+        hist = size_histogram(samples, edges)
+        assert sum(frac for _, frac in hist) == pytest.approx(1.0)
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            size_histogram([], [1, 2])
+        with pytest.raises(ValueError):
+            size_histogram([1], [2, 1])
+
+
+class TestIrregular:
+    def test_pointer_chase_addresses_within_working_set(self, space, rng):
+        trace = pointer_chase_trace(space, 1 << 20, 200, rng=rng)
+        base = min(r.address for r in trace)
+        assert all(base <= r.address < base + (1 << 20) for r in trace)
+        assert all(r.address % CACHE_LINE_BYTES == 0 for r in trace)
+
+    def test_pointer_chase_is_irregular(self, space, rng):
+        trace = pointer_chase_trace(space, 1 << 24, 500, rng=rng)
+        deltas = {b.address - a.address for a, b in zip(trace, trace[1:])}
+        assert len(deltas) > 100  # no dominant stride
+
+    def test_btree_levels_have_distinct_pcs(self, space, rng):
+        trace = btree_lookup_trace(space, keys=10, rng=rng, depth=4)
+        assert len({r.pc for r in trace}) == 4
+
+    def test_hashmap_two_loads_per_probe(self, space, rng):
+        trace = hashmap_probe_trace(space, probes=50, rng=rng)
+        assert len(trace) == 100
+
+    def test_validation(self, space, rng):
+        with pytest.raises(ValueError):
+            pointer_chase_trace(space, 32, 10, rng=rng)
+        with pytest.raises(ValueError):
+            btree_lookup_trace(space, keys=0, rng=rng)
+        with pytest.raises(ValueError):
+            hashmap_probe_trace(space, probes=0, rng=rng)
+
+
+class TestRoster:
+    def test_all_functions_generate(self, rng):
+        for name in FUNCTION_ROSTER:
+            trace = generate_function_trace(name, rng, AddressSpace(),
+                                            scale=0.2)
+            assert len(trace) > 0
+            assert all(r.function for r in trace)
+
+    def test_attribution_matches_roster_name(self, rng):
+        for name in ("memcpy", "compress", "hash", "pointer_chase"):
+            trace = generate_function_trace(name, rng, AddressSpace(),
+                                            scale=0.2)
+            assert {r.function for r in trace} == {name}
+
+    def test_tax_share_of_cycles_30_to_40_percent(self):
+        tax = sum(p.cycle_share for p in FUNCTION_ROSTER.values()
+                  if p.category in TAX_CATEGORIES)
+        assert 0.30 <= tax <= 0.40
+
+    def test_unknown_function_raises(self, rng):
+        with pytest.raises(ConfigError):
+            generate_function_trace("nope", rng, AddressSpace())
+
+    def test_bad_scale(self, rng):
+        with pytest.raises(ConfigError):
+            generate_function_trace("memcpy", rng, AddressSpace(), scale=0)
+
+
+class TestApps:
+    @pytest.mark.parametrize("factory", [search_backend, ml_model_server,
+                                         database_server])
+    def test_request_traces_generate(self, factory, rng):
+        app = factory()
+        trace = app.request_trace(rng, AddressSpace(), scale=0.3)
+        assert len(trace) > 0
+
+    def test_weights_normalized(self):
+        for factory in (search_backend, ml_model_server, database_server):
+            weights = factory().weights
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_ml_server_is_most_irregular(self):
+        assert ml_model_server().tax_fraction() < search_backend().tax_fraction()
+        assert search_backend().tax_fraction() < database_server().tax_fraction()
+
+    def test_workload_trace_scales_with_requests(self, rng):
+        app = search_backend()
+        one = app.workload_trace(random.Random(1), AddressSpace(), 1, scale=0.2)
+        two = app.workload_trace(random.Random(1), AddressSpace(), 2, scale=0.2)
+        assert len(two) > len(one)
+
+    def test_invalid_mix_rejected(self):
+        from repro.workloads.apps import ApplicationModel
+        with pytest.raises(ConfigError):
+            ApplicationModel(name="x", mix=())
+        with pytest.raises(ConfigError):
+            ApplicationModel(name="x", mix=(("nope", 1.0),))
+        with pytest.raises(ConfigError):
+            ApplicationModel(name="x", mix=(("memcpy", 0.0),))
+
+
+class TestSpec:
+    def test_suite_members_generate(self, rng):
+        for benchmark in SPEC_SUITE:
+            trace = benchmark.trace(rng, AddressSpace(), scale=0.2)
+            assert len(trace) > 0
+
+    def test_suite_is_regular_dominated(self, rng):
+        trace = suite_trace(rng, AddressSpace(), scale=0.2)
+        irregular = sum(1 for r in trace if r.function == "spec_irregular")
+        assert irregular / len(trace) < 0.3
+
+
+class TestMixes:
+    def test_fleetbench_contains_all_roster_functions(self, rng):
+        trace = fleetbench_trace(rng, AddressSpace(), scale=0.5)
+        assert set(trace.functions()) == set(FUNCTION_ROSTER)
+
+    def test_custom_weights(self, rng):
+        trace = fleet_mix_trace(rng, AddressSpace(),
+                                weights={"memcpy": 1.0}, scale=0.5)
+        assert set(trace.functions()) == {"memcpy"}
+
+    def test_zero_weight_excluded(self, rng):
+        trace = fleet_mix_trace(
+            rng, AddressSpace(),
+            weights={"memcpy": 1.0, "hash": 0.0}, scale=0.5)
+        assert "hash" not in trace.functions()
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            fleet_mix_trace(rng, AddressSpace(), weights={"nope": 1.0})
+        with pytest.raises(ConfigError):
+            fleet_mix_trace(rng, AddressSpace(), scale=0)

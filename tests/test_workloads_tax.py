@@ -1,0 +1,175 @@
+"""Tests for data-center-tax trace generators."""
+
+import random
+
+import pytest
+
+from repro.access import AccessKind, AddressSpace
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads import (
+    FunctionCategory,
+    category_of_function,
+    compress_trace,
+    crc32_trace,
+    decompress_trace,
+    deserialize_trace,
+    hashing_trace,
+    memcpy_call_trace,
+    memcpy_trace,
+    memmove_trace,
+    memset_trace,
+    serialize_trace,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestMemcpy:
+    def test_loads_and_stores_interleaved(self):
+        trace = memcpy_trace(src=0x10000, dst=0x20000, size=256)
+        loads = [r for r in trace if r.kind is AccessKind.LOAD]
+        stores = [r for r in trace if r.kind is AccessKind.STORE]
+        assert len(loads) == 4
+        assert len(stores) == 4
+        assert [r.address for r in loads] == [0x10000 + i * 64 for i in range(4)]
+        assert [r.address for r in stores] == [0x20000 + i * 64 for i in range(4)]
+
+    def test_sub_line_copy_is_one_line(self):
+        trace = memcpy_trace(src=0, dst=0x1000, size=8)
+        assert len(trace) == 2
+
+    def test_function_attribution(self):
+        trace = memcpy_trace(src=0, dst=0x1000, size=64)
+        assert all(r.function == "memcpy" for r in trace)
+
+    def test_stable_pcs(self):
+        trace = memcpy_trace(src=0, dst=0x1000, size=256)
+        load_pcs = {r.pc for r in trace if r.kind is AccessKind.LOAD}
+        assert len(load_pcs) == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            memcpy_trace(0, 0x1000, 0)
+
+    def test_call_trace_fresh_buffers(self, space):
+        trace = memcpy_call_trace(space, [128, 128])
+        addresses = [r.address for r in trace]
+        # Four distinct buffers: 2 srcs + 2 dsts, none overlapping.
+        assert len({a & ~0xFFF for a in addresses}) >= 4
+
+    def test_call_trace_gap_applied(self, space):
+        trace = memcpy_call_trace(space, [64], gap_between_calls=100)
+        assert trace[0].gap_cycles >= 100
+
+
+class TestMemmove:
+    def test_non_overlapping_is_memcpy_shaped(self):
+        trace = memmove_trace(src=0x10000, dst=0x90000, size=128)
+        assert trace[0].function == "memmove"
+        loads = [r.address for r in trace if r.kind is AccessKind.LOAD]
+        assert loads == sorted(loads)
+
+    def test_overlapping_walks_backwards(self):
+        trace = memmove_trace(src=0x10000, dst=0x10040, size=4096)
+        loads = [r.address for r in trace if r.kind is AccessKind.LOAD]
+        assert loads == sorted(loads, reverse=True)
+
+
+class TestMemset:
+    def test_all_stores(self):
+        trace = memset_trace(dst=0x1000, size=256)
+        assert all(r.kind is AccessKind.STORE for r in trace)
+        assert len(trace) == 4
+
+
+class TestCompression:
+    def test_output_smaller_than_input(self, space):
+        trace = compress_trace(space, input_size=64 * 1024,
+                               rng=random.Random(0), ratio=0.5)
+        stores = [r for r in trace if r.kind is AccessKind.STORE]
+        loads = [r for r in trace if r.kind is AccessKind.LOAD
+                 and r.size == CACHE_LINE_BYTES]
+        assert len(stores) < len(loads)
+        assert len(stores) >= len(loads) * 0.4
+
+    def test_input_stream_sequential(self, space):
+        trace = compress_trace(space, input_size=4096, rng=random.Random(0))
+        stream = [r.address for r in trace
+                  if r.kind is AccessKind.LOAD and r.size == CACHE_LINE_BYTES]
+        assert stream == sorted(stream)
+
+    def test_probes_stay_within_window(self, space):
+        trace = compress_trace(space, input_size=256 * 1024,
+                               rng=random.Random(1), window_bytes=32 * 1024)
+        lines = [r for r in trace if r.kind is AccessKind.LOAD]
+        big = [r.address for r in lines if r.size == CACHE_LINE_BYTES]
+        base = min(big)
+        for record in lines:
+            if record.size == 8:  # probe
+                assert record.address >= base
+
+    def test_decompress_output_larger(self, space):
+        trace = decompress_trace(space, output_size=64 * 1024,
+                                 rng=random.Random(0), ratio=0.5)
+        stores = [r for r in trace if r.kind is AccessKind.STORE]
+        loads = [r for r in trace if r.kind is AccessKind.LOAD]
+        assert len(stores) > len(loads)
+
+    def test_bad_ratio(self, space):
+        with pytest.raises(ValueError):
+            compress_trace(space, 4096, ratio=0.0)
+
+
+class TestHashing:
+    def test_pure_sequential_reads(self, space):
+        trace = hashing_trace(space, size=8192)
+        assert all(r.kind is AccessKind.LOAD for r in trace)
+        addresses = [r.address for r in trace]
+        assert addresses == sorted(addresses)
+        assert len(trace) == 128
+
+    def test_crc32_low_gap(self, space):
+        trace = crc32_trace(space, size=4096)
+        assert all(r.function == "crc32" for r in trace)
+        assert trace[0].gap_cycles < hashing_trace(space, 4096)[0].gap_cycles
+
+
+class TestSerialization:
+    def test_serialize_reads_and_writes(self, space):
+        trace = serialize_trace(space, message_bytes=4096)
+        kinds = {r.kind for r in trace}
+        assert kinds == {AccessKind.LOAD, AccessKind.STORE}
+
+    def test_serialize_output_sequential(self, space):
+        trace = serialize_trace(space, message_bytes=4096)
+        stores = [r.address for r in trace if r.kind is AccessKind.STORE]
+        assert stores == sorted(stores)
+        deltas = {b - a for a, b in zip(stores, stores[1:])}
+        assert deltas == {CACHE_LINE_BYTES}
+
+    def test_deserialize_input_sequential(self, space):
+        trace = deserialize_trace(space, message_bytes=4096)
+        loads = [r.address for r in trace if r.kind is AccessKind.LOAD]
+        assert loads == sorted(loads)
+
+    def test_bad_sizes(self, space):
+        with pytest.raises(ValueError):
+            serialize_trace(space, 0)
+        with pytest.raises(ValueError):
+            deserialize_trace(space, 100, field_stride=0)
+
+
+class TestCategories:
+    @pytest.mark.parametrize("name,category", [
+        ("memcpy", FunctionCategory.DATA_MOVEMENT),
+        ("memset", FunctionCategory.DATA_MOVEMENT),
+        ("compress", FunctionCategory.COMPRESSION),
+        ("crc32", FunctionCategory.HASHING),
+        ("serialize", FunctionCategory.DATA_TRANSMISSION),
+        ("no_such_function", FunctionCategory.NON_TAX),
+    ])
+    def test_category_lookup(self, name, category):
+        assert category_of_function(name) is category
