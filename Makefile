@@ -1,22 +1,25 @@
 # Convenience targets for the Limoncello reproduction.
 
-.PHONY: install test bench report examples clean
+.PHONY: install lint test bench report examples clean
 
 install:
 	pip install -e .
 
+lint:
+	ruff check src tests benchmarks examples
+
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 report:
-	python -m repro report --out report.md
+	PYTHONPATH=src python -m repro report --out report.md
 
 examples:
 	@for script in examples/*.py; do \
-		echo "==== $$script"; python $$script || exit 1; \
+		echo "==== $$script"; PYTHONPATH=src python $$script || exit 1; \
 	done
 
 clean:

@@ -10,7 +10,6 @@ retraining — modelled by the socket's toggle penalty).
 
 from repro.core import SingleThresholdController
 from repro.fleet import Fleet
-from repro.units import SECOND
 
 
 def socket_toggles(fleet):

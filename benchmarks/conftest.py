@@ -4,13 +4,38 @@ Every benchmark regenerates one table or figure from the paper's
 evaluation, asserts its qualitative shape, and writes the rows it would
 plot to ``benchmarks/results/<name>.txt`` (also echoed to stdout when
 pytest runs with ``-s``).
+
+Fleet-study benchmarks run through the sharded execution engine, so the
+suite honours ``REPRO_WORKERS`` (parallel shards; results are identical
+at any worker count). Study results are also cached on disk under
+``benchmarks/results/.cache`` — a repeated ``make bench`` replays the
+heavy fleet studies from the cache instead of recomputing them. Set
+``REPRO_NO_CACHE=1`` to force recomputation, or ``make clean`` to drop
+the cache with the rest of the results.
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fleet_result_cache():
+    """Point the fleet studies' result cache at benchmarks/results/.cache
+    unless the caller disabled caching or chose another directory."""
+    from repro.fleet.result_cache import CACHE_ENV_VAR
+
+    if os.environ.get("REPRO_NO_CACHE") or os.environ.get(CACHE_ENV_VAR):
+        yield
+        return
+    os.environ[CACHE_ENV_VAR] = str(RESULTS_DIR / ".cache")
+    try:
+        yield
+    finally:
+        os.environ.pop(CACHE_ENV_VAR, None)
 
 
 @pytest.fixture

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.access.record import MemoryAccess
 from repro.access.trace import Trace
 from repro.core.soft.descriptor import PrefetchDescriptor
 from repro.telemetry.percentile import percentile

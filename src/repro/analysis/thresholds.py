@@ -11,7 +11,7 @@ candidate configuration and reports the fleet throughput change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
@@ -52,8 +52,14 @@ class ThresholdStudy:
         self.seed = seed
         self.mode = "hard+soft" if soft else "hard"
 
-    def run(self) -> List[ThresholdOutcome]:
-        """Run every configuration; returns outcomes in input order."""
+    def run(self, workers: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> List[ThresholdOutcome]:
+        """Run every configuration; returns outcomes in input order.
+
+        ``workers`` and ``cache_dir`` pass straight through to each
+        underlying :meth:`AblationStudy.run` — the sweep's ablations
+        shard, parallelize, and cache like any other fleet study.
+        """
         outcomes = []
         for lower, upper in self.configurations:
             # Timing matches the default fleet epoch (10 s): one telemetry
@@ -66,7 +72,7 @@ class ThresholdStudy:
                 mode=self.mode, machines=self.machines, epochs=self.epochs,
                 warmup_epochs=self.warmup_epochs, seed=self.seed,
                 config=config)
-            result = study.run()
+            result = study.run(workers=workers, cache_dir=cache_dir)
             outcomes.append(ThresholdOutcome(
                 label=f"{lower}/{upper}",
                 lower=lower / 100.0,

@@ -85,11 +85,16 @@ def run_latency_curve(args) -> int:
 
 def run_ablation(args) -> int:
     """``repro ablation``: a paired fleet ablation study."""
-    from repro.fleet import AblationStudy
+    from repro.fleet import DEFAULT_SHARD_SIZE, AblationStudy
 
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
     result = AblationStudy(mode=args.mode, machines=args.machines,
                            epochs=args.epochs, warmup_epochs=args.warmup,
-                           seed=args.seed).run()
+                           seed=args.seed, shard_size=shard_size,
+                           ).run(workers=args.workers,
+                                 cache_dir=args.cache_dir)
     bandwidth = result.bandwidth_reduction()
     latency = result.latency_reduction()
     print(f"experiment arm: {args.mode}")
@@ -113,7 +118,8 @@ def run_rollout(args) -> int:
     from repro.fleet import RolloutStudy
 
     result = RolloutStudy(machines=args.machines, epochs=args.epochs,
-                          warmup_epochs=args.warmup, seed=args.seed).run()
+                          warmup_epochs=args.warmup,
+                          seed=args.seed).run(workers=args.workers)
     print("Figure 16 — throughput gain by CPU band")
     _table(("band", "gain"), [(band, f"{gain:+.1%}") for band, gain
                               in result.throughput_gain_by_band().items()])
@@ -141,7 +147,9 @@ def run_thresholds(args) -> int:
 
     outcomes = ThresholdStudy(machines=args.machines, epochs=args.epochs,
                               warmup_epochs=args.warmup, seed=args.seed,
-                              soft=not args.hard_only).run()
+                              soft=not args.hard_only,
+                              ).run(workers=args.workers,
+                                    cache_dir=args.cache_dir)
     _table(("config", "Δthroughput", "Δlatency p50", "Δbandwidth"), [
         (o.label, f"{o.throughput_change:+.2%}",
          f"{o.latency_change_p50:+.2%}",
@@ -185,6 +193,8 @@ def run_report(args) -> int:
         machines, epochs, warmup, hops = 8, 30, 10, 120
     else:
         machines, epochs, warmup, hops = 20, 70, 25, 300
+    workers = getattr(args, "workers", None)
+    cache_dir = getattr(args, "cache_dir", None)
 
     sections = ["# Limoncello reproduction report", ""]
 
@@ -201,7 +211,8 @@ def run_report(args) -> int:
     ]
 
     ablation = AblationStudy(mode="off", machines=machines, epochs=epochs,
-                             warmup_epochs=warmup, seed=11).run()
+                             warmup_epochs=warmup, seed=11,
+                             ).run(workers=workers, cache_dir=cache_dir)
     bandwidth = ablation.bandwidth_reduction()
     sections += [
         "## Prefetcher ablation (Table 1)", "",
@@ -213,14 +224,16 @@ def run_report(args) -> int:
 
     outcomes = ThresholdStudy(machines=machines, epochs=epochs,
                               warmup_epochs=warmup, seed=9,
-                              soft=True).run()
+                              soft=True).run(workers=workers,
+                                             cache_dir=cache_dir)
     sections += ["## Threshold sweep (Figure 10)", ""]
     sections += [f"- {o.label}: {o.throughput_change:+.2%} throughput"
                  for o in outcomes]
     sections.append("")
 
     rollout = RolloutStudy(machines=machines, epochs=epochs,
-                           warmup_epochs=warmup, seed=5).run()
+                           warmup_epochs=warmup,
+                           seed=5).run(workers=workers)
     latency = rollout.latency_reduction()
     shares = rollout.tax_cycle_shares()
     sections += [

@@ -9,6 +9,19 @@ from typing import List, Optional
 from repro.cli import commands
 
 
+def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
+    """Shared sharded-execution flags for the fleet-study subcommands."""
+    subparser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for sharded studies (default: "
+             "$REPRO_WORKERS or 1; 0 = all CPUs); results are identical "
+             "at any worker count")
+    subparser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="reuse study results from this on-disk cache (default: "
+             "$REPRO_CACHE_DIR; unset disables caching)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -52,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--epochs", type=int, default=60)
     ablation.add_argument("--warmup", type=int, default=20)
     ablation.add_argument("--seed", type=int, default=9)
+    ablation.add_argument("--shard-size", type=int, default=None,
+                          help="max machines per shard (default 32)")
+    _add_execution_flags(ablation)
     ablation.set_defaults(run=commands.run_ablation)
 
     rollout = subparsers.add_parser(
@@ -60,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--epochs", type=int, default=70)
     rollout.add_argument("--warmup", type=int, default=25)
     rollout.add_argument("--seed", type=int, default=5)
+    _add_execution_flags(rollout)
     rollout.set_defaults(run=commands.run_rollout)
 
     thresholds = subparsers.add_parser(
@@ -70,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     thresholds.add_argument("--seed", type=int, default=9)
     thresholds.add_argument("--hard-only", action="store_true",
                             help="sweep without Soft Limoncello")
+    _add_execution_flags(thresholds)
     thresholds.set_defaults(run=commands.run_thresholds)
 
     microbench = subparsers.add_parser(
@@ -92,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write to this file (default: stdout)")
     report.add_argument("--quick", action="store_true",
                         help="smaller fleets / fewer epochs")
+    _add_execution_flags(report)
     report.set_defaults(run=commands.run_report)
 
     return parser

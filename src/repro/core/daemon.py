@@ -11,7 +11,7 @@ and re-converged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.actuator import PrefetcherActuator
 from repro.core.config import LimoncelloConfig

@@ -29,10 +29,26 @@ from repro.fleet.machine import Machine
 from repro.fleet.scheduler import BandwidthAwareScheduler
 from repro.fleet.traffic import DiurnalTraffic, VolatileTraffic
 from repro.fleet.cluster import Fleet, FleetMetrics
+from repro.fleet.shard import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    plan_shards,
+    shard_seed,
+)
+from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.result_cache import StudyResultCache, study_cache
 from repro.fleet.ablation import AblationStudy, AblationResult
 from repro.fleet.rollout import RolloutStudy, RolloutResult
 
 __all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ShardPlan",
+    "plan_shards",
+    "shard_seed",
+    "resolve_workers",
+    "run_sharded",
+    "StudyResultCache",
+    "study_cache",
     "PlatformSpec",
     "PLATFORM_1",
     "PLATFORM_2",

@@ -6,22 +6,37 @@ Hard Limoncello), profile both fleetwide, and compare. Here the two arms
 are two fleets built from the *same seed*, so they receive identical
 machine populations and traffic — a paired experiment, tighter than the
 paper could manage on live traffic.
+
+Large studies shard: the machine population splits into deterministic
+sub-fleets (:mod:`repro.fleet.shard`), each shard runs both arms
+end-to-end, and the per-shard results merge through the associative
+:meth:`FleetMetrics.merge` / :meth:`ProfileData.merge` operations.
+Because the shard plan and the merge order depend only on the study
+parameters — never on the worker count — ``run(workers=8)`` returns
+bit-identical results to ``run(workers=1)``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
 from repro.fleet.cluster import Fleet, FleetMetrics
+from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 from repro.profiling.profiler import FleetProfiler
 from repro.profiling.profile_data import ProfileData
 
 #: Experiment-arm configurations.
 MODES = ("off", "hard", "hard+soft", "soft-only", "control")
+
+#: Seed for the (per-shard) profilers' own random stream. Fixed rather
+#: than derived so a one-shard study reproduces the historical engine
+#: exactly; shards differ through their machine populations.
+_PROFILER_SEED = 71
 
 
 @dataclass
@@ -33,6 +48,22 @@ class AblationResult:
     experiment: FleetMetrics
     control_profile: ProfileData
     experiment_profile: ProfileData
+
+    def merge(self, other: "AblationResult") -> "AblationResult":
+        """Fold another shard's paired result into this one (in place).
+
+        Both results must come from the same experiment mode; arms merge
+        pairwise. Associative and order-independent in every summary
+        view, like the underlying metric/profile merges.
+        """
+        if other.mode != self.mode:
+            raise ConfigError(
+                f"cannot merge mode {other.mode!r} into {self.mode!r}")
+        self.control.merge(other.control)
+        self.experiment.merge(other.experiment)
+        self.control_profile.merge(other.control_profile)
+        self.experiment_profile.merge(other.experiment_profile)
+        return self
 
     def bandwidth_reduction(self) -> Dict[str, float]:
         """Fractional socket-bandwidth change, experiment vs control —
@@ -80,29 +111,111 @@ class AblationResult:
         return deltas
 
 
+@dataclass(frozen=True)
+class AblationShardSpec:
+    """One shard's worth of an ablation study — plain data, picklable,
+    so it can cross a process boundary to a pool worker."""
+
+    mode: str
+    machines: int
+    epochs: int
+    warmup_epochs: int
+    seed: int
+    config: Optional[LimoncelloConfig]
+    profile_sample_rate: float
+
+
+def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
+    """Run one shard (both arms) to completion. Pure function of the
+    spec — the process-pool worker entry point."""
+    study = AblationStudy(
+        mode=spec.mode, machines=spec.machines, epochs=spec.epochs,
+        warmup_epochs=spec.warmup_epochs, seed=spec.seed,
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate)
+    return study._run_single()
+
+
 class AblationStudy:
-    """Builds and runs a paired control/experiment fleet comparison."""
+    """Builds and runs a paired control/experiment fleet comparison.
+
+    Args:
+        shard_size: Maximum machines per shard. Populations up to this
+            size run as a single sub-fleet (the historical engine);
+            larger studies split into balanced shards that can run on
+            parallel workers. The shard plan — and therefore the result
+            — is independent of the worker count.
+    """
 
     def __init__(self, mode: str = "off", machines: int = 30,
                  epochs: int = 100, seed: int = 11,
                  warmup_epochs: int = 20,
                  config: Optional[LimoncelloConfig] = None,
                  fleet_factory: Optional[Callable[[int], Fleet]] = None,
-                 profile_sample_rate: float = 0.25) -> None:
+                 profile_sample_rate: float = 0.25,
+                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
         if epochs <= 0:
             raise ConfigError("epochs must be positive")
         if warmup_epochs < 0:
             raise ConfigError("warmup cannot be negative")
+        if shard_size <= 0:
+            raise ConfigError("shard size must be positive")
         self.mode = mode
         self.machines = machines
         self.epochs = epochs
         self.warmup_epochs = warmup_epochs
         self.seed = seed
         self.config = config
+        self.shard_size = shard_size
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
+
+    # --- sharding -----------------------------------------------------------
+
+    def shard_plan(self) -> ShardPlan:
+        """How this study's machines split across shards."""
+        return plan_shards(self.machines, self.shard_size)
+
+    def shard_specs(self) -> List[AblationShardSpec]:
+        """Per-shard specs (plan order), ready for any worker."""
+        plan = self.shard_plan()
+        return [
+            AblationShardSpec(
+                mode=self.mode, machines=size, epochs=self.epochs,
+                warmup_epochs=self.warmup_epochs, seed=seed,
+                config=self.config,
+                profile_sample_rate=self._sample_rate)
+            for size, seed in zip(plan.sizes, plan.seeds(self.seed))
+        ]
+
+    def cache_key_material(self) -> Dict:
+        """Everything the study's result depends on, as plain data.
+
+        Deliberately excludes the worker count (results are identical at
+        any parallelism) and includes the shard size (the plan shapes the
+        machine populations).
+        """
+        config = self.config
+        return {
+            "study": "ablation",
+            "mode": self.mode,
+            "machines": self.machines,
+            "epochs": self.epochs,
+            "warmup_epochs": self.warmup_epochs,
+            "seed": self.seed,
+            "shard_size": self.shard_size,
+            "profile_sample_rate": self._sample_rate,
+            "config": None if config is None else {
+                "lower_threshold": config.lower_threshold,
+                "upper_threshold": config.upper_threshold,
+                "sustain_duration_ns": config.sustain_duration_ns,
+                "sample_period_ns": config.sample_period_ns,
+                "actuation_retries": config.actuation_retries,
+            },
+        }
+
+    # --- execution -----------------------------------------------------------
 
     def _build_fleet(self, seed: int) -> Fleet:
         if self._fleet_factory is not None:
@@ -122,16 +235,16 @@ class AblationStudy:
         elif self.mode == "soft-only":
             fleet.deploy_soft_limoncello()
 
-    def run(self) -> AblationResult:
-        """Run both arms and collect the paired result."""
+    def _run_single(self) -> AblationResult:
+        """Run the whole population as one fleet (no sharding)."""
         control_fleet = self._build_fleet(self.seed)
         experiment_fleet = self._build_fleet(self.seed)
         self._apply_mode(experiment_fleet)
 
         control_profiler = FleetProfiler(
-            self._sample_rate, rng=random.Random(71))
+            self._sample_rate, rng=random.Random(_PROFILER_SEED))
         experiment_profiler = FleetProfiler(
-            self._sample_rate, rng=random.Random(71))
+            self._sample_rate, rng=random.Random(_PROFILER_SEED))
 
         # Warm both arms past scheduler ramp-up and controller sustain
         # timers before measuring (the paper measures a steady-state
@@ -150,3 +263,42 @@ class AblationStudy:
             control_profile=control_profiler.data,
             experiment_profile=experiment_profiler.data,
         )
+
+    def run(self, workers: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> AblationResult:
+        """Run both arms and collect the paired result.
+
+        Args:
+            workers: Process-pool size for sharded execution. ``None``
+                reads ``$REPRO_WORKERS`` (default 1, serial); ``0``
+                means all CPUs. The result is identical at any value.
+            cache_dir: Directory for the on-disk result cache. ``None``
+                reads ``$REPRO_CACHE_DIR``; empty/unset disables
+                caching. A hit skips the computation entirely.
+        """
+        from repro.fleet.result_cache import study_cache
+
+        cache = None
+        if self._fleet_factory is None:
+            # A custom factory is opaque: it cannot be content-hashed
+            # (no cache key) nor resized per shard, so those studies run
+            # unsharded and uncached.
+            cache = study_cache(cache_dir)
+        if cache is not None:
+            cached = cache.load_ablation(self.cache_key_material())
+            if cached is not None:
+                return cached
+
+        if self._fleet_factory is not None:
+            result = self._run_single()
+        else:
+            specs = self.shard_specs()
+            shards = run_sharded(run_ablation_shard, specs,
+                                 resolve_workers(workers))
+            result = shards[0]
+            for shard in shards[1:]:
+                result.merge(shard)
+
+        if cache is not None:
+            cache.store_ablation(self.cache_key_material(), result)
+        return result

@@ -40,6 +40,29 @@ class FleetMetrics:
     rejections: int = 0
     epochs: int = 0
 
+    # --- combination ------------------------------------------------------------
+
+    def merge(self, other: "FleetMetrics") -> "FleetMetrics":
+        """Fold another fleet's metrics into this one (in place).
+
+        Sample lists concatenate and scalar accumulators add, so merging
+        is associative and every summary view (percentiles, bands,
+        buckets) is independent of merge order. This is what lets a
+        sharded study combine per-shard metrics into one fleet-level
+        result identical to a serial run over the same shards.
+
+        Returns ``self`` for chaining.
+        """
+        self.socket_bandwidth.extend(other.socket_bandwidth)
+        self.socket_utilization.extend(other.socket_utilization)
+        self.socket_latency.extend(other.socket_latency)
+        self.machine_points.extend(other.machine_points)
+        self.total_qps += other.total_qps
+        self.ideal_qps += other.ideal_qps
+        self.rejections += other.rejections
+        self.epochs += other.epochs
+        return self
+
     # --- evaluation views -------------------------------------------------------
 
     def bandwidth_summary(self) -> PercentileSummary:

@@ -1,0 +1,78 @@
+"""Worker-pool execution for sharded fleet studies.
+
+Shards are mapped across processes with
+:class:`concurrent.futures.ProcessPoolExecutor`. The contract that keeps
+parallel output bit-identical to serial output:
+
+* the task list (shard specs) is fixed before any worker starts, and
+* results are collected *positionally*, so the merge downstream always
+  folds shards in plan order no matter which worker finished first.
+
+Anything that prevents a pool from working — a sandbox without process
+semaphores, an interpreter without ``fork``/``spawn``, a worker dying —
+degrades to the serial path rather than failing the study.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+#: Environment override for the default worker count, honoured by every
+#: study entry point when the caller does not pass ``workers`` explicitly.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_Spec = TypeVar("_Spec")
+_Result = TypeVar("_Result")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The worker count to use: explicit arg, else ``$REPRO_WORKERS``,
+    else 1 (serial).
+
+    ``0`` (from either source) means "all available CPUs". Negative
+    counts are rejected.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}")
+    if workers < 0:
+        raise ConfigError(f"workers cannot be negative, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def run_sharded(worker: Callable[[_Spec], _Result],
+                specs: Sequence[_Spec],
+                workers: int = 1) -> List[_Result]:
+    """Map ``worker`` over ``specs``; results come back in spec order.
+
+    With ``workers <= 1`` (or a single spec) this is a plain serial loop.
+    Otherwise the specs are fanned out over a process pool — ``worker``
+    and every spec must be picklable (module-level function, dataclass
+    spec). If the pool cannot be created or dies mid-flight the whole
+    map is recomputed serially; workers are pure functions of their spec,
+    so recomputation cannot change the answer.
+    """
+    if workers <= 1 or len(specs) <= 1:
+        return [worker(spec) for spec in specs]
+    try:
+        max_workers = min(workers, len(specs))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers) as pool:
+            return list(pool.map(worker, specs))
+    except (OSError, ImportError, PermissionError,
+            concurrent.futures.process.BrokenProcessPool):
+        # No usable process pool here (restricted sandbox, missing
+        # semaphores, killed worker): fall back to the serial path.
+        return [worker(spec) for spec in specs]

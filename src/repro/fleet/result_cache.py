@@ -1,0 +1,181 @@
+"""On-disk cache for fleet-study results.
+
+Repeated benchmark and report runs recompute identical studies from
+scratch; at paper scale (thousands of machines) that dominates the
+suite's wall clock. This cache keys each result by a content hash of
+everything the result depends on — study type, mode, machine count,
+epochs, seed, shard size, controller config, and a schema version — so
+a hit is guaranteed to be the exact result the computation would have
+produced (studies are pure functions of those parameters).
+
+Integrity is verified on every read: each entry embeds its key and a
+SHA-256 digest of the canonical payload, so a truncated file, a stale
+entry written under an older schema, or any bit-rot hashes wrong and is
+treated as a miss — the study recomputes and overwrites the bad entry
+rather than crashing or returning garbage. Writes are atomic
+(temp-file + rename) so concurrent study processes can share one cache
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional, Union
+
+#: Environment override for the default cache directory; unset or empty
+#: disables caching.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the engine or the payload layout changes meaning;
+#: part of the key, so entries from older code never resolve.
+SCHEMA_VERSION = 1
+
+#: Default cap on cached entries per directory; the oldest (by mtime)
+#: are evicted past it.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def _canonical(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def study_cache(cache_dir: Optional[Union[str, pathlib.Path]] = None
+                ) -> Optional["StudyResultCache"]:
+    """The cache for ``cache_dir``, falling back to ``$REPRO_CACHE_DIR``.
+
+    Returns ``None`` (caching disabled) when neither names a directory.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_ENV_VAR, "").strip() or None
+    if not cache_dir:
+        return None
+    return StudyResultCache(cache_dir)
+
+
+class StudyResultCache:
+    """Content-addressed JSON store for study results.
+
+    Args:
+        root: Cache directory (created on first write).
+        max_entries: Eviction cap; oldest entries beyond it are removed
+            on each store.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path],
+                 max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.root = pathlib.Path(root)
+        self.max_entries = max_entries
+
+    # --- keys -----------------------------------------------------------------
+
+    def key_for(self, material: Dict) -> str:
+        """Content hash of the key material (plus the schema version)."""
+        payload = {"schema": SCHEMA_VERSION, "material": material}
+        return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+    def path_for(self, material: Dict) -> pathlib.Path:
+        """Where the entry for ``material`` lives (whether or not it
+        exists)."""
+        return self.root / f"{self.key_for(material)}.json"
+
+    # --- raw payloads -----------------------------------------------------------
+
+    def load(self, material: Dict) -> Optional[Dict]:
+        """The stored payload for ``material``, or ``None`` on a miss.
+
+        Corruption in any form — unreadable file, invalid JSON, schema
+        or key mismatch, digest mismatch over the payload — is a miss,
+        never an error: the caller recomputes and the next store
+        replaces the bad entry.
+        """
+        path = self.path_for(material)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("key") != self.key_for(material):
+            return None
+        payload = entry.get("payload")
+        digest = entry.get("digest")
+        if payload is None or digest is None:
+            return None
+        if hashlib.sha256(
+                _canonical(payload).encode()).hexdigest() != digest:
+            return None
+        return payload
+
+    def store(self, material: Dict, payload: Dict) -> pathlib.Path:
+        """Write ``payload`` under ``material``'s key (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(material)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": self.key_for(material),
+            "digest": hashlib.sha256(
+                _canonical(payload).encode()).hexdigest(),
+            "payload": payload,
+        }
+        fd, temp_name = tempfile.mkstemp(dir=str(self.root),
+                                         suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.prune()
+        return path
+
+    def prune(self) -> int:
+        """Evict the oldest entries beyond ``max_entries``; returns how
+        many were removed."""
+        try:
+            entries = sorted(self.root.glob("*.json"),
+                             key=lambda p: p.stat().st_mtime)
+        except OSError:
+            return 0
+        removed = 0
+        excess = len(entries) - self.max_entries
+        for path in entries[:max(excess, 0)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    # --- typed study entry points --------------------------------------------------
+
+    def load_ablation(self, material: Dict):
+        """A cached :class:`~repro.fleet.ablation.AblationResult`, or
+        ``None``. A payload that no longer deserializes (e.g. written by
+        a different code version despite matching keys) is a miss."""
+        from repro.errors import TraceError
+        from repro.serialization import ablation_result_from_dict
+
+        payload = self.load(material)
+        if payload is None:
+            return None
+        try:
+            return ablation_result_from_dict(payload)
+        except TraceError:
+            return None
+
+    def store_ablation(self, material: Dict, result) -> pathlib.Path:
+        """Archive one ablation result under ``material``'s key."""
+        from repro.serialization import ablation_result_to_dict
+
+        return self.store(material, ablation_result_to_dict(result))

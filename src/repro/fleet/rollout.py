@@ -19,6 +19,8 @@ from typing import Callable, Dict, Optional
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
 from repro.fleet.cluster import Fleet, FleetMetrics
+from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.shard import DEFAULT_SHARD_SIZE, plan_shards
 from repro.profiling.profile_data import ProfileData
 from repro.profiling.profiler import FleetProfiler
 from repro.workloads.base import FunctionCategory, TAX_CATEGORIES
@@ -43,6 +45,24 @@ class RolloutResult:
     before_profile: ProfileData
     hard_profile: ProfileData
     full_profile: ProfileData
+
+    # --- combination -----------------------------------------------------------
+
+    def merge(self, other: "RolloutResult") -> "RolloutResult":
+        """Fold another shard's rollout arms into this one (in place).
+
+        Arms merge pairwise through the associative metric/profile
+        merges, so sharded rollout results are order-independent in
+        every summary view. Returns ``self`` for chaining.
+        """
+        self.before.merge(other.before)
+        self.hard_only.merge(other.hard_only)
+        self.full.merge(other.full)
+        self.full_integrated.merge(other.full_integrated)
+        self.before_profile.merge(other.before_profile)
+        self.hard_profile.merge(other.hard_profile)
+        self.full_profile.merge(other.full_profile)
+        return self
 
     # --- Figure 16 ------------------------------------------------------------
 
@@ -115,23 +135,55 @@ class RolloutResult:
         return out
 
 
+@dataclass(frozen=True)
+class RolloutShardSpec:
+    """One shard's worth of a rollout study (picklable pool payload)."""
+
+    machines: int
+    epochs: int
+    warmup_epochs: int
+    seed: int
+    config: Optional[LimoncelloConfig]
+    profile_sample_rate: float
+
+
+def run_rollout_shard(spec: RolloutShardSpec) -> RolloutResult:
+    """Run one shard's four arms. Pure function of the spec — the
+    process-pool worker entry point."""
+    study = RolloutStudy(
+        machines=spec.machines, epochs=spec.epochs,
+        warmup_epochs=spec.warmup_epochs, seed=spec.seed,
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate)
+    return study._run_single()
+
+
 class RolloutStudy:
-    """Runs the before / Hard-only / full-Limoncello arms."""
+    """Runs the before / Hard-only / full-Limoncello arms.
+
+    Populations above ``shard_size`` machines split into deterministic
+    sub-fleets that can run on parallel workers; the shard plan (and so
+    the result) is independent of the worker count — see
+    :mod:`repro.fleet.shard`.
+    """
 
     def __init__(self, machines: int = 30, epochs: int = 100, seed: int = 5,
                  warmup_epochs: int = 20,
                  config: Optional[LimoncelloConfig] = None,
                  fleet_factory: Optional[Callable[[int], Fleet]] = None,
-                 profile_sample_rate: float = 0.25) -> None:
+                 profile_sample_rate: float = 0.25,
+                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
         if epochs <= 0:
             raise ConfigError("epochs must be positive")
         if warmup_epochs < 0:
             raise ConfigError("warmup cannot be negative")
+        if shard_size <= 0:
+            raise ConfigError("shard size must be positive")
         self.machines = machines
         self.epochs = epochs
         self.warmup_epochs = warmup_epochs
         self.seed = seed
         self.config = config
+        self.shard_size = shard_size
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
 
@@ -152,8 +204,39 @@ class RolloutStudy:
         metrics = fleet.run(self.epochs, observers=[profiler])
         return metrics, profiler.data
 
-    def run(self) -> RolloutResult:
-        """Run all four arms and collect the result."""
+    def shard_specs(self) -> list:
+        """Per-shard specs (plan order), ready for any worker."""
+        plan = plan_shards(self.machines, self.shard_size)
+        return [
+            RolloutShardSpec(
+                machines=size, epochs=self.epochs,
+                warmup_epochs=self.warmup_epochs, seed=seed,
+                config=self.config,
+                profile_sample_rate=self._sample_rate)
+            for size, seed in zip(plan.sizes, plan.seeds(self.seed))
+        ]
+
+    def run(self, workers: Optional[int] = None) -> RolloutResult:
+        """Run all arms across every shard and collect the result.
+
+        Args:
+            workers: Process-pool size for sharded execution. ``None``
+                reads ``$REPRO_WORKERS`` (default 1, serial); ``0``
+                means all CPUs. The result is identical at any value.
+        """
+        if self._fleet_factory is not None:
+            # A custom factory cannot be resized per shard; run unsharded.
+            return self._run_single()
+        specs = self.shard_specs()
+        shards = run_sharded(run_rollout_shard, specs,
+                             resolve_workers(workers))
+        result = shards[0]
+        for shard in shards[1:]:
+            result.merge(shard)
+        return result
+
+    def _run_single(self) -> RolloutResult:
+        """Run the whole population as one fleet (no sharding)."""
         before, before_profile = self._run_arm(lambda fleet: None)
 
         def hard(fleet: Fleet) -> None:

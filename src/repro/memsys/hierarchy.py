@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Optional
 
-from repro.access.record import AccessKind, MemoryAccess
+from repro.access.record import AccessKind
 from repro.access.trace import Trace
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.config import HierarchyConfig

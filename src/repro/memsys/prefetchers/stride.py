@@ -6,7 +6,7 @@ from collections import OrderedDict
 from typing import List
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
-from repro.units import CACHE_LINE_BYTES, line_address
+from repro.units import line_address
 
 
 class _StrideEntry:

@@ -19,6 +19,16 @@ class ProfileData:
         self._functions: Dict[str, FunctionStats] = {}
         self.samples = 0
 
+    @classmethod
+    def from_mapping(cls, functions: Dict[str, FunctionStats],
+                     samples: int = 0) -> "ProfileData":
+        """Rebuild an aggregate from a per-function stats mapping (the
+        inverse of :meth:`as_mapping`, used by result deserialization)."""
+        data = cls()
+        data._functions = dict(functions)
+        data.samples = samples
+        return data
+
     def record(self, function: str, instructions: float, cycles: float,
                llc_misses: float) -> None:
         """Fold one sample's worth of a function's activity in."""
@@ -31,12 +41,19 @@ class ProfileData:
         stats.stall_cycles += max(cycles - instructions, 0.0)
         stats.llc_misses += int(round(llc_misses))
 
-    def merge(self, other: "ProfileData") -> None:
-        """Fold another aggregate into this one."""
+    def merge(self, other: "ProfileData") -> "ProfileData":
+        """Fold another aggregate into this one.
+
+        Per-function counters add, so merging is associative and
+        order-independent — sharded profilers combine into the same
+        aggregate a single fleet-wide profiler would have produced.
+        Returns ``self`` for chaining.
+        """
         for function, stats in other._functions.items():
             mine = self._functions.setdefault(function, FunctionStats())
             mine.merge(stats)
         self.samples += other.samples
+        return self
 
     # --- views --------------------------------------------------------------
 

@@ -105,8 +105,30 @@ def function_stats_to_dict(stats: FunctionStats) -> Dict:
         "llc_mpki": stats.llc_mpki,
         "prefetch_covered": stats.prefetch_covered,
         "late_prefetch_hits": stats.late_prefetch_hits,
+        "dram_wait_ns": stats.dram_wait_ns,
+        "late_prefetch_wait_ns": stats.late_prefetch_wait_ns,
         "average_load_to_use_ns": stats.average_load_to_use_ns,
     }
+
+
+def function_stats_from_dict(data: Dict) -> FunctionStats:
+    """Inverse of :func:`function_stats_to_dict` (derived metrics such as
+    ``cycles`` and ``llc_mpki`` are recomputed, not read back)."""
+    return FunctionStats(
+        instructions=int(data.get("instructions", 0)),
+        compute_cycles=int(data.get("compute_cycles", 0)),
+        stall_cycles=float(data.get("stall_cycles", 0.0)),
+        loads=int(data.get("loads", 0)),
+        stores=int(data.get("stores", 0)),
+        software_prefetches=int(data.get("software_prefetches", 0)),
+        l1_misses=int(data.get("l1_misses", 0)),
+        l2_misses=int(data.get("l2_misses", 0)),
+        llc_misses=int(data.get("llc_misses", 0)),
+        prefetch_covered=int(data.get("prefetch_covered", 0)),
+        late_prefetch_hits=int(data.get("late_prefetch_hits", 0)),
+        dram_wait_ns=float(data.get("dram_wait_ns", 0.0)),
+        late_prefetch_wait_ns=float(data.get("late_prefetch_wait_ns", 0.0)),
+    )
 
 
 def run_result_to_dict(result: RunResult) -> Dict:
@@ -178,3 +200,88 @@ def save_fleet_metrics(metrics, path: _PathLike,
     path = pathlib.Path(path)
     path.write_text(json.dumps(
         fleet_metrics_to_dict(metrics, include_samples), indent=2) + "\n")
+
+
+def fleet_metrics_from_dict(data: Dict):
+    """Inverse of ``fleet_metrics_to_dict(..., include_samples=True)``.
+
+    Raw samples are required — summaries alone cannot rebuild the metric
+    object — so dicts written without ``include_samples`` are rejected.
+    JSON round-trips floats exactly, so a reloaded object reproduces
+    every percentile bit-for-bit.
+    """
+    from repro.fleet.cluster import FleetMetrics
+
+    try:
+        samples = data["samples"]
+        return FleetMetrics(
+            socket_bandwidth=[float(x)
+                              for x in samples["socket_bandwidth"]],
+            socket_utilization=[float(x)
+                                for x in samples["socket_utilization"]],
+            socket_latency=[float(x) for x in samples["socket_latency"]],
+            machine_points=[tuple(float(v) for v in point)
+                            for point in samples["machine_points"]],
+            total_qps=float(data["total_qps"]),
+            ideal_qps=float(data["ideal_qps"]),
+            rejections=int(data["rejections"]),
+            epochs=int(data["epochs"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceError(
+            f"malformed fleet metrics record: {error}") from error
+
+
+def profile_data_to_dict(profile) -> Dict:
+    """A fleetwide profile aggregate as a plain dict."""
+    return {
+        "samples": profile.samples,
+        "functions": {name: function_stats_to_dict(stats)
+                      for name, stats in profile},
+    }
+
+
+def profile_data_from_dict(data: Dict):
+    """Inverse of :func:`profile_data_to_dict`."""
+    from repro.profiling.profile_data import ProfileData
+
+    try:
+        functions = {name: function_stats_from_dict(stats)
+                     for name, stats in data["functions"].items()}
+        return ProfileData.from_mapping(functions,
+                                        samples=int(data["samples"]))
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise TraceError(f"malformed profile record: {error}") from error
+
+
+def ablation_result_to_dict(result) -> Dict:
+    """A paired ablation result as a plain dict (lossless: includes the
+    raw samples needed to rebuild every view)."""
+    return {
+        "mode": result.mode,
+        "control": fleet_metrics_to_dict(result.control,
+                                         include_samples=True),
+        "experiment": fleet_metrics_to_dict(result.experiment,
+                                            include_samples=True),
+        "control_profile": profile_data_to_dict(result.control_profile),
+        "experiment_profile": profile_data_to_dict(
+            result.experiment_profile),
+    }
+
+
+def ablation_result_from_dict(data: Dict):
+    """Inverse of :func:`ablation_result_to_dict`."""
+    from repro.fleet.ablation import AblationResult
+
+    try:
+        return AblationResult(
+            mode=data["mode"],
+            control=fleet_metrics_from_dict(data["control"]),
+            experiment=fleet_metrics_from_dict(data["experiment"]),
+            control_profile=profile_data_from_dict(data["control_profile"]),
+            experiment_profile=profile_data_from_dict(
+                data["experiment_profile"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise TraceError(
+            f"malformed ablation result record: {error}") from error

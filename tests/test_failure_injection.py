@@ -7,8 +7,6 @@ failure is the steady state, not the exception.
 
 import random
 
-import pytest
-
 from repro.core import (
     LimoncelloConfig,
     LimoncelloDaemon,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.fleet import Fleet, FleetMetrics
 from repro.fleet.cluster import task_mean_cores
-from repro.fleet.scheduler import BandwidthAwareScheduler
 from repro.fleet.traffic import DiurnalTraffic
 
 

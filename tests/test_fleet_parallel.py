@@ -1,0 +1,142 @@
+"""Tests for parallel sharded execution: worker resolution, the pool
+runner, and — the engine's core guarantee — parallel results identical
+to serial results for the same seed."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import AblationStudy, Fleet, RolloutStudy
+from repro.fleet.ablation import run_ablation_shard
+from repro.fleet.parallel import WORKERS_ENV_VAR, resolve_workers, run_sharded
+from repro.serialization import (
+    ablation_result_to_dict,
+    fleet_metrics_to_dict,
+    profile_data_to_dict,
+)
+
+
+def _square(value):
+    """Module-level worker so the process pool can pickle it."""
+    return value * value
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_workers(None) == 5
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(-2)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ConfigError):
+            resolve_workers(None)
+
+
+class TestRunSharded:
+    def test_serial_preserves_order(self):
+        assert run_sharded(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        values = list(range(16))
+        assert (run_sharded(_square, values, workers=4)
+                == [v * v for v in values])
+
+    def test_parallel_equals_serial(self):
+        values = [5, 8, 13]
+        assert (run_sharded(_square, values, workers=3)
+                == run_sharded(_square, values, workers=1))
+
+    def test_single_spec_runs_inline(self):
+        assert run_sharded(_square, [6], workers=8) == [36]
+
+
+def _ablation_dict(study, workers):
+    return ablation_result_to_dict(study.run(workers=workers))
+
+
+class TestShardedAblation:
+    def test_shard_specs_cover_population(self):
+        study = AblationStudy(mode="off", machines=50, epochs=10,
+                              warmup_epochs=2, seed=7, shard_size=16)
+        specs = study.shard_specs()
+        assert sum(spec.machines for spec in specs) == 50
+        assert specs[0].seed == 7  # shard 0 keeps the master seed
+        assert len({spec.seed for spec in specs}) == len(specs)
+
+    def test_sharded_serial_merges_all_shards(self):
+        study = AblationStudy(mode="off", machines=24, epochs=8,
+                              warmup_epochs=2, seed=7, shard_size=8)
+        merged = study.run()
+        parts = [run_ablation_shard(spec) for spec in study.shard_specs()]
+        total_epochs = sum(part.control.epochs for part in parts)
+        assert merged.control.epochs == total_epochs
+        assert len(merged.control.socket_bandwidth) == sum(
+            len(part.control.socket_bandwidth) for part in parts)
+
+    def test_parallel_equals_serial_bit_for_bit(self):
+        """The tentpole guarantee: worker count cannot change results."""
+        make = lambda: AblationStudy(mode="off", machines=24, epochs=8,
+                                     warmup_epochs=2, seed=7, shard_size=6)
+        serial = _ablation_dict(make(), workers=1)
+        parallel = _ablation_dict(make(), workers=4)
+        assert serial == parallel
+
+    def test_single_shard_matches_unsharded_engine(self):
+        """Populations at or under the shard size reproduce the
+        pre-sharding engine exactly (shard 0 keeps the master seed)."""
+        study = AblationStudy(mode="off", machines=8, epochs=10,
+                              warmup_epochs=3, seed=9)
+        sharded = study.run()
+        unsharded = AblationStudy(mode="off", machines=8, epochs=10,
+                                  warmup_epochs=3, seed=9)._run_single()
+        assert (ablation_result_to_dict(sharded)
+                == ablation_result_to_dict(unsharded))
+
+    def test_custom_fleet_factory_still_supported(self):
+        study = AblationStudy(
+            mode="off", machines=6, epochs=8, warmup_epochs=2, seed=3,
+            fleet_factory=lambda seed: Fleet(machines=6, seed=seed))
+        result = study.run()
+        assert result.control.epochs == 8
+
+    def test_shard_size_validation(self):
+        with pytest.raises(ConfigError):
+            AblationStudy(shard_size=0)
+
+
+class TestShardedRollout:
+    def test_parallel_equals_serial(self):
+        make = lambda: RolloutStudy(machines=18, epochs=8, warmup_epochs=2,
+                                    seed=5, shard_size=6)
+        serial = make().run(workers=1)
+        parallel = make().run(workers=4)
+        assert (fleet_metrics_to_dict(serial.full, include_samples=True)
+                == fleet_metrics_to_dict(parallel.full,
+                                         include_samples=True))
+        assert (profile_data_to_dict(serial.full_profile)
+                == profile_data_to_dict(parallel.full_profile))
+
+    def test_sharded_study_still_reproduces_paper_shape(self):
+        result = RolloutStudy(machines=18, epochs=20, warmup_epochs=8,
+                              seed=5, shard_size=6).run()
+        shares = result.tax_cycle_shares()
+        assert (shares["hard"]["all targeted DC tax"]
+                > shares["none"]["all targeted DC tax"])
+
+    def test_shard_size_validation(self):
+        with pytest.raises(ConfigError):
+            RolloutStudy(shard_size=-1)

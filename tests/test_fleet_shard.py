@@ -1,0 +1,78 @@
+"""Tests for the deterministic shard planner and seed derivation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.shard import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    plan_shards,
+    shard_seed,
+)
+
+
+class TestShardSeed:
+    def test_shard_zero_keeps_master_seed(self):
+        for master in (0, 9, 11, 123456789):
+            assert shard_seed(master, 0) == master
+
+    def test_stable_across_calls(self):
+        assert shard_seed(9, 3) == shard_seed(9, 3)
+
+    def test_distinct_per_index_and_master(self):
+        seeds = {shard_seed(9, i) for i in range(64)}
+        assert len(seeds) == 64
+        assert shard_seed(9, 1) != shard_seed(10, 1)
+
+    def test_fits_in_signed_64_bits(self):
+        for index in range(1, 32):
+            assert 0 <= shard_seed(7, index) < 2 ** 63
+
+    def test_known_value_pinned(self):
+        """Derivation is part of the result format: changing it silently
+        would invalidate every cached / archived sharded result."""
+        assert shard_seed(9, 1) == 2547872112924920337
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_seed(9, -1)
+
+
+class TestPlanShards:
+    def test_small_population_is_one_shard(self):
+        plan = plan_shards(10)
+        assert plan.sizes == (10,)
+        assert len(plan) == 1
+
+    def test_sizes_sum_and_balance(self):
+        plan = plan_shards(200, 32)
+        assert sum(plan.sizes) == 200
+        assert max(plan.sizes) - min(plan.sizes) <= 1
+        assert len(plan) == 7  # ceil(200 / 32)
+
+    def test_every_shard_within_size(self):
+        for machines in (1, 31, 32, 33, 63, 64, 65, 997):
+            plan = plan_shards(machines, 32)
+            assert all(size <= 32 for size in plan.sizes), machines
+            assert sum(plan.sizes) == machines
+
+    def test_plan_is_deterministic(self):
+        assert plan_shards(100, 7) == plan_shards(100, 7)
+
+    def test_seeds_follow_plan_order(self):
+        plan = plan_shards(96, 32)
+        assert plan.seeds(11) == [shard_seed(11, i) for i in range(3)]
+
+    def test_default_shard_size_used(self):
+        assert len(plan_shards(DEFAULT_SHARD_SIZE)) == 1
+        assert len(plan_shards(DEFAULT_SHARD_SIZE + 1)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            plan_shards(0)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 0)
+
+    def test_plan_is_plain_data(self):
+        plan = plan_shards(50, 20)
+        assert plan == ShardPlan(machines=50, sizes=(17, 17, 16))

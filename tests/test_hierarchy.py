@@ -5,8 +5,6 @@ import pytest
 from repro.access import AccessKind, MemoryAccess, Trace
 from repro.access.trace import software_prefetch
 from repro.memsys import (
-    DRAMConfig,
-    HierarchyConfig,
     MemoryHierarchy,
     PrefetcherBank,
 )

@@ -1,0 +1,176 @@
+"""Property-based tests for the shard-merge algebra.
+
+The sharded execution engine is correct only if merging per-shard
+results is associative and order-independent in every view the
+evaluation reads — that is what makes parallel output equal to serial
+output regardless of how shards are grouped or scheduled. Sample lists
+merge by concatenation (exactly associative); scalar accumulators merge
+by addition, associative up to floating-point rounding, so scalar
+comparisons here use a tight relative tolerance.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fleet import AblationResult, FleetMetrics
+from repro.profiling.profile_data import ProfileData
+
+finite = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+metrics_strategy = st.builds(
+    FleetMetrics,
+    socket_bandwidth=st.lists(finite, max_size=6),
+    socket_utilization=st.lists(finite, max_size=6),
+    socket_latency=st.lists(finite, max_size=6),
+    machine_points=st.lists(st.tuples(finite, finite, finite, finite),
+                            max_size=5),
+    total_qps=finite,
+    ideal_qps=finite,
+    rejections=st.integers(min_value=0, max_value=1000),
+    epochs=st.integers(min_value=0, max_value=1000),
+)
+
+
+def merged(left, right):
+    """Out-of-place merge (merge mutates its receiver)."""
+    result = copy.deepcopy(left)
+    result.merge(copy.deepcopy(right))
+    return result
+
+
+def assert_metrics_equal(a: FleetMetrics, b: FleetMetrics) -> None:
+    assert a.socket_bandwidth == b.socket_bandwidth
+    assert a.socket_utilization == b.socket_utilization
+    assert a.socket_latency == b.socket_latency
+    assert a.machine_points == b.machine_points
+    assert a.rejections == b.rejections
+    assert a.epochs == b.epochs
+    assert a.total_qps == pytest.approx(b.total_qps, rel=1e-9, abs=1e-9)
+    assert a.ideal_qps == pytest.approx(b.ideal_qps, rel=1e-9, abs=1e-9)
+
+
+class TestFleetMetricsMerge:
+    @settings(max_examples=60)
+    @given(metrics_strategy, metrics_strategy, metrics_strategy)
+    def test_associative(self, a, b, c):
+        assert_metrics_equal(merged(merged(a, b), c),
+                             merged(a, merged(b, c)))
+
+    @settings(max_examples=60)
+    @given(metrics_strategy, metrics_strategy)
+    def test_summaries_order_independent(self, a, b):
+        """Percentile views cannot depend on which shard merged first."""
+        ab, ba = merged(a, b), merged(b, a)
+        for attr, samples in (("bandwidth_summary", ab.socket_bandwidth),
+                              ("latency_summary", ab.socket_latency)):
+            if not samples:
+                continue  # summaries reject zero observations by design
+            left, right = getattr(ab, attr)(), getattr(ba, attr)()
+            for field in ("mean", "p50", "p90", "p99", "peak"):
+                assert getattr(left, field) == pytest.approx(
+                    getattr(right, field), rel=1e-9, abs=1e-9), (attr, field)
+        assert ab.saturated_socket_fraction() == pytest.approx(
+            ba.saturated_socket_fraction())
+        assert ab.normalized_throughput == pytest.approx(
+            ba.normalized_throughput, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30)
+    @given(metrics_strategy)
+    def test_empty_is_identity(self, a):
+        assert_metrics_equal(merged(a, FleetMetrics()), a)
+        assert_metrics_equal(merged(FleetMetrics(), a), a)
+
+    @settings(max_examples=30)
+    @given(metrics_strategy, metrics_strategy)
+    def test_counts_add(self, a, b):
+        both = merged(a, b)
+        assert len(both.socket_bandwidth) == (len(a.socket_bandwidth)
+                                              + len(b.socket_bandwidth))
+        assert both.epochs == a.epochs + b.epochs
+        assert both.rejections == a.rejections + b.rejections
+
+    def test_merge_returns_self_for_chaining(self):
+        a = FleetMetrics()
+        assert a.merge(FleetMetrics()) is a
+
+
+FUNCTIONS = ("memcpy", "memset", "compression", "pointer_chase")
+
+sample_strategy = st.tuples(
+    st.sampled_from(FUNCTIONS),
+    st.floats(min_value=0.0, max_value=1e5,
+              allow_nan=False, allow_infinity=False),  # instructions
+    st.floats(min_value=0.0, max_value=2e5,
+              allow_nan=False, allow_infinity=False),  # cycles
+    st.floats(min_value=0.0, max_value=1e3,
+              allow_nan=False, allow_infinity=False),  # llc misses
+)
+
+
+@st.composite
+def profile_strategy(draw):
+    profile = ProfileData()
+    for function, instructions, cycles, misses in draw(
+            st.lists(sample_strategy, max_size=8)):
+        profile.record(function, instructions, cycles, misses)
+    profile.samples = draw(st.integers(min_value=0, max_value=100))
+    return profile
+
+
+def assert_profiles_equal(a: ProfileData, b: ProfileData) -> None:
+    assert a.samples == b.samples
+    assert set(a.as_mapping()) == set(b.as_mapping())
+    for name, mine in a.as_mapping().items():
+        theirs = b.function(name)
+        assert mine.instructions == theirs.instructions, name
+        assert mine.compute_cycles == theirs.compute_cycles, name
+        assert mine.llc_misses == theirs.llc_misses, name
+        assert mine.stall_cycles == pytest.approx(
+            theirs.stall_cycles, rel=1e-9, abs=1e-9), name
+
+
+class TestProfileDataMerge:
+    @settings(max_examples=60)
+    @given(profile_strategy(), profile_strategy(), profile_strategy())
+    def test_associative(self, a, b, c):
+        assert_profiles_equal(merged(merged(a, b), c),
+                              merged(a, merged(b, c)))
+
+    @settings(max_examples=60)
+    @given(profile_strategy(), profile_strategy())
+    def test_order_independent(self, a, b):
+        assert_profiles_equal(merged(a, b), merged(b, a))
+
+    @settings(max_examples=30)
+    @given(profile_strategy())
+    def test_empty_is_identity(self, a):
+        assert_profiles_equal(merged(a, ProfileData()), a)
+
+
+class TestAblationResultMerge:
+    def _result(self, mode="off"):
+        return AblationResult(mode=mode, control=FleetMetrics(),
+                              experiment=FleetMetrics(),
+                              control_profile=ProfileData(),
+                              experiment_profile=ProfileData())
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            self._result("off").merge(self._result("hard"))
+
+    def test_merges_all_four_components(self):
+        left, right = self._result(), self._result()
+        right.control.epochs = 3
+        right.experiment.epochs = 4
+        right.control_profile.samples = 5
+        right.experiment_profile.samples = 6
+        left.merge(right)
+        assert left.control.epochs == 3
+        assert left.experiment.epochs == 4
+        assert left.control_profile.samples == 5
+        assert left.experiment_profile.samples == 6

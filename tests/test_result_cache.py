@@ -1,0 +1,173 @@
+"""Tests for the on-disk study result cache and its corruption guard."""
+
+import json
+
+import pytest
+
+from repro.fleet import AblationStudy, StudyResultCache, study_cache
+from repro.fleet.result_cache import CACHE_ENV_VAR, SCHEMA_VERSION
+from repro.serialization import ablation_result_to_dict
+
+MATERIAL = {"study": "demo", "machines": 4, "seed": 1}
+PAYLOAD = {"answer": 42, "rows": [1.5, 2.5]}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return StudyResultCache(tmp_path / "cache")
+
+
+class TestRawStore:
+    def test_miss_on_empty_cache(self, cache):
+        assert cache.load(MATERIAL) is None
+
+    def test_round_trip(self, cache):
+        cache.store(MATERIAL, PAYLOAD)
+        assert cache.load(MATERIAL) == PAYLOAD
+
+    def test_different_material_different_key(self, cache):
+        cache.store(MATERIAL, PAYLOAD)
+        assert cache.load({**MATERIAL, "seed": 2}) is None
+        assert cache.key_for(MATERIAL) != cache.key_for(
+            {**MATERIAL, "seed": 2})
+
+    def test_key_ignores_dict_ordering(self, cache):
+        reordered = {"seed": 1, "machines": 4, "study": "demo"}
+        assert cache.key_for(MATERIAL) == cache.key_for(reordered)
+
+    def test_overwrite(self, cache):
+        cache.store(MATERIAL, PAYLOAD)
+        cache.store(MATERIAL, {"answer": 43})
+        assert cache.load(MATERIAL) == {"answer": 43}
+
+
+class TestCorruptionGuard:
+    def test_truncated_entry_is_a_miss(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD)
+        path.write_text(path.read_text()[:25])
+        assert cache.load(MATERIAL) is None
+
+    def test_tampered_payload_fails_digest(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD)
+        entry = json.loads(path.read_text())
+        entry["payload"]["answer"] = 41  # bit-rot / manual edit
+        path.write_text(json.dumps(entry))
+        assert cache.load(MATERIAL) is None
+
+    def test_stale_schema_is_a_miss(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD)
+        entry = json.loads(path.read_text())
+        entry["schema"] = SCHEMA_VERSION - 1
+        path.write_text(json.dumps(entry))
+        assert cache.load(MATERIAL) is None
+
+    def test_entry_under_wrong_name_is_a_miss(self, cache):
+        """An entry copied to another key's filename is detected."""
+        source = cache.store(MATERIAL, PAYLOAD)
+        target = cache.path_for({**MATERIAL, "seed": 2})
+        target.write_text(source.read_text())
+        assert cache.load({**MATERIAL, "seed": 2}) is None
+
+    def test_non_dict_entry_is_a_miss(self, cache):
+        path = cache.path_for(MATERIAL)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(["not", "an", "entry"]))
+        assert cache.load(MATERIAL) is None
+
+    def test_recompute_overwrites_corrupt_entry(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD)
+        path.write_text("garbage")
+        assert cache.load(MATERIAL) is None
+        cache.store(MATERIAL, PAYLOAD)
+        assert cache.load(MATERIAL) == PAYLOAD
+
+
+class TestEviction:
+    def test_prune_keeps_newest(self, tmp_path):
+        cache = StudyResultCache(tmp_path, max_entries=3)
+        import os
+        for i in range(5):
+            path = cache.store({"i": i}, {"value": i})
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        cache.prune()
+        assert cache.load({"i": 0}) is None
+        assert cache.load({"i": 1}) is None
+        for i in (2, 3, 4):
+            assert cache.load({"i": i}) == {"value": i}
+
+
+class TestStudyCacheResolution:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert study_cache(None) is None
+
+    def test_env_var_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        cache = study_cache(None)
+        assert cache is not None
+        assert cache.root == tmp_path
+
+    def test_explicit_dir_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, "/nonexistent/elsewhere")
+        cache = study_cache(tmp_path)
+        assert cache.root == tmp_path
+
+
+class TestAblationStudyCaching:
+    def _study(self):
+        return AblationStudy(mode="off", machines=6, epochs=8,
+                             warmup_epochs=2, seed=3)
+
+    def test_second_run_hits_cache(self, tmp_path):
+        first = self._study().run(cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        before = entries[0].read_text()
+        second = self._study().run(cache_dir=tmp_path)
+        assert entries[0].read_text() == before  # untouched, not rewritten
+        assert (ablation_result_to_dict(first)
+                == ablation_result_to_dict(second))
+
+    def test_cached_result_reproduces_every_view(self, tmp_path):
+        first = self._study().run(cache_dir=tmp_path)
+        second = self._study().run(cache_dir=tmp_path)
+        assert second.bandwidth_reduction() == first.bandwidth_reduction()
+        assert second.function_cycle_deltas() == first.function_cycle_deltas()
+        assert second.throughput_change() == first.throughput_change()
+
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_path):
+        first = self._study().run(cache_dir=tmp_path)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text(entry.read_text()[:50])  # truncated write
+        recomputed = self._study().run(cache_dir=tmp_path)
+        assert (ablation_result_to_dict(recomputed)
+                == ablation_result_to_dict(first))
+        # and the entry was healed for the next reader
+        cache = StudyResultCache(tmp_path)
+        material = self._study().cache_key_material()
+        assert cache.load(material) is not None
+
+    def test_semantically_broken_payload_is_recomputed(self, tmp_path):
+        study = self._study()
+        first = study.run(cache_dir=tmp_path)
+        cache = StudyResultCache(tmp_path)
+        material = study.cache_key_material()
+        payload = cache.load(material)
+        del payload["control"]  # valid JSON + digest, wrong shape
+        cache.store(material, payload)
+        recomputed = self._study().run(cache_dir=tmp_path)
+        assert (ablation_result_to_dict(recomputed)
+                == ablation_result_to_dict(first))
+
+    def test_key_excludes_workers(self):
+        """Worker count cannot appear in the key: results are identical
+        at any parallelism, so a serial run must hit a parallel run's
+        cache entry."""
+        material = self._study().cache_key_material()
+        assert "workers" not in json.dumps(material)
+
+    def test_different_mode_different_entry(self, tmp_path):
+        self._study().run(cache_dir=tmp_path)
+        AblationStudy(mode="hard", machines=6, epochs=8, warmup_epochs=2,
+                      seed=3).run(cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2

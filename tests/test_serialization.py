@@ -133,3 +133,65 @@ class TestFleetMetricsSerialization:
         save_fleet_metrics(metrics, path)
         loaded = json.loads(path.read_text())
         assert loaded["epochs"] == 10
+
+    def test_round_trip_is_lossless(self, metrics):
+        from repro.serialization import (fleet_metrics_from_dict,
+                                         fleet_metrics_to_dict)
+        data = fleet_metrics_to_dict(metrics, include_samples=True)
+        restored = fleet_metrics_from_dict(json.loads(json.dumps(data)))
+        assert restored.socket_bandwidth == metrics.socket_bandwidth
+        assert restored.machine_points == metrics.machine_points
+        assert restored.total_qps == metrics.total_qps
+        assert (fleet_metrics_to_dict(restored, include_samples=True)
+                == data)
+
+    def test_summary_only_dict_rejected(self, metrics):
+        from repro.serialization import (fleet_metrics_from_dict,
+                                         fleet_metrics_to_dict)
+        with pytest.raises(TraceError):
+            fleet_metrics_from_dict(fleet_metrics_to_dict(metrics))
+
+
+class TestStudyResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.fleet import AblationStudy
+        return AblationStudy(mode="off", machines=4, epochs=8,
+                             warmup_epochs=2, seed=3).run()
+
+    def test_function_stats_round_trip(self, result):
+        from repro.serialization import (function_stats_from_dict,
+                                         function_stats_to_dict)
+        for name, stats in result.control_profile:
+            restored = function_stats_from_dict(
+                function_stats_to_dict(stats))
+            assert restored == stats, name
+
+    def test_profile_round_trip(self, result):
+        from repro.serialization import (profile_data_from_dict,
+                                         profile_data_to_dict)
+        data = json.loads(json.dumps(
+            profile_data_to_dict(result.control_profile)))
+        restored = profile_data_from_dict(data)
+        assert restored.samples == result.control_profile.samples
+        assert restored.as_mapping() == result.control_profile.as_mapping()
+
+    def test_ablation_result_round_trip(self, result):
+        from repro.serialization import (ablation_result_from_dict,
+                                         ablation_result_to_dict)
+        data = json.loads(json.dumps(ablation_result_to_dict(result)))
+        restored = ablation_result_from_dict(data)
+        assert restored.mode == result.mode
+        assert (restored.bandwidth_reduction()
+                == result.bandwidth_reduction())
+        assert (restored.function_cycle_deltas()
+                == result.function_cycle_deltas())
+        assert ablation_result_to_dict(restored) == data
+
+    def test_malformed_records_rejected(self):
+        from repro.serialization import (ablation_result_from_dict,
+                                         profile_data_from_dict)
+        with pytest.raises(TraceError):
+            profile_data_from_dict({"functions": "nope"})
+        with pytest.raises(TraceError):
+            ablation_result_from_dict({"mode": "off"})

@@ -9,7 +9,6 @@ from repro.errors import ConfigError
 from repro.units import CACHE_LINE_BYTES
 from repro.workloads import (
     FUNCTION_ROSTER,
-    FunctionCategory,
     MemcpySizeDistribution,
     SPEC_SUITE,
     TAX_CATEGORIES,
