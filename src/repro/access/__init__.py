@@ -9,12 +9,14 @@ separated from its predecessor by a number of pure-compute cycles.
 
 from repro.access.record import AccessKind, MemoryAccess
 from repro.access.trace import Trace, interleave
+from repro.access.compiled import CompiledTrace
 from repro.access.address import AddressSpace
 
 __all__ = [
     "AccessKind",
     "MemoryAccess",
     "Trace",
+    "CompiledTrace",
     "interleave",
     "AddressSpace",
 ]

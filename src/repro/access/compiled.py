@@ -1,0 +1,103 @@
+"""Compiled traces: a :class:`Trace` lowered once into flat int columns.
+
+The cycle-level simulator's inner loop is the hottest code in the
+repository — every paper figure, ablation arm, and fleet calibration
+funnels through it. Iterating :class:`~repro.access.record.MemoryAccess`
+dataclasses there pays an attribute lookup per field, an enum identity
+check per kind test, and a ``range`` allocation per ``lines_touched()``
+call, for every record, on every run.
+
+:class:`CompiledTrace` pays those costs once. A single pass lowers the
+records into parallel columns of plain ints — line-aligned address,
+extra-lines count (0 for the dominant single-line access), kind as a
+small int (:data:`~repro.access.record.KIND_CODES`), pc, gap cycles, and
+an interned function id — so the hot loop touches nothing but ints held
+in lists and locals. The columns are also pre-zipped into one list of
+tuples (:attr:`CompiledTrace.packed`) because a single ``UNPACK_SEQUENCE``
+per record beats eight parallel subscripts.
+
+Compilation is cached on the owning :class:`~repro.access.trace.Trace`
+(traces are immutable by convention), so repeated runs of the same trace —
+ablation on/off arms, threshold sweeps, calibration passes — compile once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.access.record import KIND_CODES, MemoryAccess
+from repro.units import CACHE_LINE_BYTES
+
+
+class CompiledTrace:
+    """Column-oriented lowering of a trace, ready for the fast engine.
+
+    Attributes:
+        length: Number of records.
+        kinds: Kind code per record (see :data:`KIND_CODES`).
+        lines: First line-aligned address touched per record.
+        extras: Lines touched beyond the first (0 = single-line access).
+        pcs: Synthetic program counter per record.
+        gaps: Pure-compute gap cycles per record.
+        fids: Interned function id per record (index into ``functions``).
+        addrs: Raw byte address per record (stream hints need it exact).
+        sizes: Byte size per record (stream hints carry the extent).
+        functions: Interned function names, id order (first-seen order).
+        packed: The columns zipped per record as
+            ``(kind, line, extra, pc, gap, fid, addr, size)`` tuples —
+            the structure the hot loop actually iterates.
+    """
+
+    __slots__ = ("length", "kinds", "lines", "extras", "pcs", "gaps",
+                 "fids", "addrs", "sizes", "functions", "packed")
+
+    def __init__(self, records: Iterable[MemoryAccess]) -> None:
+        kinds: List[int] = []
+        lines: List[int] = []
+        extras: List[int] = []
+        pcs: List[int] = []
+        gaps: List[int] = []
+        fids: List[int] = []
+        addrs: List[int] = []
+        sizes: List[int] = []
+        functions: List[str] = []
+        fid_of = {}
+        kind_codes = KIND_CODES
+        line_mask = ~(CACHE_LINE_BYTES - 1)
+        for record in records:
+            address = record.address
+            size = record.size
+            first = address & line_mask
+            last = (address + size - 1) & line_mask
+            function = record.function
+            fid = fid_of.get(function)
+            if fid is None:
+                fid = fid_of[function] = len(functions)
+                functions.append(function)
+            kinds.append(kind_codes[record.kind])
+            lines.append(first)
+            extras.append((last - first) // CACHE_LINE_BYTES)
+            pcs.append(record.pc)
+            gaps.append(record.gap_cycles)
+            fids.append(fid)
+            addrs.append(address)
+            sizes.append(size)
+        self.length = len(kinds)
+        self.kinds = kinds
+        self.lines = lines
+        self.extras = extras
+        self.pcs = pcs
+        self.gaps = gaps
+        self.fids = fids
+        self.addrs = addrs
+        self.sizes = sizes
+        self.functions = functions
+        self.packed: List[Tuple[int, int, int, int, int, int, int, int]] = \
+            list(zip(kinds, lines, extras, pcs, gaps, fids, addrs, sizes))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (f"CompiledTrace({self.length} records, "
+                f"{len(self.functions)} functions)")

@@ -25,6 +25,22 @@ class AccessKind(enum.Enum):
     STREAM_HINT = "stream_hint"
 
 
+#: Dense int code per kind, used by the compiled-trace fast engine so the
+#: simulator's hot loop compares small ints instead of enum identities.
+#: Demand kinds come first: ``code <= KIND_STORE`` tests "is demand".
+KIND_CODES = {
+    AccessKind.LOAD: 0,
+    AccessKind.STORE: 1,
+    AccessKind.SOFTWARE_PREFETCH: 2,
+    AccessKind.STREAM_HINT: 3,
+}
+
+KIND_LOAD = KIND_CODES[AccessKind.LOAD]
+KIND_STORE = KIND_CODES[AccessKind.STORE]
+KIND_SOFTWARE_PREFETCH = KIND_CODES[AccessKind.SOFTWARE_PREFETCH]
+KIND_STREAM_HINT = KIND_CODES[AccessKind.STREAM_HINT]
+
+
 @dataclass(frozen=True)
 class MemoryAccess:
     """A single memory operation within a trace.

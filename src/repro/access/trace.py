@@ -18,10 +18,11 @@ class Trace:
     consumes them.
     """
 
-    __slots__ = ("_records",)
+    __slots__ = ("_records", "_compiled")
 
     def __init__(self, records: Iterable[MemoryAccess] = ()) -> None:
         self._records: List[MemoryAccess] = list(records)
+        self._compiled = None
         for record in self._records:
             if not isinstance(record, MemoryAccess):
                 raise TraceError(
@@ -53,6 +54,22 @@ class Trace:
 
     def __repr__(self) -> str:
         return f"Trace({len(self._records)} records)"
+
+    # --- compilation ---------------------------------------------------------
+
+    def compile(self):
+        """Lower this trace into flat int columns for the fast engine.
+
+        The result (a :class:`~repro.access.compiled.CompiledTrace`) is
+        cached on the trace — safe because traces are immutable by
+        convention and every transformation returns a new trace — so
+        repeated simulator runs of the same trace compile exactly once.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            from repro.access.compiled import CompiledTrace
+            compiled = self._compiled = CompiledTrace(self._records)
+        return compiled
 
     # --- transformations -----------------------------------------------------
 

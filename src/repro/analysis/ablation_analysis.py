@@ -9,17 +9,15 @@ on the trace simulator.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.access.address import AddressSpace
 from repro.errors import ConfigError
 from repro.memsys.config import HierarchyConfig
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.prefetchers.bank import PrefetcherBank, default_prefetcher_bank
 from repro.workloads.base import FunctionCategory, category_of_function
-from repro.workloads.mixes import fleetbench_trace
+from repro.workloads.memo import memoized_fleet_mix
 
 
 @dataclass(frozen=True)
@@ -60,8 +58,9 @@ class MicroAblationStudy:
         self.config = config or HierarchyConfig()
 
     def _mix(self):
-        return fleetbench_trace(random.Random(self.seed), AddressSpace(),
-                                scale=self.scale)
+        # Memoized: the on and off arms replay the same trace object, so
+        # it is generated and compiled once for the whole study.
+        return memoized_fleet_mix(self.seed, self.scale)
 
     def run(self) -> List[FunctionAblation]:
         """Returns one record per function, sorted by cycle delta."""

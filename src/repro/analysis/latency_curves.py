@@ -102,6 +102,17 @@ def measure_latency_curve(prefetchers_on: bool,
     saturation = config.dram.saturation_bandwidth
     multiplier = (1.0 + overfetch) if prefetchers_on else 1.0
 
+    # One probe shared by every point: generation is deterministic in
+    # ``seed`` (the per-point regeneration always produced this exact
+    # trace), each point runs it on a fresh hierarchy, and traces are
+    # immutable — so hoisting also shares the compiled lowering. The
+    # working set is far larger than the LLC so that every hop is a
+    # demand DRAM access.
+    probe = pointer_chase_trace(
+        AddressSpace(), working_set_bytes=512 * MB, hops=probe_hops,
+        rng=random.Random(seed), gap_cycles=4,
+        function="latency_probe")
+
     points: List[LatencyPoint] = []
     for utilization in utilizations:
         if utilization < 0:
@@ -112,12 +123,6 @@ def measure_latency_curve(prefetchers_on: bool,
         hierarchy = MemoryHierarchy(
             config=config, prefetchers=bank,
             external_load=lambda now, load=background: load)
-        # A fresh probe per point: a working set far larger than the LLC
-        # so that every hop is a demand DRAM access.
-        probe = pointer_chase_trace(
-            AddressSpace(), working_set_bytes=512 * MB, hops=probe_hops,
-            rng=random.Random(seed), gap_cycles=4,
-            function="latency_probe")
         result = hierarchy.run(probe)
         points.append(LatencyPoint(
             utilization=utilization,

@@ -22,11 +22,9 @@ agree in sign and ordering.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
-from repro.access import AddressSpace
 from repro.errors import ConfigError
 from repro.workloads.base import FunctionCategory, TAX_CATEGORIES
 
@@ -172,6 +170,7 @@ def calibrate_from_simulator(seed: int = 42, scale: float = 1.0,
     from repro.core.soft.injector import SoftwarePrefetchInjector
     from repro.memsys.hierarchy import MemoryHierarchy
     from repro.workloads.functions import FUNCTION_ROSTER
+    from repro.workloads.memo import memoized_function_trace
 
     tax_names = [name for name, profile in FUNCTION_ROSTER.items()
                  if profile.category in TAX_CATEGORIES]
@@ -183,19 +182,18 @@ def calibrate_from_simulator(seed: int = 42, scale: float = 1.0,
 
     responses = []
     for name, profile in FUNCTION_ROSTER.items():
-        def fresh_trace():
-            """A deterministic trace for the function under calibration."""
-            return profile.trace(random.Random(seed), AddressSpace(),
-                                 scale=scale)
+        # Memoized: all three arms replay the same deterministic trace
+        # object, generated (and compiled) once per (name, seed, scale).
+        trace = memoized_function_trace(name, seed, scale)
 
         hierarchy = MemoryHierarchy()
-        on = hierarchy.run(fresh_trace())
+        on = hierarchy.run(trace)
         hierarchy = MemoryHierarchy()
         hierarchy.set_hardware_prefetchers(False)
-        off = hierarchy.run(fresh_trace())
+        off = hierarchy.run(trace)
         hierarchy = MemoryHierarchy()
         hierarchy.set_hardware_prefetchers(False)
-        soft = hierarchy.run(injector.inject(fresh_trace()))
+        soft = hierarchy.run(injector.inject(trace))
 
         penalty_off = off.total.cycles / on.total.cycles - 1.0
         penalty_soft = soft.total.cycles / on.total.cycles - 1.0

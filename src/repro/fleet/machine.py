@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import List, Optional
@@ -15,6 +16,21 @@ from repro.fleet.socket import SimulatedSocket, SocketEpoch
 from repro.fleet.task import Task
 from repro.telemetry.sampler import PerfBandwidthSampler
 from repro.units import SECOND
+
+
+def machine_seed(name: str) -> int:
+    """Stable 63-bit RNG seed for a machine, derived from its name.
+
+    BLAKE2b over the name, in the same style as
+    :func:`repro.fleet.shard.shard_seed` — independent of
+    ``PYTHONHASHSEED``, process, and platform. The previous
+    ``hash(name) & 0xFFFF`` fallback silently changed per interpreter
+    invocation under salted string hashing, making directly-constructed
+    machines non-reproducible across runs.
+    """
+    digest = hashlib.blake2b(
+        f"limoncello-machine:{name}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
 
 
 class Machine:
@@ -44,7 +60,7 @@ class Machine:
         self.sockets: List[SimulatedSocket] = [
             SimulatedSocket(platform, index=i) for i in range(sockets)]
         self._telemetry_dropout = telemetry_dropout
-        self._rng = rng or random.Random(hash(name) & 0xFFFF)
+        self._rng = rng or random.Random(machine_seed(name))
         self.daemons: List[LimoncelloDaemon] = []
 
     # --- Limoncello deployment -------------------------------------------------

@@ -41,7 +41,7 @@ class _LineState:
 class SetAssociativeCache:
     """A classic set-associative LRU cache over line addresses."""
 
-    __slots__ = ("config", "_sets", "_set_mask", "_line_shift",
+    __slots__ = ("config", "_sets", "_set_mask", "_line_shift", "_size",
                  "hits", "misses", "prefetch_hits", "wasted_prefetches")
 
     def __init__(self, config: CacheConfig) -> None:
@@ -54,6 +54,7 @@ class SetAssociativeCache:
             self._set_mask = num_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
         self._sets: Dict[int, OrderedDict] = {}
+        self._size = 0
         self.hits = 0
         self.misses = 0
         self.prefetch_hits = 0
@@ -112,11 +113,13 @@ class SetAssociativeCache:
         victim: Optional[EvictedLine] = None
         if len(cache_set) >= self.config.associativity:
             victim_line, victim_state = cache_set.popitem(last=False)
+            self._size -= 1
             victim = EvictedLine(victim_line, victim_state.prefetched,
                                  victim_state.referenced)
             if victim.wasted_prefetch:
                 self.wasted_prefetches += 1
         cache_set[line] = _LineState(prefetched)
+        self._size += 1
         return victim
 
     def invalidate(self, line: int) -> bool:
@@ -124,17 +127,24 @@ class SetAssociativeCache:
         cache_set = self._sets.get(self._index(line))
         if cache_set is not None and line in cache_set:
             del cache_set[line]
+            self._size -= 1
             return True
         return False
 
     def flush(self) -> None:
         """Empty the cache (counters are preserved)."""
         self._sets.clear()
+        self._size = 0
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently resident."""
-        return sum(len(s) for s in self._sets.values())
+        """Number of valid lines currently resident.
+
+        Maintained incrementally (installs, evictions, invalidations, and
+        flushes adjust a counter) because telemetry sampling paths read it
+        per epoch; the old O(num_sets) sum walked every set.
+        """
+        return self._size
 
     @property
     def accesses(self) -> int:

@@ -9,21 +9,48 @@ trace records — are issued non-blocking: the line is installed immediately
 (so it can pollute) and tagged with an arrival time (so a demand access that
 arrives too early stalls for the residual; this is what makes prefetch
 *distance* a real tradeoff, Figure 15a).
+
+Two engines execute that model:
+
+* the **compiled engine** (default): the trace is lowered once into flat
+  int columns (:meth:`~repro.access.trace.Trace.compile`) and replayed by
+  a hot loop that binds every hot attribute to a local, probes the L1
+  inline, skips the prefetcher bank entirely when every prefetcher is
+  disabled (the most common ablation arm), and accumulates per-function
+  statistics in locals that flush at function boundaries;
+* the **reference interpreter**: the original record-at-a-time loop, kept
+  verbatim as the correctness oracle. Set ``REPRO_SLOW_ENGINE=1`` to force
+  it.
+
+The two are **bit-identical** — same :class:`RunResult` down to the last
+float, same cache/DRAM counters — because the compiled loop performs the
+exact same arithmetic in the exact same order; the golden-equivalence
+suite (``tests/test_engine_equivalence.py``) enforces this on random
+traces.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import os
+from collections import OrderedDict, deque
 from typing import Callable, Dict, Optional
 
 from repro.access.record import AccessKind
 from repro.access.trace import Trace
-from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.cache import SetAssociativeCache, _LineState
 from repro.memsys.config import HierarchyConfig
 from repro.memsys.dram import DRAMModel
 from repro.memsys.prefetchers.bank import PrefetcherBank, default_prefetcher_bank
 from repro.memsys.stats import FunctionStats, RunResult
 from repro.units import CACHE_LINE_BYTES
+
+#: Set to "1" (or "true"/"yes"/"on") to force the reference interpreter.
+SLOW_ENGINE_ENV = "REPRO_SLOW_ENGINE"
+
+
+def _slow_engine_requested() -> bool:
+    return os.environ.get(SLOW_ENGINE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 class MemoryHierarchy:
@@ -82,6 +109,11 @@ class MemoryHierarchy:
         State (cache contents, prefetcher training, clock) persists across
         calls so multi-phase experiments can share warmed state; call
         :meth:`reset` between independent runs.
+
+        Dispatches to the compiled fast engine unless ``REPRO_SLOW_ENGINE``
+        requests the reference interpreter (or ``trace`` is a plain record
+        iterable rather than a :class:`Trace`). Both engines produce
+        bit-identical results.
         """
         if start_ns is not None:
             if start_ns < self.now_ns:
@@ -89,8 +121,6 @@ class MemoryHierarchy:
                     f"cannot start at {start_ns}ns; clock is at {self.now_ns}ns")
             self.now_ns = start_ns
 
-        cycle_ns = self.config.cycle_ns
-        sw_cost_cycles = self.config.software_prefetch_cost_cycles
         result = RunResult()
         begin_ns = self.now_ns
         dram_demand0 = self.dram.demand_fills
@@ -101,6 +131,36 @@ class MemoryHierarchy:
         useful0 = self._useful
         wasted0 = (self.l1.wasted_prefetches + self.l2.wasted_prefetches
                    + self.llc.wasted_prefetches)
+
+        if not isinstance(trace, Trace) or _slow_engine_requested():
+            self._run_interpreted(trace, result)
+        else:
+            self._run_compiled(trace.compile(), result)
+
+        result.elapsed_ns = self.now_ns - begin_ns
+        result.dram_demand_fills = self.dram.demand_fills - dram_demand0
+        result.dram_prefetch_fills = self.dram.prefetch_fills - dram_prefetch0
+        result.dram_demand_bytes = self.dram.demand_bytes - dram_demand_bytes0
+        result.dram_prefetch_bytes = self.dram.prefetch_bytes - dram_prefetch_bytes0
+        result.hw_prefetches_issued = self.prefetchers.total_issued - hw_issued0
+        result.useful_prefetches = self._useful - useful0
+        result.wasted_prefetches = (
+            self.l1.wasted_prefetches + self.l2.wasted_prefetches
+            + self.llc.wasted_prefetches - wasted0)
+        for stats in result.functions.values():
+            result.total.merge(stats)
+        return result
+
+    # --- the reference interpreter ---------------------------------------------
+
+    def _run_interpreted(self, trace, result: RunResult) -> None:
+        """The original record-at-a-time loop — the correctness oracle.
+
+        Kept verbatim from the pre-compiled-engine simulator; the fast
+        engine must match it bit for bit.
+        """
+        cycle_ns = self.config.cycle_ns
+        sw_cost_cycles = self.config.software_prefetch_cost_cycles
 
         for record in trace:
             stats = self._function_stats(result, record.function)
@@ -139,19 +199,396 @@ class MemoryHierarchy:
             for line in record.lines_touched():
                 self._demand_access(line, record.pc, stats, is_store)
 
-        result.elapsed_ns = self.now_ns - begin_ns
-        result.dram_demand_fills = self.dram.demand_fills - dram_demand0
-        result.dram_prefetch_fills = self.dram.prefetch_fills - dram_prefetch0
-        result.dram_demand_bytes = self.dram.demand_bytes - dram_demand_bytes0
-        result.dram_prefetch_bytes = self.dram.prefetch_bytes - dram_prefetch_bytes0
-        result.hw_prefetches_issued = self.prefetchers.total_issued - hw_issued0
-        result.useful_prefetches = self._useful - useful0
-        result.wasted_prefetches = (
-            self.l1.wasted_prefetches + self.l2.wasted_prefetches
-            + self.llc.wasted_prefetches - wasted0)
-        for stats in result.functions.values():
-            result.total.merge(stats)
-        return result
+    # --- the compiled fast engine -----------------------------------------------
+
+    def _run_compiled(self, compiled, result: RunResult) -> None:
+        """One pass over pre-lowered int columns; see the module docstring.
+
+        Bit-identity with :meth:`_run_interpreted` rests on performing the
+        same float operations in the same order: per-function float stats
+        are loaded into locals at a function boundary and flushed at the
+        next, so each accumulation sequence is unchanged; adding a zero
+        stall (the L1-hit case) is skipped because ``x + 0.0 == x`` for
+        the non-negative values these accumulators hold.
+        """
+        config = self.config
+        cycle_ns = config.cycle_ns
+        sw_cost_cycles = config.software_prefetch_cost_cycles
+        sw_cost_ns = sw_cost_cycles * cycle_ns
+        store_scale = config.store_stall_fraction
+        seq_mlp = config.sequential_mlp
+        l2_hit_ns = config.l2.hit_latency_cycles * cycle_ns
+        llc_hit_ns = config.llc.hit_latency_cycles * cycle_ns
+        line_bytes = CACHE_LINE_BYTES
+
+        # Per-cache hot state: sets dict, geometry, and local delta counters
+        # flushed to the cache objects at the end of the loop. ``_sets`` is
+        # never rebound (only cleared), so binding it here is safe.
+        l1 = self.l1
+        l1_shift = l1._line_shift
+        l1_mask = l1._set_mask
+        l1_nsets = l1.config.num_sets
+        l1_assoc = l1.config.associativity
+        l1_sets = l1._sets
+        l1_sets_get = l1_sets.get
+        l1_hits = l1_misses = l1_pref_hits = 0
+        l1_wasted = l1_sized = 0
+        l2 = self.l2
+        l2_shift = l2._line_shift
+        l2_mask = l2._set_mask
+        l2_nsets = l2.config.num_sets
+        l2_assoc = l2.config.associativity
+        l2_sets = l2._sets
+        l2_sets_get = l2_sets.get
+        l2_hits = l2_misses = l2_pref_hits = 0
+        l2_wasted = l2_sized = 0
+        llc = self.llc
+        llc_shift = llc._line_shift
+        llc_mask = llc._set_mask
+        llc_nsets = llc.config.num_sets
+        llc_assoc = llc.config.associativity
+        llc_sets = llc._sets
+        llc_sets_get = llc_sets.get
+        llc_hits = llc_misses = llc_pref_hits = 0
+        llc_wasted = llc_sized = 0
+        line_state = _LineState
+        # DRAM demand-fill state, inlined from DRAMModel.request: the
+        # latency curve and sliding-window parameters are immutable for
+        # the life of the model, so they can live in locals; the window's
+        # running sum is read-modify-written per fill (never cached across
+        # records) because prefetch issues mutate it through the normal
+        # method path in between.
+        dram = self.dram
+        dram_cfg = dram.config
+        sat_bw = dram_cfg.saturation_bandwidth
+        max_util = dram_cfg.max_utilization
+        queue_gain = dram_cfg.queue_gain
+        queue_exp = dram_cfg.queue_exponent
+        unloaded_ns = dram_cfg.unloaded_latency_ns
+        overload_gain = dram_cfg.overload_gain
+        external_load = dram._external_load
+        window = dram._window
+        win_span = window.span_ns
+        win_points = window._points
+        win_append = win_points.append
+        win_popleft = win_points.popleft
+        line_bytes_f = float(line_bytes)
+        d_fills = 0
+        bank = self.prefetchers
+        bank_snapshot = bank.enabled_prefetchers
+        accept_hint = bank.accept_hint
+        issue_prefetch = self._issue_prefetch_at
+        in_flight = self._in_flight
+        # Shadow the recent-miss deque in a plain list for the duration of
+        # the loop (nothing else reads it mid-run); two C-level ``in``
+        # scans replace the per-miss Python loop over the deque. The
+        # adjacency test ``any(abs(line - r) == CACHE_LINE_BYTES)`` is
+        # exactly ``line - 64 in recent or line + 64 in recent``.
+        recent = self._recent_miss_lines
+        recent_cap = recent.maxlen
+        recent_list = list(recent)
+        recent_append = recent_list.append
+        useful = 0
+
+        functions = result.functions
+        fnames = compiled.functions
+        now = self.now_ns
+
+        stats: Optional[FunctionStats] = None
+        cur_fid = -1
+        s_instr = s_comp = s_loads = s_stores = s_swpf = 0
+        s_l1m = s_l2m = s_llcm = s_cov = s_late = 0
+        s_stall = s_dram_w = s_late_w = 0.0
+
+        for kind, line, extra, pc, gap, fid, addr, size in compiled.packed:
+            if fid != cur_fid:
+                if stats is not None:
+                    stats.instructions = s_instr
+                    stats.compute_cycles = s_comp
+                    stats.stall_cycles = s_stall
+                    stats.loads = s_loads
+                    stats.stores = s_stores
+                    stats.software_prefetches = s_swpf
+                    stats.l1_misses = s_l1m
+                    stats.l2_misses = s_l2m
+                    stats.llc_misses = s_llcm
+                    stats.prefetch_covered = s_cov
+                    stats.late_prefetch_hits = s_late
+                    stats.dram_wait_ns = s_dram_w
+                    stats.late_prefetch_wait_ns = s_late_w
+                fname = fnames[fid]
+                stats = functions.get(fname)
+                if stats is None:
+                    stats = functions[fname] = FunctionStats()
+                s_instr = stats.instructions
+                s_comp = stats.compute_cycles
+                s_stall = stats.stall_cycles
+                s_loads = stats.loads
+                s_stores = stats.stores
+                s_swpf = stats.software_prefetches
+                s_l1m = stats.l1_misses
+                s_l2m = stats.l2_misses
+                s_llcm = stats.llc_misses
+                s_cov = stats.prefetch_covered
+                s_late = stats.late_prefetch_hits
+                s_dram_w = stats.dram_wait_ns
+                s_late_w = stats.late_prefetch_wait_ns
+                cur_fid = fid
+
+            if gap:
+                now += gap * cycle_ns
+                s_instr += gap
+                s_comp += gap
+
+            if kind <= 1:  # LOAD (0) / STORE (1): the demand fast path
+                s_instr += 1
+                s_comp += 1
+                now += cycle_ns
+                if kind:
+                    s_stores += 1
+                    scale = store_scale
+                else:
+                    s_loads += 1
+                    scale = 1.0
+                while True:
+                    tag = line >> l1_shift
+                    if l1_mask is None:
+                        cache_set = l1_sets_get(tag % l1_nsets)
+                    else:
+                        cache_set = l1_sets_get(tag & l1_mask)
+                    if cache_set is not None and line in cache_set:
+                        state = cache_set[line]
+                        cache_set.move_to_end(line)
+                        l1_hits += 1
+                        if state.prefetched and not state.referenced:
+                            l1_pref_hits += 1
+                        state.referenced = True
+                        hit = True
+                    else:
+                        l1_misses += 1
+                        hit = False
+                    snapshot = bank._snapshot
+                    if snapshot is None:
+                        snapshot = bank_snapshot()
+                    if snapshot:
+                        hw_lines = []
+                        for prefetcher in snapshot:
+                            hw_lines.extend(prefetcher.observe(line, pc, hit))
+                    else:
+                        hw_lines = None
+                    if not hit:
+                        s_l1m += 1
+                        tag = line >> l2_shift
+                        cache_set = l2_sets_get(
+                            tag & l2_mask if l2_mask is not None
+                            else tag % l2_nsets)
+                        if cache_set is not None and line in cache_set:
+                            # L2 hit (inlined demand lookup).
+                            state = cache_set[line]
+                            cache_set.move_to_end(line)
+                            l2_hits += 1
+                            if state.prefetched and not state.referenced:
+                                l2_pref_hits += 1
+                            state.referenced = True
+                            stall = l2_hit_ns
+                            arrival = in_flight.pop(line, None)
+                            if arrival is not None:
+                                s_cov += 1
+                                useful += 1
+                                residual = (arrival - now) * scale
+                                if residual > 0.0:
+                                    s_late += 1
+                                    s_late_w += residual
+                                    stall += residual
+                            # Install into L1 (line just missed there).
+                            tag = line >> l1_shift
+                            index = tag & l1_mask if l1_mask is not None \
+                                else tag % l1_nsets
+                            cache_set = l1_sets_get(index)
+                            if cache_set is None:
+                                cache_set = l1_sets[index] = OrderedDict()
+                            if len(cache_set) >= l1_assoc:
+                                _, victim = cache_set.popitem(False)
+                                l1_sized -= 1
+                                if victim.prefetched and not victim.referenced:
+                                    l1_wasted += 1
+                            cache_set[line] = line_state(False)
+                            l1_sized += 1
+                        else:
+                            l2_misses += 1
+                            s_l2m += 1
+                            tag = line >> llc_shift
+                            cache_set = llc_sets_get(
+                                tag & llc_mask if llc_mask is not None
+                                else tag % llc_nsets)
+                            if cache_set is not None and line in cache_set:
+                                # LLC hit (inlined demand lookup).
+                                state = cache_set[line]
+                                cache_set.move_to_end(line)
+                                llc_hits += 1
+                                if state.prefetched and not state.referenced:
+                                    llc_pref_hits += 1
+                                state.referenced = True
+                                stall = llc_hit_ns
+                                arrival = in_flight.pop(line, None)
+                                if arrival is not None:
+                                    s_cov += 1
+                                    useful += 1
+                                    residual = (arrival - now) * scale
+                                    if residual > 0.0:
+                                        s_late += 1
+                                        s_late_w += residual
+                                        stall += residual
+                            else:
+                                # Full miss: DRAM fill (inlined
+                                # DRAMModel.request, demand path). The
+                                # fill's latency uses the utilization
+                                # *before* its own bytes join the window.
+                                llc_misses += 1
+                                in_flight.pop(line, None)
+                                horizon = now - win_span
+                                win_sum = window._sum
+                                while win_points \
+                                        and win_points[0][0] <= horizon:
+                                    win_sum -= win_popleft()[1]
+                                if external_load is not None:
+                                    raw = (win_sum / win_span
+                                           + external_load(now)) / sat_bw
+                                else:
+                                    raw = (win_sum / win_span) / sat_bw
+                                u = raw if raw > 0.0 else 0.0
+                                clamped = u if u < max_util else max_util
+                                queue = (queue_gain
+                                         * (clamped ** queue_exp)
+                                         / (1.0 - clamped))
+                                latency = unloaded_ns * (1.0 + queue)
+                                if u > max_util:
+                                    latency *= 1.0 + overload_gain \
+                                        * (u - max_util)
+                                win_append((now, line_bytes_f))
+                                window._sum = win_sum + line_bytes_f
+                                d_fills += 1
+                                completion = now + latency
+                                wait = (completion - now) * scale
+                                if line - line_bytes in recent_list \
+                                        or line + line_bytes in recent_list:
+                                    wait /= seq_mlp
+                                if len(recent_list) >= recent_cap:
+                                    del recent_list[0]
+                                recent_append(line)
+                                s_llcm += 1
+                                s_dram_w += wait
+                                stall = llc_hit_ns * scale + wait
+                                # Install into LLC.
+                                index = tag & llc_mask if llc_mask is not None \
+                                    else tag % llc_nsets
+                                cache_set = llc_sets_get(index)
+                                if cache_set is None:
+                                    cache_set = llc_sets[index] = OrderedDict()
+                                if len(cache_set) >= llc_assoc:
+                                    _, victim = cache_set.popitem(False)
+                                    llc_sized -= 1
+                                    if victim.prefetched \
+                                            and not victim.referenced:
+                                        llc_wasted += 1
+                                cache_set[line] = line_state(False)
+                                llc_sized += 1
+                            # Install into L2 (line just missed there).
+                            tag = line >> l2_shift
+                            index = tag & l2_mask if l2_mask is not None \
+                                else tag % l2_nsets
+                            cache_set = l2_sets_get(index)
+                            if cache_set is None:
+                                cache_set = l2_sets[index] = OrderedDict()
+                            if len(cache_set) >= l2_assoc:
+                                _, victim = cache_set.popitem(False)
+                                l2_sized -= 1
+                                if victim.prefetched and not victim.referenced:
+                                    l2_wasted += 1
+                            cache_set[line] = line_state(False)
+                            l2_sized += 1
+                            # Install into L1.
+                            tag = line >> l1_shift
+                            index = tag & l1_mask if l1_mask is not None \
+                                else tag % l1_nsets
+                            cache_set = l1_sets_get(index)
+                            if cache_set is None:
+                                cache_set = l1_sets[index] = OrderedDict()
+                            if len(cache_set) >= l1_assoc:
+                                _, victim = cache_set.popitem(False)
+                                l1_sized -= 1
+                                if victim.prefetched and not victim.referenced:
+                                    l1_wasted += 1
+                            cache_set[line] = line_state(False)
+                            l1_sized += 1
+                        now += stall
+                        s_stall += stall / cycle_ns
+                    if hw_lines:
+                        for hw_line in hw_lines:
+                            if hw_line >= 0 and hw_line not in in_flight:
+                                issue_prefetch(hw_line, False, now)
+                                in_flight = self._in_flight
+                    if not extra:
+                        break
+                    extra -= 1
+                    line += line_bytes
+
+            elif kind == 2:  # SOFTWARE_PREFETCH
+                s_instr += 1
+                s_comp += sw_cost_cycles
+                s_swpf += 1
+                now += sw_cost_ns
+                while True:
+                    if line not in in_flight:
+                        issue_prefetch(line, True, now)
+                        in_flight = self._in_flight
+                    if not extra:
+                        break
+                    extra -= 1
+                    line += line_bytes
+
+            else:  # STREAM_HINT
+                s_instr += 1
+                s_comp += sw_cost_cycles
+                s_swpf += 1
+                now += sw_cost_ns
+                accept_hint(addr, size)
+
+        if stats is not None:
+            stats.instructions = s_instr
+            stats.compute_cycles = s_comp
+            stats.stall_cycles = s_stall
+            stats.loads = s_loads
+            stats.stores = s_stores
+            stats.software_prefetches = s_swpf
+            stats.l1_misses = s_l1m
+            stats.l2_misses = s_l2m
+            stats.llc_misses = s_llcm
+            stats.prefetch_covered = s_cov
+            stats.late_prefetch_hits = s_late
+            stats.dram_wait_ns = s_dram_w
+            stats.late_prefetch_wait_ns = s_late_w
+        l1.hits += l1_hits
+        l1.misses += l1_misses
+        l1.prefetch_hits += l1_pref_hits
+        l1.wasted_prefetches += l1_wasted
+        l1._size += l1_sized
+        l2.hits += l2_hits
+        l2.misses += l2_misses
+        l2.prefetch_hits += l2_pref_hits
+        l2.wasted_prefetches += l2_wasted
+        l2._size += l2_sized
+        llc.hits += llc_hits
+        llc.misses += llc_misses
+        llc.prefetch_hits += llc_pref_hits
+        llc.wasted_prefetches += llc_wasted
+        llc._size += llc_sized
+        dram.demand_fills += d_fills
+        dram.demand_bytes += d_fills * line_bytes
+        recent.clear()
+        recent.extend(recent_list)
+        self._useful += useful
+        self.now_ns = now
 
     # --- internals -------------------------------------------------------------------
 
@@ -238,21 +675,29 @@ class MemoryHierarchy:
     _IN_FLIGHT_PRUNE_THRESHOLD = 1 << 18
 
     def _issue_prefetch(self, line: int, software: bool) -> None:
+        self._issue_prefetch_at(line, software, self.now_ns)
+
+    def _issue_prefetch_at(self, line: int, software: bool,
+                           now_ns: float) -> None:
+        """Issue one prefetch line at time ``now_ns``.
+
+        Shared by both engines (the compiled loop keeps the clock in a
+        local and passes it explicitly).
+        """
         if line < 0:
             return
         if line in self._in_flight:
             return
         if len(self._in_flight) > self._IN_FLIGHT_PRUNE_THRESHOLD:
-            now = self.now_ns
             self._in_flight = {
                 pending: arrival
                 for pending, arrival in self._in_flight.items()
-                if arrival > now
+                if arrival > now_ns
             }
         if self.l1.contains(line) or self.l2.contains(line) \
                 or self.llc.contains(line):
             return
-        completion = self.dram.request(self.now_ns, is_prefetch=True)
+        completion = self.dram.request(now_ns, is_prefetch=True)
         self._in_flight[line] = completion
         # Install immediately (tagged prefetched) so pollution is modelled;
         # the in-flight entry makes early demand hits pay the residual.

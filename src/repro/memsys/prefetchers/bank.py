@@ -30,6 +30,14 @@ class PrefetcherBank:
             self._prefetchers[prefetcher.name] = prefetcher
         self._msr_map: Optional[PlatformMSRMap] = None
         self._msr_file: Optional[MSRFile] = None
+        #: Cached list of currently enabled prefetchers, bank order.
+        #: ``None`` means stale; every ``enabled`` flip (direct, via
+        #: set_all, or via an MSR write) invalidates it through the
+        #: prefetchers' enabled-watcher hooks. The fast engine reads this
+        #: so a fully disabled bank costs one truthiness check per access.
+        self._snapshot: Optional[List[HardwarePrefetcher]] = None
+        for prefetcher in self._prefetchers.values():
+            prefetcher._enabled_watchers.append(self._invalidate_snapshot)
 
     # --- direct control ------------------------------------------------------
 
@@ -55,6 +63,21 @@ class PrefetcherBank:
     def any_enabled(self) -> bool:
         """Whether at least one prefetcher is enabled."""
         return any(p.enabled for p in self._prefetchers.values())
+
+    def _invalidate_snapshot(self) -> None:
+        self._snapshot = None
+
+    def enabled_prefetchers(self) -> List[HardwarePrefetcher]:
+        """Currently enabled prefetchers, bank order (cached snapshot).
+
+        The returned list is owned by the bank and must not be mutated;
+        it stays valid until any prefetcher's ``enabled`` flag flips.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = [
+                p for p in self._prefetchers.values() if p.enabled]
+        return snapshot
 
     @property
     def total_issued(self) -> int:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 
 class HardwarePrefetcher:
@@ -12,12 +12,34 @@ class HardwarePrefetcher:
     enable switch (driven, ultimately, by the simulated MSR bits) and the
     issue counter. A disabled prefetcher neither trains nor issues, which
     matches how the MSR disable bits behave on real parts.
+
+    ``enabled`` is a property: flipping it notifies any registered
+    watchers (``_enabled_watchers``), which is how a
+    :class:`~repro.memsys.prefetchers.bank.PrefetcherBank` keeps its
+    enabled-prefetcher snapshot coherent without re-scanning the bank on
+    every simulated access.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.enabled = True
+        self._enabled = True
+        #: Zero-argument callbacks invoked whenever ``enabled`` flips.
+        self._enabled_watchers: List[Callable[[], None]] = []
         self.issued = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the prefetcher trains and issues."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._enabled:
+            return
+        self._enabled = value
+        for watcher in self._enabled_watchers:
+            watcher()
 
     def observe(self, line: int, pc: int, was_hit: bool) -> List[int]:
         """Feed one demand access; returns line addresses to prefetch.
@@ -28,7 +50,7 @@ class HardwarePrefetcher:
             was_hit: Whether the access hit in the cache the prefetcher
                 observes (some policies only train on misses).
         """
-        if not self.enabled:
+        if not self._enabled:
             return []
         lines = self._observe(line, pc, was_hit)
         self.issued += len(lines)

@@ -10,17 +10,15 @@ rely on overshoot or cache pollution fail here.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
-from repro.access.address import AddressSpace
 from repro.core.soft.descriptor import PrefetchDescriptor
 from repro.core.soft.injector import SoftwarePrefetchInjector
 from repro.errors import ConfigError
 from repro.memsys.config import HierarchyConfig
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.prefetchers.bank import PrefetcherBank
-from repro.workloads.mixes import fleetbench_trace
+from repro.workloads.memo import memoized_fleet_mix
 
 
 class FleetMixLoadTest:
@@ -49,8 +47,9 @@ class FleetMixLoadTest:
         self.config = config or HierarchyConfig()
 
     def _trace(self):
-        return fleetbench_trace(random.Random(self.seed), AddressSpace(),
-                                scale=self.scale)
+        # Memoized: every descriptor evaluation replays the same mix, so
+        # it is generated and compiled once per (seed, scale).
+        return memoized_fleet_mix(self.seed, self.scale)
 
     def _run(self, descriptor: Optional[PrefetchDescriptor]) -> float:
         trace = self._trace()

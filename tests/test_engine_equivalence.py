@@ -1,0 +1,262 @@
+"""Golden-equivalence tests: the compiled engine vs the interpreter.
+
+The compiled fast engine must produce **bit-identical** results to the
+reference interpreter (``REPRO_SLOW_ENGINE=1``): every ``RunResult``
+field including floats, every per-function stat, and every cache/DRAM
+counter. These tests drive both engines over deterministic and
+hypothesis-generated traces and compare everything.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessKind, MemoryAccess, Trace
+from repro.memsys import MemoryHierarchy, PrefetcherBank
+from repro.memsys.hierarchy import SLOW_ENGINE_ENV
+from repro.memsys.prefetchers.bank import default_prefetcher_bank
+
+STAT_FIELDS = (
+    "instructions", "compute_cycles", "stall_cycles", "loads", "stores",
+    "software_prefetches", "l1_misses", "l2_misses", "llc_misses",
+    "prefetch_covered", "late_prefetch_hits", "dram_wait_ns",
+    "late_prefetch_wait_ns",
+)
+
+RESULT_FIELDS = (
+    "elapsed_ns", "dram_demand_fills", "dram_prefetch_fills",
+    "dram_demand_bytes", "dram_prefetch_bytes", "hw_prefetches_issued",
+    "useful_prefetches", "wasted_prefetches",
+)
+
+CACHE_COUNTERS = ("hits", "misses", "prefetch_hits", "wasted_prefetches",
+                  "occupancy")
+
+
+def stat_tuple(stats):
+    return tuple(getattr(stats, field) for field in STAT_FIELDS)
+
+
+def snapshot(hierarchy, result):
+    """Everything observable after a run, as one comparable structure."""
+    return {
+        "result": tuple(getattr(result, field) for field in RESULT_FIELDS),
+        "total": stat_tuple(result.total),
+        "functions": {name: stat_tuple(stats)
+                      for name, stats in result.functions.items()},
+        "caches": {
+            level: tuple(getattr(getattr(hierarchy, level), counter)
+                         for counter in CACHE_COUNTERS)
+            for level in ("l1", "l2", "llc")
+        },
+        "dram": (hierarchy.dram.demand_fills, hierarchy.dram.prefetch_fills,
+                 hierarchy.dram.demand_bytes, hierarchy.dram.prefetch_bytes,
+                 hierarchy.dram._window._sum),
+        "now_ns": hierarchy.now_ns,
+        "sw_issued": hierarchy.software_prefetches_issued,
+        "in_flight": dict(hierarchy._in_flight),
+        "recent": list(hierarchy._recent_miss_lines),
+        "hw_issued": [p.issued for p in hierarchy.prefetchers],
+    }
+
+
+def run_one(traces, slow, bank_factory, prefetchers_enabled=True):
+    """Run ``traces`` in sequence on one hierarchy with a chosen engine."""
+    hierarchy = MemoryHierarchy(prefetchers=bank_factory())
+    hierarchy.set_hardware_prefetchers(prefetchers_enabled)
+    saved = os.environ.get(SLOW_ENGINE_ENV)
+    try:
+        if slow:
+            os.environ[SLOW_ENGINE_ENV] = "1"
+        else:
+            os.environ.pop(SLOW_ENGINE_ENV, None)
+        results = [hierarchy.run(trace) for trace in traces]
+    finally:
+        if saved is None:
+            os.environ.pop(SLOW_ENGINE_ENV, None)
+        else:
+            os.environ[SLOW_ENGINE_ENV] = saved
+    return hierarchy, results
+
+
+def assert_engines_agree(records, bank_factory=default_prefetcher_bank,
+                         prefetchers_enabled=True, split=None):
+    """Both engines over the same records must agree on everything.
+
+    ``split`` optionally cuts the records into two back-to-back runs to
+    exercise warm-state continuation.
+    """
+    if split is None:
+        traces = [Trace(records)]
+    else:
+        traces = [Trace(records[:split]), Trace(records[split:])]
+    slow_h, slow_r = run_one(traces, True, bank_factory, prefetchers_enabled)
+    fast_h, fast_r = run_one(traces, False, bank_factory, prefetchers_enabled)
+    for got_slow, got_fast in zip(slow_r, fast_r):
+        assert snapshot(slow_h, got_slow) == snapshot(fast_h, got_fast)
+
+
+def make_records():
+    """A deterministic trace exercising every record kind and edge."""
+    records = []
+    # Streaming loads with an 8-byte stride: mostly L1 hits.
+    for i in range(600):
+        records.append(MemoryAccess(address=i * 8, size=8, pc=1,
+                                    function="stream"))
+    # Multi-line stores (crosses 4 lines) with gaps.
+    for i in range(200):
+        records.append(MemoryAccess(
+            address=1 << 20 | i * 256, size=256, kind=AccessKind.STORE,
+            pc=2, function="writer", gap_cycles=3))
+    # Software prefetches ahead of a strided reader.
+    for i in range(200):
+        records.append(MemoryAccess(
+            address=(2 << 20) + (i + 8) * 64, size=64,
+            kind=AccessKind.SOFTWARE_PREFETCH, pc=3, function="reader"))
+        records.append(MemoryAccess(
+            address=(2 << 20) + i * 64, size=64, pc=4, function="reader"))
+    # A stream hint followed by the hinted region's accesses.
+    records.append(MemoryAccess(
+        address=3 << 20, size=64 * 64, kind=AccessKind.STREAM_HINT,
+        pc=5, function="hinted"))
+    for i in range(64):
+        records.append(MemoryAccess(address=(3 << 20) + i * 64, size=64,
+                                    pc=6, function="hinted"))
+    # Pointer-chase style scattered misses (sequential-MLP edge cases:
+    # adjacent-line pairs in both directions).
+    base = 5 << 20
+    for i in range(150):
+        records.append(MemoryAccess(
+            address=base + (i * 7919 % 4096) * 64, size=8, pc=7,
+            function="chase", gap_cycles=i % 5))
+    records.append(MemoryAccess(address=base, size=8, pc=7, function="chase"))
+    records.append(MemoryAccess(address=base + 64, size=8, pc=7,
+                                function="chase"))
+    records.append(MemoryAccess(address=base + 128, size=8, pc=7,
+                                function="chase"))
+    return records
+
+
+class TestDeterministicEquivalence:
+    def test_mixed_kinds_prefetchers_on(self):
+        assert_engines_agree(make_records())
+
+    def test_mixed_kinds_prefetchers_off(self):
+        assert_engines_agree(make_records(), prefetchers_enabled=False)
+
+    def test_empty_bank(self):
+        assert_engines_agree(make_records(),
+                             bank_factory=lambda: PrefetcherBank([]))
+
+    def test_warm_state_continuation(self):
+        """Back-to-back runs on one hierarchy agree across engines."""
+        assert_engines_agree(make_records(), split=700)
+
+    def test_empty_trace(self):
+        assert_engines_agree([])
+
+    def test_mid_sequence_prefetcher_flip(self):
+        """Snapshot invalidation: flip the bank between runs."""
+        records = make_records()
+        traces = [Trace(records[:500]), Trace(records[500:])]
+
+        def run(slow):
+            hierarchy = MemoryHierarchy()
+            saved = os.environ.get(SLOW_ENGINE_ENV)
+            try:
+                if slow:
+                    os.environ[SLOW_ENGINE_ENV] = "1"
+                else:
+                    os.environ.pop(SLOW_ENGINE_ENV, None)
+                first = hierarchy.run(traces[0])
+                hierarchy.set_hardware_prefetchers(False)
+                second = hierarchy.run(traces[1])
+            finally:
+                if saved is None:
+                    os.environ.pop(SLOW_ENGINE_ENV, None)
+                else:
+                    os.environ[SLOW_ENGINE_ENV] = saved
+            return hierarchy, first, second
+
+        slow_h, slow_a, slow_b = run(True)
+        fast_h, fast_a, fast_b = run(False)
+        assert snapshot(slow_h, slow_a) == snapshot(fast_h, fast_a)
+        assert snapshot(slow_h, slow_b) == snapshot(fast_h, fast_b)
+
+
+class TestEngineDispatch:
+    def test_env_forces_interpreter(self, monkeypatch):
+        """REPRO_SLOW_ENGINE=1 must never reach the compiled engine."""
+        monkeypatch.setenv(SLOW_ENGINE_ENV, "1")
+
+        def boom(self, compiled, result):
+            raise AssertionError("compiled engine used despite slow-engine env")
+
+        monkeypatch.setattr(MemoryHierarchy, "_run_compiled", boom)
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        result = hierarchy.run(Trace([MemoryAccess(address=0)]))
+        assert result.total.loads == 1
+
+    def test_trace_uses_compiled_engine(self, monkeypatch):
+        monkeypatch.delenv(SLOW_ENGINE_ENV, raising=False)
+        used = []
+        original = MemoryHierarchy._run_compiled
+
+        def spy(self, compiled, result):
+            used.append(True)
+            return original(self, compiled, result)
+
+        monkeypatch.setattr(MemoryHierarchy, "_run_compiled", spy)
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        hierarchy.run(Trace([MemoryAccess(address=0)]))
+        assert used
+
+    def test_plain_iterable_uses_interpreter(self, monkeypatch):
+        """Non-Trace record sequences take the interpreter path."""
+        monkeypatch.delenv(SLOW_ENGINE_ENV, raising=False)
+
+        def boom(self, compiled, result):
+            raise AssertionError("compiled engine used for a non-Trace input")
+
+        monkeypatch.setattr(MemoryHierarchy, "_run_compiled", boom)
+        hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
+        result = hierarchy.run([MemoryAccess(address=0)])
+        assert result.total.loads == 1
+
+    def test_compile_is_cached_on_trace(self):
+        trace = Trace([MemoryAccess(address=0)])
+        assert trace.compile() is trace.compile()
+
+
+record_strategy = st.builds(
+    MemoryAccess,
+    address=st.integers(min_value=0, max_value=1 << 22),
+    size=st.integers(min_value=1, max_value=512),
+    kind=st.sampled_from((AccessKind.LOAD, AccessKind.STORE,
+                          AccessKind.SOFTWARE_PREFETCH,
+                          AccessKind.STREAM_HINT)),
+    pc=st.integers(min_value=0, max_value=9),
+    function=st.sampled_from(("alpha", "beta", "gamma")),
+    gap_cycles=st.integers(min_value=0, max_value=30),
+)
+
+records_strategy = st.lists(record_strategy, max_size=120)
+
+
+class TestPropertyEquivalence:
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_random_traces_prefetchers_on(self, records):
+        assert_engines_agree(records)
+
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_random_traces_prefetchers_off(self, records):
+        assert_engines_agree(records, prefetchers_enabled=False)
+
+    @given(records=records_strategy,
+           split=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_random_traces_split_runs(self, records, split):
+        assert_engines_agree(records, split=min(split, len(records)))

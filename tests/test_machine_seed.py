@@ -1,0 +1,70 @@
+"""Machine RNG seeding must be stable across processes and hash salts.
+
+The old fallback seed was ``hash(name) & 0xFFFF``, which varies between
+interpreter invocations under salted string hashing (PYTHONHASHSEED) —
+two runs of the "same" fleet silently used different noise streams.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import repro
+from repro.fleet import AblationStudy
+from repro.fleet.machine import Machine, machine_seed
+from repro.fleet.platform import PLATFORM_1
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+PRINT_SEED = (
+    "from repro.fleet.machine import Machine, machine_seed\n"
+    "from repro.fleet.platform import PLATFORM_1\n"
+    "machine = Machine('probe-0', PLATFORM_1, sockets=1)\n"
+    "print(machine_seed('probe-0'), machine._rng.random())\n"
+)
+
+
+def run_with_hash_seed(hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_DIR
+    out = subprocess.run(
+        [sys.executable, "-c", PRINT_SEED], env=env, capture_output=True,
+        text=True, check=True)
+    return out.stdout.strip()
+
+
+class TestMachineSeed:
+    def test_matches_blake2b_convention(self):
+        digest = hashlib.blake2b(b"limoncello-machine:m-17",
+                                 digest_size=8).digest()
+        expected = int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+        assert machine_seed("m-17") == expected
+
+    def test_distinct_names_distinct_seeds(self):
+        seeds = {machine_seed(f"machine-{i}") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_same_name_same_stream_in_process(self):
+        first = Machine("m0", PLATFORM_1, sockets=1)
+        second = Machine("m0", PLATFORM_1, sockets=1)
+        assert [first._rng.random() for _ in range(5)] \
+            == [second._rng.random() for _ in range(5)]
+
+    def test_stable_across_hash_salts(self):
+        """Two processes with different hash salts agree on the stream."""
+        assert run_with_hash_seed("0") == run_with_hash_seed("12345")
+
+
+class TestFleetRepeatability:
+    def test_same_study_twice_agrees(self):
+        """Two runs of the same fleet study are numerically identical."""
+        def study():
+            return AblationStudy(mode="off", machines=4, epochs=8,
+                                 warmup_epochs=3, seed=11).run()
+
+        first, second = study(), study()
+        assert first.throughput_change() == second.throughput_change()
+        assert first.bandwidth_reduction() == second.bandwidth_reduction()
+        assert first.latency_reduction() == second.latency_reduction()

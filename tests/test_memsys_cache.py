@@ -137,3 +137,49 @@ class TestMaintenance:
 
     def test_miss_rate_no_accesses(self):
         assert small_cache().miss_rate == 0.0
+
+
+class TestOccupancyCounter:
+    """occupancy is maintained incrementally; it must always equal the
+    brute-force sum over the sets."""
+
+    @staticmethod
+    def brute_force(cache):
+        return sum(len(s) for s in cache._sets.values())
+
+    def test_tracks_installs_and_evictions(self):
+        cache = small_cache(sets=2, ways=2)
+        rng = __import__("random").Random(3)
+        for _ in range(500):
+            line = rng.randrange(64) * 64
+            op = rng.randrange(4)
+            if op == 0:
+                cache.install(line, prefetched=bool(rng.randrange(2)))
+            elif op == 1:
+                cache.lookup(line)
+            elif op == 2:
+                cache.invalidate(line)
+            else:
+                cache.contains(line)
+            assert cache.occupancy == self.brute_force(cache)
+
+    def test_reinstall_does_not_double_count(self):
+        cache = small_cache()
+        cache.install(0x0)
+        cache.install(0x0)
+        assert cache.occupancy == 1
+
+    def test_flush_resets(self):
+        cache = small_cache()
+        cache.install(0x0)
+        cache.install(0x40)
+        cache.flush()
+        assert cache.occupancy == 0
+        cache.install(0x80)
+        assert cache.occupancy == 1
+
+    def test_capacity_bound(self):
+        cache = small_cache(sets=2, ways=2)
+        for i in range(32):
+            cache.install(i * 64)
+        assert cache.occupancy == self.brute_force(cache) <= 4

@@ -260,3 +260,49 @@ class TestBank:
         bank = PrefetcherBank([NextLinePrefetcher(name="exotic")])
         with pytest.raises(ConfigError):
             bank.bind_msr(MSRFile(), INTEL_LIKE_MAP)
+
+
+class TestEnabledSnapshot:
+    """The bank's cached enabled-prefetcher list must track every way an
+    ``enabled`` flag can flip (direct setattr, set_all, MSR writes)."""
+
+    def test_snapshot_lists_enabled_in_bank_order(self):
+        bank = default_prefetcher_bank()
+        assert [p.name for p in bank.enabled_prefetchers()] == bank.names()
+
+    def test_snapshot_is_cached(self):
+        bank = default_prefetcher_bank()
+        assert bank.enabled_prefetchers() is bank.enabled_prefetchers()
+
+    def test_set_all_invalidates(self):
+        bank = default_prefetcher_bank()
+        assert bank.enabled_prefetchers()
+        bank.set_all(False)
+        assert bank.enabled_prefetchers() == []
+        bank.set_all(True)
+        assert [p.name for p in bank.enabled_prefetchers()] == bank.names()
+
+    def test_direct_setattr_invalidates(self):
+        bank = default_prefetcher_bank()
+        bank.enabled_prefetchers()
+        bank["l1_stride"].enabled = False
+        names = [p.name for p in bank.enabled_prefetchers()]
+        assert "l1_stride" not in names
+        bank["l1_stride"].enabled = True
+        assert [p.name for p in bank.enabled_prefetchers()] == bank.names()
+
+    def test_redundant_setattr_keeps_snapshot(self):
+        bank = default_prefetcher_bank()
+        snapshot = bank.enabled_prefetchers()
+        bank["l1_stride"].enabled = True  # no-op flip
+        assert bank.enabled_prefetchers() is snapshot
+
+    def test_msr_write_invalidates(self):
+        bank = default_prefetcher_bank()
+        msrs = MSRFile()
+        bank.bind_msr(msrs, INTEL_LIKE_MAP)
+        assert bank.enabled_prefetchers()
+        INTEL_LIKE_MAP.disable_all(msrs)
+        assert bank.enabled_prefetchers() == []
+        INTEL_LIKE_MAP.enable_one(msrs, "l2_stream")
+        assert [p.name for p in bank.enabled_prefetchers()] == ["l2_stream"]
