@@ -1,6 +1,6 @@
 # Convenience targets for the Limoncello reproduction.
 
-.PHONY: install lint test bench report examples clean
+.PHONY: install lint test coverage bench report examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ lint:
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+coverage:
+	PYTHONPATH=src python -m pytest -q \
+		--cov=repro --cov-report=term-missing \
+		--cov-report=xml:coverage.xml --cov-fail-under=75
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,111 @@
+"""Benchmark regression gate for the simulation-engine throughput.
+
+Compares a fresh ``BENCH_sim_throughput.json`` against the committed
+baseline in ``benchmarks/baselines/`` and fails when any arm's
+compiled/interpreter *speedup ratio* regressed by more than the
+allowed fraction (default 20%).
+
+The gate compares speedup ratios, not absolute accesses/s: the ratio
+divides out the raw speed of whatever runner CI landed on, so it is
+stable across machine generations while still catching a fast path
+that got slower relative to the interpreter.
+
+Usage (CI runs this after the benchmark itself)::
+
+    python benchmarks/check_throughput_regression.py \
+        --current benchmarks/results/BENCH_sim_throughput.json
+
+Refresh the baseline intentionally with ``--update`` after a change
+that is *supposed* to shift throughput, and commit the new file.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+CURRENT_PATH = BENCH_DIR / "results" / "BENCH_sim_throughput.json"
+BASELINE_PATH = BENCH_DIR / "baselines" / "BENCH_sim_throughput.baseline.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+def load(path):
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise SystemExit(f"missing benchmark file: {path}")
+    with path.open() as handle:
+        data = json.load(handle)
+    if "arms" not in data:
+        raise SystemExit(f"malformed benchmark file (no arms): {path}")
+    return data
+
+
+def compare(current, baseline, tolerance):
+    """Per-arm verdict lines plus the list of failing arms."""
+    lines = [f"{'arm':>10} {'baseline':>9} {'current':>8} "
+             f"{'change':>8} {'verdict':>8}"]
+    failures = []
+    for name, base_arm in sorted(baseline["arms"].items()):
+        base = base_arm["speedup"]
+        arm = current["arms"].get(name)
+        if arm is None:
+            failures.append(f"arm {name!r} missing from current results")
+            lines.append(f"{name:>10} {base:8.2f}x {'-':>8} {'-':>8} "
+                         f"{'MISSING':>8}")
+            continue
+        speedup = arm["speedup"]
+        change = (speedup - base) / base
+        regressed = change < -tolerance
+        if regressed:
+            failures.append(
+                f"arm {name!r} speedup {speedup:.2f}x is "
+                f"{-change:.0%} below baseline {base:.2f}x "
+                f"(allowed {tolerance:.0%})")
+        lines.append(
+            f"{name:>10} {base:8.2f}x {speedup:7.2f}x {change:+7.1%} "
+            f"{'REGRESS' if regressed else 'ok':>8}")
+    return lines, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when simulation-engine speedups regressed "
+                    "past the tolerance vs the committed baseline.")
+    parser.add_argument("--current", default=str(CURRENT_PATH),
+                        help="freshly generated BENCH_sim_throughput.json")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH),
+                        help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional speedup regression "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current "
+                             "results instead of gating")
+    args = parser.parse_args(argv)
+
+    if not 0.0 < args.tolerance < 1.0:
+        raise SystemExit("--tolerance must be in (0, 1)")
+
+    current = load(args.current)
+    if args.update:
+        pathlib.Path(args.baseline).parent.mkdir(parents=True,
+                                                 exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    lines, failures = compare(current, baseline, args.tolerance)
+    print("\n".join(lines))
+    for failure in failures:
+        print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"all arms within {args.tolerance:.0%} of baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

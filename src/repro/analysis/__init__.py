@@ -5,7 +5,16 @@
 * :mod:`repro.analysis.ablation_analysis` — micro-level (trace-driven)
   per-function ablation, the high-fidelity version of Figures 11/12.
 * :mod:`repro.analysis.thresholds` — the Figure 10 threshold study.
+* :mod:`repro.analysis.chaos` — the control loop under injected faults:
+  availability, MTTR, and duty-cycle drift vs a fault-free twin.
 """
+
+from repro.analysis.chaos import (
+    ChaosOutcome,
+    ChaosStudy,
+    chaos_default_config,
+    result_digest,
+)
 
 from repro.analysis.latency_curves import (
     LatencyCurve,
@@ -38,4 +47,8 @@ __all__ = [
     "aggregate_by_category",
     "ThresholdStudy",
     "ThresholdOutcome",
+    "ChaosStudy",
+    "ChaosOutcome",
+    "chaos_default_config",
+    "result_digest",
 ]

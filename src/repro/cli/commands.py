@@ -29,6 +29,44 @@ def _parse_profile(text: str):
     return points
 
 
+def _resolve_fault_plan(args):
+    """The study's fault plan: ``--fault-plan``, else $REPRO_FAULT_PLAN,
+    else None (fault-free)."""
+    import os
+
+    from repro.faults import FAULT_PLAN_ENV_VAR, FaultPlan
+
+    spec = getattr(args, "fault_plan", None)
+    if spec is None:
+        spec = os.environ.get(FAULT_PLAN_ENV_VAR) or None
+    if spec is None:
+        return None
+    return FaultPlan.parse(spec)
+
+
+def _print_chaos_summary(chaos) -> None:
+    """The chaos-metrics block shared by every faulted study printout."""
+    mttr = chaos.mean_time_to_recovery_ns()
+    detect = chaos.mean_detection_latency_ns()
+    _table(("chaos metric", "value"), [
+        ("controller availability", f"{chaos.availability():.2%}"),
+        ("duty cycle disabled", f"{chaos.duty_cycle_disabled():.2%}"),
+        ("incidents", str(chaos.incidents)),
+        ("  recovered", str(chaos.recovered_incidents)),
+        ("mean detection latency",
+         "n/a" if detect is None else f"{detect / SECOND:.1f} s"),
+        ("mean time to recovery",
+         "n/a" if mttr is None else f"{mttr / SECOND:.1f} s"),
+        ("fail-safe engagements", str(chaos.failsafe_engagements)),
+        ("machine crashes", str(chaos.machine_crashes)),
+        ("machine restarts", str(chaos.machine_restarts)),
+    ])
+    if chaos.incident_kinds:
+        print("\nincidents by kind:")
+        _table(("kind", "count"),
+               sorted(chaos.incident_kinds.items()))
+
+
 def run_daemon(args) -> int:
     """``repro daemon``: control loop on a scripted profile."""
     from repro.core import (LimoncelloConfig, LimoncelloDaemon,
@@ -90,9 +128,11 @@ def run_ablation(args) -> int:
     shard_size = getattr(args, "shard_size", None)
     if shard_size is None:
         shard_size = DEFAULT_SHARD_SIZE
+    fault_plan = _resolve_fault_plan(args)
     result = AblationStudy(mode=args.mode, machines=args.machines,
                            epochs=args.epochs, warmup_epochs=args.warmup,
                            seed=args.seed, shard_size=shard_size,
+                           fault_plan=fault_plan,
                            ).run(workers=args.workers,
                                  cache_dir=args.cache_dir)
     bandwidth = result.bandwidth_reduction()
@@ -110,6 +150,9 @@ def run_ablation(args) -> int:
     rows = [(name, f"{delta:+.1%}")
             for name, delta in sorted(deltas.items(), key=lambda kv: -kv[1])]
     _table(("function", "Δcycles"), rows)
+    if result.chaos is not None:
+        print(f"\nfault plan: {fault_plan.spec()}")
+        _print_chaos_summary(result.chaos)
     return 0
 
 
@@ -117,9 +160,10 @@ def run_rollout(args) -> int:
     """``repro rollout``: the Figures 16-20 study."""
     from repro.fleet import RolloutStudy
 
+    fault_plan = _resolve_fault_plan(args)
     result = RolloutStudy(machines=args.machines, epochs=args.epochs,
-                          warmup_epochs=args.warmup,
-                          seed=args.seed).run(workers=args.workers)
+                          warmup_epochs=args.warmup, seed=args.seed,
+                          fault_plan=fault_plan).run(workers=args.workers)
     print("Figure 16 — throughput gain by CPU band")
     _table(("band", "gain"), [(band, f"{gain:+.1%}") for band, gain
                               in result.throughput_gain_by_band().items()])
@@ -138,6 +182,51 @@ def run_rollout(args) -> int:
     _table(("arm", "tax share"), [
         (arm, f"{data['all targeted DC tax']:.1%}")
         for arm, data in shares.items()])
+    if result.chaos is not None:
+        print(f"\nfault plan: {fault_plan.spec()}")
+        _print_chaos_summary(result.chaos)
+    return 0
+
+
+def run_chaos(args) -> int:
+    """``repro chaos``: the control loop under an injected fault plan."""
+    from repro.analysis import ChaosStudy, result_digest
+
+    fault_plan = _resolve_fault_plan(args)
+    if fault_plan is None:
+        raise ReproError(
+            "chaos needs a fault plan: pass --fault-plan or set "
+            "$REPRO_FAULT_PLAN")
+    shard_size = getattr(args, "shard_size", None)
+    kwargs = dict(machines=args.machines, epochs=args.epochs,
+                  seed=args.seed, warmup_epochs=args.warmup,
+                  mode=args.mode, shard_size=shard_size)
+    outcome = ChaosStudy(fault_plan, **kwargs).run(
+        workers=args.workers, cache_dir=args.cache_dir)
+
+    print(f"fault plan: {fault_plan.spec()}")
+    print(f"experiment arm: {args.mode}\n")
+    _print_chaos_summary(outcome.chaos)
+    print()
+    _table(("study metric", "value"), [
+        ("duty-cycle error vs fault-free",
+         f"{outcome.duty_cycle_error():.2%}"),
+        ("throughput change vs control",
+         f"{outcome.throughput_change():+.2%}"),
+    ])
+
+    if args.compare_serial:
+        serial = ChaosStudy(fault_plan, **kwargs).run(workers=1)
+        sharded_digest = result_digest(outcome.faulted)
+        serial_digest = result_digest(serial.faulted)
+        match = sharded_digest == serial_digest
+        print(f"\nserial-equivalence check: "
+              f"{'OK' if match else 'MISMATCH'} "
+              f"(digest {sharded_digest[:16]}…)")
+        if not match:
+            raise ReproError(
+                f"sharded result diverged from serial run: "
+                f"{sharded_digest} != {serial_digest}")
     return 0
 
 

@@ -22,6 +22,15 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
              "$REPRO_CACHE_DIR; unset disables caching)")
 
 
+def _add_fault_plan_flag(subparser: argparse.ArgumentParser) -> None:
+    """The shared fault-injection flag for the fleet-study subcommands."""
+    subparser.add_argument(
+        "--fault-plan", type=str, default=None, metavar="SPEC",
+        help="inject faults per this plan, e.g. "
+             "'seed=3;telemetry-drop:rate=0.1;machine-crash:rate=0.02' "
+             "(default: $REPRO_FAULT_PLAN; unset runs fault-free)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -68,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--shard-size", type=int, default=None,
                           help="max machines per shard (default 32)")
     _add_execution_flags(ablation)
+    _add_fault_plan_flag(ablation)
     ablation.set_defaults(run=commands.run_ablation)
 
     rollout = subparsers.add_parser(
@@ -77,7 +87,28 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--warmup", type=int, default=25)
     rollout.add_argument("--seed", type=int, default=5)
     _add_execution_flags(rollout)
+    _add_fault_plan_flag(rollout)
     rollout.set_defaults(run=commands.run_rollout)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="fault-injection study: the control loop under "
+                      "telemetry, MSR, and machine faults")
+    chaos.add_argument("--mode", choices=("hard", "hard+soft"),
+                       default="hard",
+                       help="experiment-arm deployment (must run daemons)")
+    chaos.add_argument("--machines", type=int, default=12)
+    chaos.add_argument("--epochs", type=int, default=60)
+    chaos.add_argument("--warmup", type=int, default=15)
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument("--shard-size", type=int, default=None,
+                       help="max machines per shard (default 32)")
+    chaos.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run serially and fail unless the sharded result is "
+             "bit-identical (determinism check)")
+    _add_execution_flags(chaos)
+    _add_fault_plan_flag(chaos)
+    chaos.set_defaults(run=commands.run_chaos)
 
     thresholds = subparsers.add_parser(
         "thresholds", help="threshold configuration sweep (Figure 10)")

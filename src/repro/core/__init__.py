@@ -12,7 +12,7 @@
   ablation profiles, and the distance/degree tuning loop.
 """
 
-from repro.core.config import LimoncelloConfig
+from repro.core.config import LimoncelloConfig, RetryPolicy
 from repro.core.controller import (
     ControllerState,
     HardLimoncelloController,
@@ -23,7 +23,7 @@ from repro.core.actuator import (
     MSRPrefetcherActuator,
     PrefetcherActuator,
 )
-from repro.core.daemon import DaemonReport, LimoncelloDaemon
+from repro.core.daemon import DaemonReport, Incident, LimoncelloDaemon
 from repro.core.soft import (
     PrefetchDescriptor,
     SoftwarePrefetchInjector,
@@ -35,6 +35,7 @@ from repro.core.soft import (
 
 __all__ = [
     "LimoncelloConfig",
+    "RetryPolicy",
     "ControllerState",
     "HardLimoncelloController",
     "SingleThresholdController",
@@ -43,6 +44,7 @@ __all__ = [
     "CallbackActuator",
     "LimoncelloDaemon",
     "DaemonReport",
+    "Incident",
     "PrefetchDescriptor",
     "SoftwarePrefetchInjector",
     "TargetSelection",

@@ -119,6 +119,17 @@ class HardLimoncelloController:
         self.decisions.append(decision)
         return decision
 
+    def reset(self) -> None:
+        """Return to the boot state (prefetchers enabled, no timers).
+
+        Used when the hosting machine restarts: cumulative counters and
+        the decision history survive, the volatile control state does
+        not — exactly what a daemon respawned by init would see.
+        """
+        self._state = ControllerState.ENABLED
+        self._timing_since = None
+        self._last_time = None
+
     def _enter(self, state: ControllerState, timing_since) -> None:
         self._state = state
         self._timing_since = timing_since
@@ -175,6 +186,11 @@ class SingleThresholdController:
         """The controller's current state."""
         return (ControllerState.ENABLED if self._enabled
                 else ControllerState.DISABLED)
+
+    def reset(self) -> None:
+        """Return to the boot state (prefetchers enabled)."""
+        self._enabled = True
+        self._last_time = None
 
     def observe(self, time_ns: float, utilization: float) -> Decision:
         """Feed one utilization sample; returns the decision."""

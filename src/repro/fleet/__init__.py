@@ -37,8 +37,12 @@ from repro.fleet.shard import (
 )
 from repro.fleet.parallel import resolve_workers, run_sharded
 from repro.fleet.result_cache import StudyResultCache, study_cache
-from repro.fleet.ablation import AblationStudy, AblationResult
-from repro.fleet.rollout import RolloutStudy, RolloutResult
+from repro.fleet.ablation import (
+    AblationResult,
+    AblationShardSpec,
+    AblationStudy,
+)
+from repro.fleet.rollout import RolloutResult, RolloutShardSpec, RolloutStudy
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
@@ -70,6 +74,8 @@ __all__ = [
     "FleetMetrics",
     "AblationStudy",
     "AblationResult",
+    "AblationShardSpec",
     "RolloutStudy",
     "RolloutResult",
+    "RolloutShardSpec",
 ]

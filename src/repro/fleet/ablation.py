@@ -22,8 +22,10 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.core.config import LimoncelloConfig
+from repro.core.config import LimoncelloConfig, RetryPolicy
 from repro.errors import ConfigError
+from repro.faults.metrics import ChaosMetrics, collect_chaos_metrics
+from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
 from repro.fleet.parallel import resolve_workers, run_sharded
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
@@ -39,6 +41,36 @@ MODES = ("off", "hard", "hard+soft", "soft-only", "control")
 _PROFILER_SEED = 71
 
 
+def _config_key_material(config: Optional[LimoncelloConfig]):
+    """A config's contribution to a study cache key.
+
+    The hardening knobs (retry policy, fail-safe deadline) are included
+    only when they differ from the legacy defaults, so keys — and cached
+    results — for pre-hardening configurations are unchanged.
+    """
+    if config is None:
+        return None
+    material = {
+        "lower_threshold": config.lower_threshold,
+        "upper_threshold": config.upper_threshold,
+        "sustain_duration_ns": config.sustain_duration_ns,
+        "sample_period_ns": config.sample_period_ns,
+        "actuation_retries": config.actuation_retries,
+    }
+    policy = config.retry_policy
+    if policy != RetryPolicy():
+        material["retry_policy"] = {
+            "max_attempts": policy.max_attempts,
+            "initial_backoff_ns": policy.initial_backoff_ns,
+            "backoff_multiplier": policy.backoff_multiplier,
+            "max_backoff_ns": policy.max_backoff_ns,
+        }
+    if config.telemetry_failsafe_deadline_ns is not None:
+        material["telemetry_failsafe_deadline_ns"] = \
+            config.telemetry_failsafe_deadline_ns
+    return material
+
+
 @dataclass
 class AblationResult:
     """Paired metrics and profiles for control vs. experiment arms."""
@@ -48,6 +80,9 @@ class AblationResult:
     experiment: FleetMetrics
     control_profile: ProfileData
     experiment_profile: ProfileData
+    #: Controller-robustness aggregate for the experiment arm; ``None``
+    #: unless the study ran under a fault plan.
+    chaos: Optional[ChaosMetrics] = None
 
     def merge(self, other: "AblationResult") -> "AblationResult":
         """Fold another shard's paired result into this one (in place).
@@ -63,6 +98,10 @@ class AblationResult:
         self.experiment.merge(other.experiment)
         self.control_profile.merge(other.control_profile)
         self.experiment_profile.merge(other.experiment_profile)
+        if other.chaos is not None:
+            if self.chaos is None:
+                self.chaos = ChaosMetrics()
+            self.chaos.merge(other.chaos)
         return self
 
     def bandwidth_reduction(self) -> Dict[str, float]:
@@ -123,6 +162,7 @@ class AblationShardSpec:
     seed: int
     config: Optional[LimoncelloConfig]
     profile_sample_rate: float
+    fault_plan: Optional[FaultPlan] = None
 
 
 def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
@@ -131,7 +171,8 @@ def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
     study = AblationStudy(
         mode=spec.mode, machines=spec.machines, epochs=spec.epochs,
         warmup_epochs=spec.warmup_epochs, seed=spec.seed,
-        config=spec.config, profile_sample_rate=spec.profile_sample_rate)
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate,
+        fault_plan=spec.fault_plan)
     return study._run_single()
 
 
@@ -152,7 +193,8 @@ class AblationStudy:
                  config: Optional[LimoncelloConfig] = None,
                  fleet_factory: Optional[Callable[[int], Fleet]] = None,
                  profile_sample_rate: float = 0.25,
-                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
         if epochs <= 0:
@@ -168,6 +210,7 @@ class AblationStudy:
         self.seed = seed
         self.config = config
         self.shard_size = shard_size
+        self.fault_plan = fault_plan
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
 
@@ -185,7 +228,8 @@ class AblationStudy:
                 mode=self.mode, machines=size, epochs=self.epochs,
                 warmup_epochs=self.warmup_epochs, seed=seed,
                 config=self.config,
-                profile_sample_rate=self._sample_rate)
+                profile_sample_rate=self._sample_rate,
+                fault_plan=self.fault_plan)
             for size, seed in zip(plan.sizes, plan.seeds(self.seed))
         ]
 
@@ -194,10 +238,12 @@ class AblationStudy:
 
         Deliberately excludes the worker count (results are identical at
         any parallelism) and includes the shard size (the plan shapes the
-        machine populations).
+        machine populations). Fault plans and the hardening knobs enter
+        the key only when set, so fault-free study keys — and their
+        cached results — are unchanged from earlier revisions.
         """
         config = self.config
-        return {
+        material = {
             "study": "ablation",
             "mode": self.mode,
             "machines": self.machines,
@@ -206,21 +252,19 @@ class AblationStudy:
             "seed": self.seed,
             "shard_size": self.shard_size,
             "profile_sample_rate": self._sample_rate,
-            "config": None if config is None else {
-                "lower_threshold": config.lower_threshold,
-                "upper_threshold": config.upper_threshold,
-                "sustain_duration_ns": config.sustain_duration_ns,
-                "sample_period_ns": config.sample_period_ns,
-                "actuation_retries": config.actuation_retries,
-            },
+            "config": _config_key_material(self.config),
         }
+        if self.fault_plan is not None:
+            material["fault_plan"] = self.fault_plan.to_key_material()
+        return material
 
     # --- execution -----------------------------------------------------------
 
     def _build_fleet(self, seed: int) -> Fleet:
         if self._fleet_factory is not None:
             return self._fleet_factory(seed)
-        return Fleet(machines=self.machines, seed=seed)
+        return Fleet(machines=self.machines, seed=seed,
+                     fault_plan=self.fault_plan)
 
     def _apply_mode(self, fleet: Fleet) -> None:
         if self.mode == "control":
@@ -256,12 +300,17 @@ class AblationStudy:
                                     observers=[control_profiler])
         experiment = experiment_fleet.run(self.epochs,
                                           observers=[experiment_profiler])
+        # Chaos metrics describe the controller under fault, so they are
+        # collected from the experiment arm (the one running daemons).
+        chaos = (collect_chaos_metrics(experiment_fleet.machines)
+                 if self.fault_plan is not None else None)
         return AblationResult(
             mode=self.mode,
             control=control,
             experiment=experiment,
             control_profile=control_profiler.data,
             experiment_profile=experiment_profiler.data,
+            chaos=chaos,
         )
 
     def run(self, workers: Optional[int] = None,

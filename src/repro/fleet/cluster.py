@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
+from repro.faults.injectors import MachineChaos
+from repro.faults.plan import FaultPlan
 from repro.fleet.machine import Machine
 from repro.fleet.platform import PLATFORM_1, PlatformSpec
 from repro.fleet.scheduler import BandwidthAwareScheduler
@@ -142,6 +144,11 @@ class Fleet:
         seed: Master seed; the fleet is fully deterministic given it.
         telemetry_dropout: Per-sample probability a daemon's telemetry
             read fails.
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`; when
+            set, every machine gets a :class:`MachineChaos` environment
+            seeded from ``(plan seed, fleet seed, machine name)``, so the
+            same plan over the same fleet replays identically — whether
+            machines are simulated serially or across shard workers.
     """
 
     def __init__(self, machines: int = 40,
@@ -154,20 +161,25 @@ class Fleet:
                  scheduler: Optional[BandwidthAwareScheduler] = None,
                  seed: int = 0,
                  telemetry_dropout: float = 0.0,
-                 platform_mix: Optional[Dict[PlatformSpec, float]] = None
+                 platform_mix: Optional[Dict[PlatformSpec, float]] = None,
+                 fault_plan: Optional[FaultPlan] = None
                  ) -> None:
         if machines <= 0:
             raise ConfigError("need at least one machine")
         if epoch_ns <= 0:
             raise ConfigError("epoch must be positive")
         self.rng = random.Random(seed)
+        self.seed = seed
         self.platform = platform
         self.epoch_ns = epoch_ns
+        self.fault_plan = fault_plan
         platforms = self._assign_platforms(machines, platform, platform_mix)
         self.machines: List[Machine] = [
             Machine(f"machine-{i}", spec, sockets=sockets_per_machine,
                     telemetry_dropout=telemetry_dropout,
-                    rng=random.Random(seed * 100_003 + i))
+                    rng=random.Random(seed * 100_003 + i),
+                    chaos=(MachineChaos(fault_plan, seed, f"machine-{i}")
+                           if fault_plan is not None else None))
             for i, spec in enumerate(platforms)
         ]
         self.traffic = traffic or DiurnalTraffic(

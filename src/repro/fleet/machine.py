@@ -44,7 +44,8 @@ class Machine:
     def __init__(self, name: str, platform: PlatformSpec,
                  sockets: int = 2, telemetry_dropout: float = 0.0,
                  demand_noise_sigma: float = 0.12,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 chaos=None) -> None:
         if sockets <= 0:
             raise ConfigError("machines need at least one socket")
         if demand_noise_sigma < 0:
@@ -61,6 +62,12 @@ class Machine:
             SimulatedSocket(platform, index=i) for i in range(sockets)]
         self._telemetry_dropout = telemetry_dropout
         self._rng = rng or random.Random(machine_seed(name))
+        #: Optional :class:`~repro.faults.injectors.MachineChaos` fault
+        #: environment; when set, deployed daemons see faulted telemetry
+        #: and actuation and the machine follows its crash schedule.
+        self.chaos = chaos
+        #: Times this machine has come back from a chaos-injected crash.
+        self.restarts = 0
         self.daemons: List[LimoncelloDaemon] = []
 
     # --- Limoncello deployment -------------------------------------------------
@@ -74,6 +81,9 @@ class Machine:
             sampler = PerfBandwidthSampler(
                 socket, dropout_rate=self._telemetry_dropout, rng=self._rng)
             actuator = MSRPrefetcherActuator(socket.msrs, socket.msr_map)
+            if self.chaos is not None:
+                sampler = self.chaos.wrap_sampler(sampler, socket.index)
+                actuator = self.chaos.wrap_actuator(actuator, socket)
             controller = (controller_factory() if controller_factory
                           else None)
             self.daemons.append(LimoncelloDaemon(
@@ -125,6 +135,18 @@ class Machine:
         scheduler tried to respect.
         """
         rng = rng or self._rng
+        if self.chaos is not None:
+            status = self.chaos.advance()
+            if status == "down":
+                # The machine is dark: no scheduling noise, no daemons,
+                # no demand — sockets idle at zero offered load. No RNG
+                # draws are consumed, so the crash schedule (which has
+                # its own stream) is the only thing that perturbs the
+                # run's randomness.
+                return [socket.step(now_ns, duration_ns, demand_factor=0.0)
+                        for socket in self.sockets]
+            if status == "restart":
+                self._restart(now_ns)
         for socket in self.sockets:
             for task in socket.tasks:
                 task.resample_noise(rng)
@@ -147,3 +169,24 @@ class Machine:
             daemon.step(now_ns)
         return [socket.step(now_ns, duration_ns, demand_factor)
                 for socket in self.sockets]
+
+    def _restart(self, now_ns: float) -> None:
+        """Bring the machine back after a chaos-injected crash.
+
+        The chaos plan's restart policy decides the prefetcher state the
+        machine boots with: ``"enabled"`` (the hardware default),
+        ``"disabled"`` (a pathological BIOS), or ``"preserved"`` (a
+        kexec-style reboot keeping MSR state). Daemons restart with
+        fresh controller state either way.
+        """
+        self.restarts += 1
+        policy = self.chaos.restart_policy
+        restored: Optional[bool] = None
+        if policy == "enabled":
+            restored = True
+        elif policy == "disabled":
+            restored = False
+        if restored is not None:
+            self.force_prefetchers(restored)
+        for daemon in self.daemons:
+            daemon.restart(now_ns, restored_enabled=restored)

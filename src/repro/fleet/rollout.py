@@ -18,6 +18,8 @@ from typing import Callable, Dict, Optional
 
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
+from repro.faults.metrics import ChaosMetrics, collect_chaos_metrics
+from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
 from repro.fleet.parallel import resolve_workers, run_sharded
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, plan_shards
@@ -45,6 +47,9 @@ class RolloutResult:
     before_profile: ProfileData
     hard_profile: ProfileData
     full_profile: ProfileData
+    #: Controller-robustness aggregate for the full-Limoncello arm;
+    #: ``None`` unless the study ran under a fault plan.
+    chaos: Optional[ChaosMetrics] = None
 
     # --- combination -----------------------------------------------------------
 
@@ -62,6 +67,10 @@ class RolloutResult:
         self.before_profile.merge(other.before_profile)
         self.hard_profile.merge(other.hard_profile)
         self.full_profile.merge(other.full_profile)
+        if other.chaos is not None:
+            if self.chaos is None:
+                self.chaos = ChaosMetrics()
+            self.chaos.merge(other.chaos)
         return self
 
     # --- Figure 16 ------------------------------------------------------------
@@ -145,6 +154,7 @@ class RolloutShardSpec:
     seed: int
     config: Optional[LimoncelloConfig]
     profile_sample_rate: float
+    fault_plan: Optional[FaultPlan] = None
 
 
 def run_rollout_shard(spec: RolloutShardSpec) -> RolloutResult:
@@ -153,7 +163,8 @@ def run_rollout_shard(spec: RolloutShardSpec) -> RolloutResult:
     study = RolloutStudy(
         machines=spec.machines, epochs=spec.epochs,
         warmup_epochs=spec.warmup_epochs, seed=spec.seed,
-        config=spec.config, profile_sample_rate=spec.profile_sample_rate)
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate,
+        fault_plan=spec.fault_plan)
     return study._run_single()
 
 
@@ -171,7 +182,8 @@ class RolloutStudy:
                  config: Optional[LimoncelloConfig] = None,
                  fleet_factory: Optional[Callable[[int], Fleet]] = None,
                  profile_sample_rate: float = 0.25,
-                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if epochs <= 0:
             raise ConfigError("epochs must be positive")
         if warmup_epochs < 0:
@@ -184,6 +196,7 @@ class RolloutStudy:
         self.seed = seed
         self.config = config
         self.shard_size = shard_size
+        self.fault_plan = fault_plan
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
 
@@ -193,7 +206,8 @@ class RolloutStudy:
         from repro.fleet.scheduler import BandwidthAwareScheduler
         return Fleet(
             machines=self.machines, seed=self.seed,
-            scheduler=BandwidthAwareScheduler(prefetch_aware=prefetch_aware))
+            scheduler=BandwidthAwareScheduler(prefetch_aware=prefetch_aware),
+            fault_plan=self.fault_plan)
 
     def _run_arm(self, deploy, prefetch_aware: bool = False) -> tuple:
         fleet = self._build(prefetch_aware)
@@ -202,7 +216,7 @@ class RolloutStudy:
             fleet.run(self.warmup_epochs)
         profiler = FleetProfiler(self._sample_rate, rng=random.Random(37))
         metrics = fleet.run(self.epochs, observers=[profiler])
-        return metrics, profiler.data
+        return metrics, profiler.data, fleet
 
     def shard_specs(self) -> list:
         """Per-shard specs (plan order), ready for any worker."""
@@ -212,7 +226,8 @@ class RolloutStudy:
                 machines=size, epochs=self.epochs,
                 warmup_epochs=self.warmup_epochs, seed=seed,
                 config=self.config,
-                profile_sample_rate=self._sample_rate)
+                profile_sample_rate=self._sample_rate,
+                fault_plan=self.fault_plan)
             for size, seed in zip(plan.sizes, plan.seeds(self.seed))
         ]
 
@@ -237,7 +252,7 @@ class RolloutStudy:
 
     def _run_single(self) -> RolloutResult:
         """Run the whole population as one fleet (no sharding)."""
-        before, before_profile = self._run_arm(lambda fleet: None)
+        before, before_profile, _ = self._run_arm(lambda fleet: None)
 
         def hard(fleet: Fleet) -> None:
             """Deploy Hard Limoncello only."""
@@ -248,9 +263,13 @@ class RolloutStudy:
             fleet.deploy_hard_limoncello(self.config)
             fleet.deploy_soft_limoncello()
 
-        hard_metrics, hard_profile = self._run_arm(hard)
-        full_metrics, full_profile = self._run_arm(full)
-        integrated_metrics, _ = self._run_arm(full, prefetch_aware=True)
+        hard_metrics, hard_profile, _ = self._run_arm(hard)
+        full_metrics, full_profile, full_fleet = self._run_arm(full)
+        integrated_metrics, _, _ = self._run_arm(full, prefetch_aware=True)
+        # Chaos metrics track the controller under fault, so they come
+        # from the full-Limoncello arm (the deployment end-state).
+        chaos = (collect_chaos_metrics(full_fleet.machines)
+                 if self.fault_plan is not None else None)
         return RolloutResult(
             before=before,
             hard_only=hard_metrics,
@@ -259,4 +278,5 @@ class RolloutStudy:
             before_profile=before_profile,
             hard_profile=hard_profile,
             full_profile=full_profile,
+            chaos=chaos,
         )

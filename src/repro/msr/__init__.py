@@ -8,7 +8,7 @@ bits disable which prefetchers — but backed by a simulated register file
 that the simulated cache hierarchy honours.
 """
 
-from repro.msr.registers import MSRFile, FaultyMSRFile
+from repro.msr.registers import DegradingMSRFile, FaultyMSRFile, MSRFile
 from repro.msr.platform_defs import (
     PrefetcherControl,
     PlatformMSRMap,
@@ -20,6 +20,7 @@ from repro.msr.platform_defs import (
 __all__ = [
     "MSRFile",
     "FaultyMSRFile",
+    "DegradingMSRFile",
     "PrefetcherControl",
     "PlatformMSRMap",
     "INTEL_LIKE_MAP",

@@ -65,6 +65,14 @@ class PlatformMSRMap:
             if not msr_file.declared(register):
                 msr_file.declare(register, reset_value=0)
 
+    def register_mask(self, register: int) -> int:
+        """Combined disable-bit mask of every control in ``register``.
+
+        Fault injectors use this to model torn multi-register writes —
+        flipping one register's controls while leaving the rest alone.
+        """
+        return self._register_mask(register)
+
     def disable_all(self, msr_file: MSRFile) -> None:
         """Set every disable bit — the actuation Hard Limoncello performs."""
         for register in self.registers:

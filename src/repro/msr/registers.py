@@ -95,3 +95,37 @@ class FaultyMSRFile(MSRFile):
             self.failed_writes += 1
             raise MSRAccessError(f"transient wrmsr failure at {address:#x}")
         super().wrmsr(address, value)
+
+
+class DegradingMSRFile(MSRFile):
+    """An :class:`MSRFile` whose writes fail permanently after a budget.
+
+    Models a dying msr driver (or firmware lockdown kicking in): the
+    first ``fail_after_writes`` writes succeed, every later write raises.
+    Reads keep working — the daemon can still see the stuck state, which
+    is what its bounded :class:`~repro.core.config.RetryPolicy` and
+    incident log are for.
+    """
+
+    def __init__(self, fail_after_writes: int) -> None:
+        super().__init__()
+        if fail_after_writes < 0:
+            raise ValueError(
+                f"fail_after_writes must be non-negative, got "
+                f"{fail_after_writes}")
+        self._fail_after_writes = fail_after_writes
+        self.failed_writes = 0
+
+    @property
+    def broken(self) -> bool:
+        """Whether the write budget is exhausted."""
+        return self.write_count >= self._fail_after_writes
+
+    def wrmsr(self, address: int, value: int) -> None:
+        """Write a register; fails permanently once the budget is spent."""
+        if self.broken:
+            self.failed_writes += 1
+            raise MSRAccessError(
+                f"permanent wrmsr failure at {address:#x} after "
+                f"{self.write_count} writes")
+        super().wrmsr(address, value)

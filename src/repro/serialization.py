@@ -254,10 +254,66 @@ def profile_data_from_dict(data: Dict):
         raise TraceError(f"malformed profile record: {error}") from error
 
 
+def chaos_metrics_to_dict(chaos) -> Dict:
+    """A chaos-study aggregate as a plain dict (lossless: every field is
+    a raw accumulator, so views like availability/MTTR recompute)."""
+    return {
+        "ticks": chaos.ticks,
+        "available_ticks": chaos.available_ticks,
+        "down_ticks": chaos.down_ticks,
+        "dropouts": chaos.dropouts,
+        "invalid_samples": chaos.invalid_samples,
+        "actuation_attempts": chaos.actuation_attempts,
+        "actuation_failures": chaos.actuation_failures,
+        "transitions": chaos.transitions,
+        "incidents": chaos.incidents,
+        "recovered_incidents": chaos.recovered_incidents,
+        "recovery_time_ns": chaos.recovery_time_ns,
+        "detection_latency_ns": chaos.detection_latency_ns,
+        "failsafe_engagements": chaos.failsafe_engagements,
+        "disabled_ticks": chaos.disabled_ticks,
+        "state_ticks": chaos.state_ticks,
+        "machine_crashes": chaos.machine_crashes,
+        "machine_restarts": chaos.machine_restarts,
+        "incident_kinds": dict(sorted(chaos.incident_kinds.items())),
+    }
+
+
+def chaos_metrics_from_dict(data: Dict):
+    """Inverse of :func:`chaos_metrics_to_dict`."""
+    from repro.faults.metrics import ChaosMetrics
+
+    try:
+        return ChaosMetrics(
+            ticks=int(data["ticks"]),
+            available_ticks=int(data["available_ticks"]),
+            down_ticks=int(data["down_ticks"]),
+            dropouts=int(data["dropouts"]),
+            invalid_samples=int(data["invalid_samples"]),
+            actuation_attempts=int(data["actuation_attempts"]),
+            actuation_failures=int(data["actuation_failures"]),
+            transitions=int(data["transitions"]),
+            incidents=int(data["incidents"]),
+            recovered_incidents=int(data["recovered_incidents"]),
+            recovery_time_ns=float(data["recovery_time_ns"]),
+            detection_latency_ns=float(data["detection_latency_ns"]),
+            failsafe_engagements=int(data["failsafe_engagements"]),
+            disabled_ticks=int(data["disabled_ticks"]),
+            state_ticks=int(data["state_ticks"]),
+            machine_crashes=int(data["machine_crashes"]),
+            machine_restarts=int(data["machine_restarts"]),
+            incident_kinds={str(kind): int(count) for kind, count
+                            in data.get("incident_kinds", {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceError(
+            f"malformed chaos metrics record: {error}") from error
+
+
 def ablation_result_to_dict(result) -> Dict:
     """A paired ablation result as a plain dict (lossless: includes the
     raw samples needed to rebuild every view)."""
-    return {
+    data = {
         "mode": result.mode,
         "control": fleet_metrics_to_dict(result.control,
                                          include_samples=True),
@@ -267,13 +323,22 @@ def ablation_result_to_dict(result) -> Dict:
         "experiment_profile": profile_data_to_dict(
             result.experiment_profile),
     }
+    chaos = getattr(result, "chaos", None)
+    if chaos is not None:
+        data["chaos"] = chaos_metrics_to_dict(chaos)
+    return data
 
 
 def ablation_result_from_dict(data: Dict):
-    """Inverse of :func:`ablation_result_to_dict`."""
+    """Inverse of :func:`ablation_result_to_dict`.
+
+    Payloads written before chaos studies existed simply lack the
+    ``chaos`` key and deserialize with ``chaos=None``.
+    """
     from repro.fleet.ablation import AblationResult
 
     try:
+        chaos = data.get("chaos")
         return AblationResult(
             mode=data["mode"],
             control=fleet_metrics_from_dict(data["control"]),
@@ -281,6 +346,7 @@ def ablation_result_from_dict(data: Dict):
             control_profile=profile_data_from_dict(data["control_profile"]),
             experiment_profile=profile_data_from_dict(
                 data["experiment_profile"]),
+            chaos=None if chaos is None else chaos_metrics_from_dict(chaos),
         )
     except (KeyError, TypeError) as error:
         raise TraceError(

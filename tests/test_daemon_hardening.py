@@ -1,0 +1,354 @@
+"""Tests for the hardened daemon: retry policy, fail-safe, incidents."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    DaemonReport,
+    LimoncelloConfig,
+    LimoncelloDaemon,
+    MSRPrefetcherActuator,
+    RetryPolicy,
+)
+from repro.errors import ConfigError, TelemetryError
+from repro.msr import DegradingMSRFile, FaultyMSRFile, INTEL_LIKE_MAP, MSRFile
+from repro.telemetry import PerfBandwidthSampler, ScriptedBandwidthSource
+from repro.telemetry.sampler import BandwidthSample
+from repro.units import SECOND
+
+
+class DarkSampler:
+    """Telemetry that goes dark during [start, end) and works otherwise."""
+
+    def __init__(self, utilization=0.9, dark_from=None, dark_until=None):
+        self.utilization = utilization
+        self.dark_from = dark_from
+        self.dark_until = dark_until
+
+    def sample(self, now_ns):
+        if (self.dark_from is not None
+                and self.dark_from <= now_ns
+                and (self.dark_until is None or now_ns < self.dark_until)):
+            raise TelemetryError("dark")
+        return BandwidthSample(time_ns=now_ns, bandwidth=90.0,
+                               utilization=self.utilization)
+
+
+class FlakyActuator:
+    """Fails the first ``failures`` set_enabled calls, then succeeds."""
+
+    def __init__(self, failures, initial_enabled=True):
+        self.failures_left = failures
+        self._enabled = initial_enabled
+        self.attempts = 0
+        self.attempt_times = []
+
+    def set_enabled(self, enabled):
+        self.attempts += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            return False
+        self._enabled = enabled
+        return True
+
+    def is_enabled(self):
+        return self._enabled
+
+
+def make_daemon(sampler, actuator, **config_kwargs):
+    config_kwargs.setdefault("sustain_duration_ns", 0.0)
+    return LimoncelloDaemon(sampler, actuator,
+                            LimoncelloConfig(**config_kwargs))
+
+
+class TestRetryPolicy:
+    def test_defaults_are_legacy_unbounded(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts is None
+        assert policy.backoff_ns(1) == 0.0
+        assert policy.backoff_ns(10) == 0.0
+
+    def test_exponential_backoff_schedule(self):
+        policy = RetryPolicy.exponential(initial_backoff_ns=1.0 * SECOND,
+                                         backoff_multiplier=2.0,
+                                         max_backoff_ns=5.0 * SECOND)
+        assert policy.backoff_ns(1) == 1.0 * SECOND
+        assert policy.backoff_ns(2) == 2.0 * SECOND
+        assert policy.backoff_ns(3) == 4.0 * SECOND
+        assert policy.backoff_ns(4) == 5.0 * SECOND  # capped
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(initial_backoff_ns=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(initial_backoff_ns=10.0, max_backoff_ns=1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy().backoff_ns(0)
+
+    def test_backoff_spaces_attempts(self):
+        actuator = FlakyActuator(failures=100)
+        daemon = make_daemon(
+            DarkSampler(utilization=0.9), actuator,
+            retry_policy=RetryPolicy(initial_backoff_ns=3.0 * SECOND,
+                                     backoff_multiplier=1.0,
+                                     max_backoff_ns=3.0 * SECOND))
+        for tick in range(10):
+            daemon.step(tick * SECOND)
+        # First attempt at t=0, then one attempt every 3 s of backoff:
+        # t=0, 3, 6, 9 -> 4 attempts, not 10.
+        assert actuator.attempts == 4
+
+    def test_bounded_attempts_give_up_until_decision_changes(self):
+        actuator = FlakyActuator(failures=100)
+        daemon = make_daemon(
+            DarkSampler(utilization=0.9), actuator,
+            retry_policy=RetryPolicy(max_attempts=3))
+        for tick in range(10):
+            daemon.step(tick * SECOND)
+        assert actuator.attempts == 3
+        assert daemon.report.actuation_failures == 3
+        (incident,) = daemon.report.incidents
+        assert incident.kind == "actuation-failure"
+        assert "gave up after 3 attempts" in incident.action
+        assert not incident.resolved
+
+    def test_fresh_budget_for_new_target_state(self):
+        actuator = FlakyActuator(failures=100)
+        sampler = DarkSampler(utilization=0.9)
+        daemon = make_daemon(sampler, actuator,
+                             retry_policy=RetryPolicy(max_attempts=2))
+        daemon.step(0.0)
+        daemon.step(1.0 * SECOND)
+        assert actuator.attempts == 2  # budget for "disable" exhausted
+        sampler.utilization = 0.1  # decision flips to "enable"...
+        actuator._enabled = False  # ...and the state genuinely differs
+        daemon.step(2.0 * SECOND)
+        assert actuator.attempts == 3  # new target, new budget
+
+
+class TestRetryPending:
+    def test_msr_write_failure_recovers_via_retry_pending(self):
+        """A failed MSR write is retried on later (even sampleless)
+        ticks until the register file recovers."""
+        msrs = FaultyMSRFile(failure_rate=0.9, rng=random.Random(3))
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP, retries=1)
+        sampler = DarkSampler(utilization=0.9, dark_from=1.0 * SECOND)
+        daemon = make_daemon(sampler, actuator)
+        daemon.step(0.0)  # decision: disable; write very likely fails
+        for tick in range(1, 40):  # telemetry dark; retries continue
+            daemon.step(tick * SECOND)
+        assert INTEL_LIKE_MAP.all_disabled(msrs)
+        assert daemon.report.actuation_failures > 0
+        # The actuation-failure incident closed when a retry landed.
+        failures = [i for i in daemon.report.incidents
+                    if i.kind == "actuation-failure"]
+        assert failures and all(i.resolved for i in failures)
+
+    def test_permanently_dead_msrs_bound_by_policy(self):
+        msrs = DegradingMSRFile(fail_after_writes=0)
+        actuator = MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP, retries=1)
+        daemon = make_daemon(
+            DarkSampler(utilization=0.9), actuator,
+            retry_policy=RetryPolicy(max_attempts=4))
+        for tick in range(20):
+            daemon.step(tick * SECOND)
+        assert daemon.report.actuation_attempts == 4
+        assert msrs.failed_writes == 4
+
+
+class TestSampleValidation:
+    def test_nan_sample_treated_as_dropout(self):
+        class NaNSampler:
+            def sample(self, now_ns):
+                return BandwidthSample(time_ns=now_ns, bandwidth=math.nan,
+                                       utilization=math.nan)
+
+        actuator = FlakyActuator(failures=0)
+        daemon = make_daemon(NaNSampler(), actuator)
+        for tick in range(5):
+            daemon.step(tick * SECOND)
+        report = daemon.report
+        assert report.samples == 0
+        assert report.dropouts == 5
+        assert report.invalid_samples == 5
+        assert actuator.is_enabled()  # garbage never flipped state
+
+    def test_stale_sample_treated_as_dropout(self):
+        class StaleSampler:
+            def sample(self, now_ns):
+                return BandwidthSample(time_ns=now_ns - 5.0 * SECOND,
+                                       bandwidth=90.0, utilization=0.9)
+
+        daemon = make_daemon(StaleSampler(), FlakyActuator(failures=0))
+        daemon.step(10.0 * SECOND)
+        assert daemon.report.invalid_samples == 1
+        assert daemon.report.samples == 0
+
+    def test_fresh_sample_accepted(self):
+        daemon = make_daemon(DarkSampler(utilization=0.5),
+                             FlakyActuator(failures=0))
+        daemon.step(10.0 * SECOND)
+        assert daemon.report.samples == 1
+        assert daemon.report.invalid_samples == 0
+
+
+class TestFailsafe:
+    def test_failsafe_engages_within_deadline(self):
+        sampler = DarkSampler(utilization=0.9, dark_from=5.0 * SECOND)
+        actuator = FlakyActuator(failures=0)
+        daemon = make_daemon(sampler, actuator,
+                             telemetry_failsafe_deadline_ns=3.0 * SECOND)
+        for tick in range(5):
+            daemon.step(tick * SECOND)
+        assert not actuator.is_enabled()  # high load disabled prefetchers
+        for tick in range(5, 12):
+            daemon.step(tick * SECOND)
+        assert daemon.failsafe_active
+        assert actuator.is_enabled()  # failed safe back to enabled
+        (incident,) = [i for i in daemon.report.incidents
+                       if i.kind == "telemetry-blackout"]
+        # Detected within one tick of the deadline expiring: last good
+        # sample at t=4, deadline 3 s, detection at t=7.
+        assert incident.onset_ns == 4.0 * SECOND
+        assert incident.detected_ns == 7.0 * SECOND
+        assert incident.detection_latency_ns == 3.0 * SECOND
+        assert daemon.report.failsafe_engagements == 1
+
+    def test_failsafe_releases_on_recovery(self):
+        sampler = DarkSampler(utilization=0.9, dark_from=5.0 * SECOND,
+                              dark_until=15.0 * SECOND)
+        daemon = make_daemon(sampler, FlakyActuator(failures=0),
+                             telemetry_failsafe_deadline_ns=3.0 * SECOND)
+        for tick in range(20):
+            daemon.step(tick * SECOND)
+        assert not daemon.failsafe_active
+        (incident,) = [i for i in daemon.report.incidents
+                       if i.kind == "telemetry-blackout"]
+        assert incident.resolved
+        assert incident.recovered_ns == 15.0 * SECOND
+
+    def test_failsafe_off_by_default(self):
+        sampler = DarkSampler(utilization=0.9, dark_from=5.0 * SECOND)
+        actuator = FlakyActuator(failures=0)
+        daemon = make_daemon(sampler, actuator)
+        for tick in range(60):
+            daemon.step(tick * SECOND)
+        assert not daemon.failsafe_active
+        assert not actuator.is_enabled()  # legacy: hold last state forever
+
+    def test_failsafe_counts_from_first_tick_without_any_sample(self):
+        sampler = DarkSampler(dark_from=0.0)
+        daemon = make_daemon(sampler, FlakyActuator(failures=0),
+                             telemetry_failsafe_deadline_ns=2.0 * SECOND)
+        daemon.step(10.0 * SECOND)
+        daemon.step(11.0 * SECOND)
+        assert not daemon.failsafe_active
+        daemon.step(12.0 * SECOND)
+        assert daemon.failsafe_active
+
+    def test_deadline_validation(self):
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(telemetry_failsafe_deadline_ns=0.0)
+        with pytest.raises(ConfigError):
+            LimoncelloConfig(telemetry_failsafe_deadline_ns=-1.0)
+
+
+class TestRestart:
+    def test_restart_resets_control_state_and_logs_incident(self):
+        sampler = DarkSampler(utilization=0.9)
+        actuator = FlakyActuator(failures=0)
+        daemon = make_daemon(sampler, actuator)
+        for tick in range(3):
+            daemon.step(tick * SECOND)
+        assert not actuator.is_enabled()
+        actuator._enabled = True  # the reboot restored hardware defaults
+        daemon.restart(3.0 * SECOND, restored_enabled=True)
+        assert daemon.controller.prefetchers_enabled
+        restarts = [i for i in daemon.report.incidents
+                    if i.kind == "machine-restart"]
+        assert len(restarts) == 1 and restarts[0].resolved
+
+    def test_restart_closes_open_incidents(self):
+        actuator = FlakyActuator(failures=100)
+        daemon = make_daemon(DarkSampler(utilization=0.9), actuator,
+                             retry_policy=RetryPolicy(max_attempts=2))
+        daemon.step(0.0)
+        daemon.step(1.0 * SECOND)
+        assert daemon.report.open_incidents()
+        daemon.restart(2.0 * SECOND)
+        open_incidents = daemon.report.open_incidents()
+        assert open_incidents == []
+
+    def test_restart_clears_failsafe(self):
+        daemon = make_daemon(DarkSampler(dark_from=0.0),
+                             FlakyActuator(failures=0),
+                             telemetry_failsafe_deadline_ns=1.0 * SECOND)
+        daemon.step(0.0)
+        daemon.step(1.0 * SECOND)
+        assert daemon.failsafe_active
+        daemon.restart(2.0 * SECOND)
+        assert not daemon.failsafe_active
+
+
+class TestReportEdges:
+    def test_duty_cycle_disabled_zero_duration(self):
+        """A report with no samples has duty cycle 0.0, not NaN."""
+        report = DaemonReport()
+        assert report.duty_cycle_disabled() == 0.0
+
+    def test_duty_cycle_disabled_after_dropout_only_run(self):
+        daemon = make_daemon(DarkSampler(dark_from=0.0),
+                             FlakyActuator(failures=0))
+        for tick in range(5):
+            daemon.step(tick * SECOND)
+        assert daemon.report.duty_cycle_disabled() == 0.0
+        assert daemon.report.ticks == 5
+
+    def test_availability_zero_duration(self):
+        assert DaemonReport().availability() == 1.0
+
+    def test_mttr_none_without_recovered_incidents(self):
+        assert DaemonReport().mean_time_to_recovery_ns() is None
+
+    def test_tick_accounting(self):
+        daemon = make_daemon(
+            DarkSampler(utilization=0.5, dark_from=3.0 * SECOND,
+                        dark_until=6.0 * SECOND),
+            FlakyActuator(failures=0))
+        for tick in range(10):
+            daemon.step(tick * SECOND)
+        report = daemon.report
+        assert report.ticks == 10
+        assert report.samples == 7
+        assert report.dropouts == 3
+        assert report.availability() == 0.7
+        assert report.enabled_ticks + report.disabled_ticks == 10
+
+
+class TestScriptedIntegration:
+    def test_hardened_config_matches_legacy_on_clean_telemetry(self):
+        """With clean telemetry, the hardened knobs change nothing."""
+        def run(config):
+            source = ScriptedBandwidthSource(
+                [(0.0, 90.0), (10 * SECOND, 40.0)],
+                saturation_bandwidth=100.0)
+            msrs = MSRFile()
+            daemon = LimoncelloDaemon(
+                PerfBandwidthSampler(source),
+                MSRPrefetcherActuator(msrs, INTEL_LIKE_MAP), config)
+            daemon.run(20 * SECOND)
+            return (daemon.report.transitions,
+                    daemon.report.duty_cycle_disabled())
+
+        legacy = run(LimoncelloConfig(sustain_duration_ns=2.0 * SECOND))
+        hardened = run(LimoncelloConfig(
+            sustain_duration_ns=2.0 * SECOND,
+            retry_policy=RetryPolicy.exponential(),
+            telemetry_failsafe_deadline_ns=5.0 * SECOND))
+        assert legacy == hardened

@@ -1,0 +1,221 @@
+"""Tests for the telemetry/actuation/machine fault injectors."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import MSRPrefetcherActuator
+from repro.errors import TelemetryError
+from repro.faults import (
+    FaultPlan,
+    FaultyActuation,
+    FaultyTelemetry,
+    MachineChaos,
+)
+from repro.msr import AMD_LIKE_MAP, MSRFile
+from repro.telemetry.sampler import BandwidthSample
+from repro.units import SECOND
+
+
+class FlatSampler:
+    """A minimal inner sampler: fixed utilization, timestamp = now."""
+
+    def __init__(self, utilization: float = 0.5):
+        self.utilization = utilization
+        self.calls = 0
+
+    def sample(self, now_ns: float) -> BandwidthSample:
+        self.calls += 1
+        return BandwidthSample(time_ns=now_ns, bandwidth=50.0,
+                               utilization=self.utilization)
+
+
+class TestFaultyTelemetry:
+    def test_passthrough_without_faults(self):
+        inner = FlatSampler()
+        faulty = FaultyTelemetry(inner, random.Random(0))
+        sample = faulty.sample(3.0 * SECOND)
+        assert sample.time_ns == 3.0 * SECOND
+        assert sample.utilization == 0.5
+
+    def test_drops_raise_telemetry_error(self):
+        faulty = FaultyTelemetry(FlatSampler(), random.Random(1),
+                                 drop_rate=0.5)
+        outcomes = []
+        for tick in range(40):
+            try:
+                faulty.sample(tick * SECOND)
+                outcomes.append("ok")
+            except TelemetryError:
+                outcomes.append("drop")
+        assert faulty.dropped > 0
+        assert outcomes.count("drop") == faulty.dropped
+
+    def test_nan_injection(self):
+        faulty = FaultyTelemetry(FlatSampler(), random.Random(2),
+                                 nan_rate=0.9)
+        nans = sum(1 for tick in range(20)
+                   if math.isnan(faulty.sample(tick * SECOND).utilization))
+        assert nans == faulty.nans > 0
+
+    def test_stale_serves_previous_sample(self):
+        faulty = FaultyTelemetry(FlatSampler(), random.Random(3),
+                                 stale_rate=0.9)
+        first = faulty.sample(0.0)
+        stale_seen = False
+        for tick in range(1, 20):
+            sample = faulty.sample(tick * SECOND)
+            if sample.time_ns < tick * SECOND:
+                stale_seen = True
+        assert stale_seen
+        assert faulty.stale_served > 0
+        assert first.time_ns == 0.0
+
+    def test_skew_offsets_observed_time(self):
+        faulty = FaultyTelemetry(FlatSampler(), random.Random(4),
+                                 skew_ns=-2.0 * SECOND)
+        sample = faulty.sample(10.0 * SECOND)
+        assert sample.time_ns == 8.0 * SECOND
+
+    def test_blackout_window(self):
+        faulty = FaultyTelemetry(
+            FlatSampler(), random.Random(5),
+            blackouts=((10.0 * SECOND, 20.0 * SECOND),))
+        assert faulty.sample(9.0 * SECOND).utilization == 0.5
+        with pytest.raises(TelemetryError):
+            faulty.sample(10.0 * SECOND)
+        with pytest.raises(TelemetryError):
+            faulty.sample(19.0 * SECOND)
+        assert faulty.sample(20.0 * SECOND).utilization == 0.5
+        assert faulty.blackout_drops == 2
+
+    def test_latency_spike_returns_older_reading(self):
+        faulty = FaultyTelemetry(FlatSampler(), random.Random(6),
+                                 latency_rate=0.9,
+                                 latency_ns=3.0 * SECOND)
+        delayed = False
+        for tick in range(10):
+            sample = faulty.sample(tick * SECOND)
+            if sample.time_ns == tick * SECOND - 3.0 * SECOND:
+                delayed = True
+        assert delayed and faulty.delayed > 0
+
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            faulty = FaultyTelemetry(FlatSampler(), random.Random(seed),
+                                     drop_rate=0.3, nan_rate=0.2)
+            sequence = []
+            for tick in range(30):
+                try:
+                    sample = faulty.sample(tick * SECOND)
+                    sequence.append("nan" if math.isnan(sample.utilization)
+                                    else "ok")
+                except TelemetryError:
+                    sequence.append("drop")
+            return sequence
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_from_plan(self):
+        plan = FaultPlan.parse(
+            "telemetry-drop:rate=0.1;telemetry-latency:rate=0.2,delay=4;"
+            "telemetry-skew:offset=1;telemetry-blackout:start=5,duration=2")
+        faulty = FaultyTelemetry.from_plan(FlatSampler(), plan,
+                                           random.Random(0))
+        assert faulty._drop_rate == 0.1
+        assert faulty._latency_ns == 4.0 * SECOND
+        assert faulty._skew_ns == 1.0 * SECOND
+        assert faulty._blackouts == ((5.0 * SECOND, 7.0 * SECOND),)
+
+
+def amd_actuator():
+    msrs = MSRFile()
+    actuator = MSRPrefetcherActuator(msrs, AMD_LIKE_MAP)
+    return msrs, actuator
+
+
+class TestFaultyActuation:
+    def test_transient_failures(self):
+        _, actuator = amd_actuator()
+        faulty = FaultyActuation(actuator, random.Random(1),
+                                 transient_rate=0.5)
+        results = [faulty.set_enabled(False) for _ in range(20)]
+        assert faulty.transient_failures > 0
+        assert results.count(False) >= faulty.transient_failures
+
+    def test_permanent_failure_after_budget(self):
+        _, actuator = amd_actuator()
+        faulty = FaultyActuation(actuator, random.Random(2), fail_after=2)
+        assert faulty.set_enabled(False)
+        assert faulty.set_enabled(True)
+        assert faulty.broken
+        assert not faulty.set_enabled(False)
+        assert faulty.permanent_failures == 1
+        # Readback still works on a broken write path.
+        assert faulty.is_enabled()
+
+    def test_torn_write_leaves_mixed_state(self):
+        msrs, actuator = amd_actuator()
+        faulty = FaultyActuation(actuator, random.Random(3),
+                                 partial_rate=0.999, msrs=msrs,
+                                 msr_map=AMD_LIKE_MAP)
+        assert not faulty.set_enabled(False)
+        assert faulty.torn_writes == 1
+        state = AMD_LIKE_MAP.enabled_prefetchers(msrs)
+        assert any(state.values()) and not all(state.values())
+
+    def test_partial_rate_ignored_without_registers(self):
+        _, actuator = amd_actuator()
+        faulty = FaultyActuation(actuator, random.Random(4),
+                                 partial_rate=0.999)
+        assert faulty.set_enabled(False)
+        assert faulty.torn_writes == 0
+
+    def test_from_plan(self):
+        plan = FaultPlan.parse("msr-transient:rate=0.2;msr-permanent:after=5")
+        _, actuator = amd_actuator()
+        faulty = FaultyActuation.from_plan(actuator, plan, random.Random(0))
+        assert faulty._transient_rate == 0.2
+        assert faulty._fail_after == 5
+
+
+class TestMachineChaos:
+    def test_crash_outage_restart_cycle(self):
+        plan = FaultPlan.parse("machine-crash:rate=0.2,outage=2")
+        chaos = MachineChaos(plan, fleet_seed=0, machine_name="m0")
+        states = [chaos.advance() for _ in range(200)]
+        assert chaos.crashes > 0
+        assert "restart" in states
+        # Every crash is followed by exactly `outage` more down epochs,
+        # then a restart epoch.
+        first_down = states.index("down")
+        assert states[first_down:first_down + 3] == ["down"] * 3
+        assert states[first_down + 3] == "restart"
+        assert chaos.down_epochs == states.count("down")
+
+    def test_no_crash_clause_is_always_up(self):
+        plan = FaultPlan.parse("telemetry-drop:rate=0.1")
+        chaos = MachineChaos(plan, fleet_seed=0, machine_name="m0")
+        assert [chaos.advance() for _ in range(50)] == ["up"] * 50
+        assert chaos.restart_policy == "enabled"
+
+    def test_restart_policy_from_plan(self):
+        plan = FaultPlan.parse("machine-crash:rate=0.1,restart=preserved")
+        chaos = MachineChaos(plan, fleet_seed=0, machine_name="m0")
+        assert chaos.restart_policy == "preserved"
+
+    def test_schedule_depends_on_machine_identity(self):
+        plan = FaultPlan.parse("machine-crash:rate=0.1")
+        a = MachineChaos(plan, fleet_seed=0, machine_name="m0")
+        b = MachineChaos(plan, fleet_seed=0, machine_name="m1")
+        assert [a.advance() for _ in range(100)] != \
+            [b.advance() for _ in range(100)]
+
+    def test_schedule_reproducible(self):
+        plan = FaultPlan.parse("machine-crash:rate=0.1")
+        a = MachineChaos(plan, fleet_seed=4, machine_name="m2")
+        b = MachineChaos(plan, fleet_seed=4, machine_name="m2")
+        assert [a.advance() for _ in range(100)] == \
+            [b.advance() for _ in range(100)]
