@@ -119,6 +119,58 @@ def run_engine(arm, slow, rounds):
             os.environ[SLOW_ENGINE_ENV] = saved
 
 
+def run_tracer_overhead(rounds=DEFAULT_ROUNDS):
+    """Time the stream arm with observability off, disabled, and on.
+
+    ``plain`` is the untouched simulator (``obs`` left ``None``);
+    ``disabled`` attaches the falsy :data:`NULL_TRACER` — the state every
+    study runs in when no ``--obs-dir`` is given — and must stay within
+    the CI gate of the plain time; ``enabled`` attaches a recording
+    tracer (informational).
+    """
+    from repro.obs import NULL_TRACER, Tracer
+
+    arm = build_arms()[0]  # stream: the hot-loop-dominated arm
+    arm["trace"].compile()
+
+    def one_run(obs, repeats=3):
+        # A single stream run is ~0.1s — short enough that scheduler
+        # jitter alone exceeds the 5% CI gate. Timing several runs per
+        # sample amortizes that noise.
+        hierarchies = []
+        for _ in range(repeats):
+            hierarchy = MemoryHierarchy(prefetchers=arm["bank"]())
+            hierarchy.set_hardware_prefetchers(arm["enabled"])
+            hierarchy.obs = obs
+            hierarchies.append(hierarchy)
+        start = time.perf_counter()
+        for hierarchy in hierarchies:
+            hierarchy.run(arm["trace"])
+        return time.perf_counter() - start
+
+    # Interleave the modes within each round so clock drift, turbo
+    # behaviour, and cache warmth hit all three equally; one untimed
+    # warmup run soaks up first-touch effects. The per-run wall time is
+    # ~0.1s, small enough that scheduler noise on shared runners swamps
+    # a 5% gate at low sample counts — so this section takes more
+    # best-of samples than the engine comparison does.
+    tracer_rounds = max(3 * rounds, 9)
+    one_run(None)
+    plain_s = disabled_s = enabled_s = float("inf")
+    for _ in range(tracer_rounds):
+        plain_s = min(plain_s, one_run(None))
+        disabled_s = min(disabled_s, one_run(NULL_TRACER))
+        enabled_s = min(enabled_s, one_run(Tracer()))
+    return {
+        "accesses": STREAM_ACCESSES,
+        "plain_s": plain_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": disabled_s / plain_s - 1.0,
+        "enabled_overhead": enabled_s / plain_s - 1.0,
+    }
+
+
 def run_experiment(rounds=DEFAULT_ROUNDS):
     arms = {}
     for arm in build_arms():
@@ -151,6 +203,7 @@ def run_experiment(rounds=DEFAULT_ROUNDS):
         "mixed_seed": MIXED_SEED,
         "mixed_scale": MIXED_SCALE,
         "arms": arms,
+        "tracer": run_tracer_overhead(rounds),
     }
 
 
@@ -173,6 +226,12 @@ def summary_lines(data):
             f"{arm['compiled_accesses_per_s']:15.0f} "
             f"{arm['speedup']:7.2f}x {target:>7}")
     lines.append("both engines verified bit-identical on every arm")
+    tracer = data.get("tracer")
+    if tracer:
+        lines.append(
+            f"tracer overhead on stream: disabled "
+            f"{tracer['disabled_overhead']:+.1%}, enabled "
+            f"{tracer['enabled_overhead']:+.1%}")
     return lines
 
 
@@ -205,6 +264,9 @@ def main(argv=None):
     parser.add_argument("--min-mixed-speedup", type=float, default=0.0,
                         help="fail unless the mixed_off arm reaches this "
                              "speedup")
+    parser.add_argument("--max-tracer-overhead", type=float, default=None,
+                        help="fail if a disabled tracer slows the stream "
+                             "arm by more than this fraction (e.g. 0.05)")
     args = parser.parse_args(argv)
 
     data = run_experiment(rounds=args.rounds)
@@ -221,6 +283,13 @@ def main(argv=None):
         failures.append(
             f"mixed_off speedup {data['arms']['mixed_off']['speedup']:.2f}x "
             f"< required {args.min_mixed_speedup:.2f}x")
+    if (args.max_tracer_overhead is not None
+            and data["tracer"]["disabled_overhead"]
+            > args.max_tracer_overhead):
+        failures.append(
+            f"disabled-tracer overhead "
+            f"{data['tracer']['disabled_overhead']:+.1%} "
+            f"> allowed {args.max_tracer_overhead:+.1%}")
     for failure in failures:
         print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -139,10 +139,20 @@ class ChaosStudy:
                                        seed=plan.seed), **kwargs)
 
     def run(self, workers: Optional[int] = None,
-            cache_dir: Optional[str] = None) -> ChaosOutcome:
-        """Run both the faulted study and its fault-free twin."""
-        faulted = self._faulted.run(workers=workers, cache_dir=cache_dir)
-        baseline = self._baseline.run(workers=workers, cache_dir=cache_dir)
+            cache_dir: Optional[str] = None,
+            obs_dir: Optional[str] = None) -> ChaosOutcome:
+        """Run both the faulted study and its fault-free twin.
+
+        ``obs_dir`` (or ``$REPRO_OBS_DIR``) traces the *faulted* study —
+        the run whose incidents and fail-safe engagements the report
+        renders; the inert twin stays untraced.
+        """
+        from repro.obs.session import resolve_obs_dir
+
+        faulted = self._faulted.run(workers=workers, cache_dir=cache_dir,
+                                    obs_dir=resolve_obs_dir(obs_dir))
+        baseline = self._baseline.run(workers=workers, cache_dir=cache_dir,
+                                      obs_dir="")
         return ChaosOutcome(plan=self.plan, faulted=faulted,
                             baseline=baseline)
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import ReproError
+from repro.telemetry import format_relative_change as _pct
 from repro.units import KB, SECOND
 
 
@@ -134,15 +135,16 @@ def run_ablation(args) -> int:
                            seed=args.seed, shard_size=shard_size,
                            fault_plan=fault_plan,
                            ).run(workers=args.workers,
-                                 cache_dir=args.cache_dir)
+                                 cache_dir=args.cache_dir,
+                                 obs_dir=getattr(args, "obs_dir", None))
     bandwidth = result.bandwidth_reduction()
     latency = result.latency_reduction()
     print(f"experiment arm: {args.mode}")
     _table(("metric", "change"), [
-        ("socket bandwidth (mean)", f"{bandwidth['mean']:+.1%}"),
-        ("socket bandwidth (P99)", f"{bandwidth['p99']:+.1%}"),
-        ("memory latency (P50)", f"{latency['p50']:+.1%}"),
-        ("memory latency (P99)", f"{latency['p99']:+.1%}"),
+        ("socket bandwidth (mean)", _pct(bandwidth['mean'])),
+        ("socket bandwidth (P99)", _pct(bandwidth['p99'])),
+        ("memory latency (P50)", _pct(latency['p50'])),
+        ("memory latency (P99)", _pct(latency['p99'])),
         ("fleet throughput", f"{result.throughput_change():+.2%}"),
     ])
     print("\nper-function cycle deltas (top regressions first):")
@@ -163,7 +165,9 @@ def run_rollout(args) -> int:
     fault_plan = _resolve_fault_plan(args)
     result = RolloutStudy(machines=args.machines, epochs=args.epochs,
                           warmup_epochs=args.warmup, seed=args.seed,
-                          fault_plan=fault_plan).run(workers=args.workers)
+                          fault_plan=fault_plan).run(
+                              workers=args.workers,
+                              obs_dir=getattr(args, "obs_dir", None))
     print("Figure 16 — throughput gain by CPU band")
     _table(("band", "gain"), [(band, f"{gain:+.1%}") for band, gain
                               in result.throughput_gain_by_band().items()])
@@ -171,9 +175,9 @@ def run_rollout(args) -> int:
     bandwidth = result.bandwidth_reduction()
     print("\nFigures 17/18 — latency / bandwidth")
     _table(("metric", "change"), [
-        ("latency P50", f"{latency['p50']:+.1%}"),
-        ("latency P99", f"{latency['p99']:+.1%}"),
-        ("bandwidth mean", f"{bandwidth['mean']:+.1%}"),
+        ("latency P50", _pct(latency['p50'])),
+        ("latency P99", _pct(latency['p99'])),
+        ("bandwidth mean", _pct(bandwidth['mean'])),
     ])
     print(f"\nFigure 19 — CPU utilization gain: "
           f"{result.cpu_utilization_gain():+.1%}")
@@ -202,7 +206,8 @@ def run_chaos(args) -> int:
                   seed=args.seed, warmup_epochs=args.warmup,
                   mode=args.mode, shard_size=shard_size)
     outcome = ChaosStudy(fault_plan, **kwargs).run(
-        workers=args.workers, cache_dir=args.cache_dir)
+        workers=args.workers, cache_dir=args.cache_dir,
+        obs_dir=getattr(args, "obs_dir", None))
 
     print(f"fault plan: {fault_plan.spec()}")
     print(f"experiment arm: {args.mode}\n")
@@ -241,8 +246,8 @@ def run_thresholds(args) -> int:
                                     cache_dir=args.cache_dir)
     _table(("config", "Δthroughput", "Δlatency p50", "Δbandwidth"), [
         (o.label, f"{o.throughput_change:+.2%}",
-         f"{o.latency_change_p50:+.2%}",
-         f"{o.bandwidth_change_mean:+.2%}")
+         _pct(o.latency_change_p50, precision=2),
+         _pct(o.bandwidth_change_mean, precision=2))
         for o in outcomes])
     best = ThresholdStudy.best(outcomes)
     print(f"\nbest configuration: {best.label} (paper deployed 60/80)")
@@ -273,8 +278,25 @@ def run_microbench(args) -> int:
     return 0
 
 
+def _run_obs_report(args, run_dir: str) -> int:
+    """``repro report <run-dir>``: render an observability run directory."""
+    from repro.obs import build_report, render_report
+
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(build_report(run_dir), indent=2, sort_keys=True))
+    else:
+        print(render_report(run_dir))
+    return 0
+
+
 def run_report(args) -> int:
     """``repro report``: one-shot markdown report of the headline results."""
+    run_dir = getattr(args, "run_dir", None)
+    if run_dir:
+        return _run_obs_report(args, run_dir)
+
     from repro.analysis import ThresholdStudy, measure_latency_curve
     from repro.fleet import AblationStudy, RolloutStudy
 
@@ -305,8 +327,8 @@ def run_report(args) -> int:
     bandwidth = ablation.bandwidth_reduction()
     sections += [
         "## Prefetcher ablation (Table 1)", "",
-        f"- socket bandwidth: {bandwidth['mean']:+.1%} mean, "
-        f"{bandwidth['p99']:+.1%} P99 (paper: -11% to -16% mean)",
+        f"- socket bandwidth: {_pct(bandwidth['mean'])} mean, "
+        f"{_pct(bandwidth['p99'])} P99 (paper: -11% to -16% mean)",
         f"- fleet throughput: {ablation.throughput_change():+.1%} "
         f"(paper: about -5%)", "",
     ]
@@ -330,10 +352,10 @@ def run_report(args) -> int:
         "- throughput gain by CPU band: " + ", ".join(
             f"{band} {gain:+.1%}"
             for band, gain in rollout.throughput_gain_by_band().items()),
-        f"- memory latency: {latency['p50']:+.1%} P50, "
-        f"{latency['p99']:+.1%} P99 (paper: -13% / -10%)",
+        f"- memory latency: {_pct(latency['p50'])} P50, "
+        f"{_pct(latency['p99'])} P99 (paper: -13% / -10%)",
         f"- socket bandwidth: "
-        f"{rollout.bandwidth_reduction()['mean']:+.1%} mean "
+        f"{_pct(rollout.bandwidth_reduction()['mean'])} mean "
         f"(paper: -15%)",
         f"- CPU utilization gain with scheduler integration: "
         f"{rollout.cpu_utilization_gain():+.1%}",

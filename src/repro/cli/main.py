@@ -22,6 +22,15 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
              "$REPRO_CACHE_DIR; unset disables caching)")
 
 
+def _add_obs_flag(subparser: argparse.ArgumentParser) -> None:
+    """Shared observability flag for the fleet-study subcommands."""
+    subparser.add_argument(
+        "--obs-dir", type=str, default=None, metavar="DIR",
+        help="write a run manifest and merged event log under this "
+             "directory (default: $REPRO_OBS_DIR; unset disables "
+             "observability); inspect with 'repro report <run-dir>'")
+
+
 def _add_fault_plan_flag(subparser: argparse.ArgumentParser) -> None:
     """The shared fault-injection flag for the fleet-study subcommands."""
     subparser.add_argument(
@@ -78,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max machines per shard (default 32)")
     _add_execution_flags(ablation)
     _add_fault_plan_flag(ablation)
+    _add_obs_flag(ablation)
     ablation.set_defaults(run=commands.run_ablation)
 
     rollout = subparsers.add_parser(
@@ -88,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--seed", type=int, default=5)
     _add_execution_flags(rollout)
     _add_fault_plan_flag(rollout)
+    _add_obs_flag(rollout)
     rollout.set_defaults(run=commands.run_rollout)
 
     chaos = subparsers.add_parser(
@@ -108,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical (determinism check)")
     _add_execution_flags(chaos)
     _add_fault_plan_flag(chaos)
+    _add_obs_flag(chaos)
     chaos.set_defaults(run=commands.run_chaos)
 
     thresholds = subparsers.add_parser(
@@ -136,7 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser(
         "report", help="run the headline experiments, emit a markdown "
-                       "report")
+                       "report; or, given a run directory, render its "
+                       "observability timeline")
+    report.add_argument(
+        "run_dir", nargs="?", default=None, metavar="RUN_DIR",
+        help="an observability run directory (from --obs-dir); renders "
+             "its manifest and event log instead of re-running studies")
+    report.add_argument("--json", action="store_true",
+                        help="with RUN_DIR: emit the report as JSON")
     report.add_argument("--out", type=str, default="",
                         help="write to this file (default: stdout)")
     report.add_argument("--quick", action="store_true",

@@ -56,8 +56,14 @@ class Decision:
 class HardLimoncelloController:
     """Consumes utilization samples, decides prefetcher on/off."""
 
-    def __init__(self, config: Optional[LimoncelloConfig] = None) -> None:
+    def __init__(self, config: Optional[LimoncelloConfig] = None,
+                 tracer=None, ident: str = "") -> None:
         self.config = config or LimoncelloConfig()
+        #: Optional :class:`repro.obs.Tracer`; when set, every state
+        #: change (including the OVERLOADED/UNDERLOADED timing states)
+        #: emits a ``controller-transition`` event at simulated time.
+        self.tracer = tracer
+        self.ident = ident
         self._state = ControllerState.ENABLED
         #: When the current timing state was entered (None if not timing).
         self._timing_since: Optional[float] = None
@@ -94,20 +100,20 @@ class HardLimoncelloController:
 
         if self._state is ControllerState.ENABLED:
             if utilization > upper:
-                self._enter(ControllerState.OVERLOADED, time_ns)
+                self._enter(ControllerState.OVERLOADED, time_ns, time_ns)
                 self._maybe_expire(time_ns, ControllerState.DISABLED)
         elif self._state is ControllerState.OVERLOADED:
             if utilization <= upper:
-                self._enter(ControllerState.ENABLED, None)
+                self._enter(ControllerState.ENABLED, None, time_ns)
             else:
                 self._maybe_expire(time_ns, ControllerState.DISABLED)
         elif self._state is ControllerState.DISABLED:
             if utilization < lower:
-                self._enter(ControllerState.UNDERLOADED, time_ns)
+                self._enter(ControllerState.UNDERLOADED, time_ns, time_ns)
                 self._maybe_expire(time_ns, ControllerState.ENABLED)
         else:  # UNDERLOADED
             if utilization >= lower:
-                self._enter(ControllerState.DISABLED, None)
+                self._enter(ControllerState.DISABLED, None, time_ns)
             else:
                 self._maybe_expire(time_ns, ControllerState.ENABLED)
 
@@ -130,7 +136,12 @@ class HardLimoncelloController:
         self._timing_since = None
         self._last_time = None
 
-    def _enter(self, state: ControllerState, timing_since) -> None:
+    def _enter(self, state: ControllerState, timing_since,
+               time_ns: float) -> None:
+        if self.tracer and state is not self._state:
+            self.tracer.event("controller-transition", time_ns,
+                              ident=self.ident, state=state.value,
+                              enabled=state.prefetchers_enabled)
         self._state = state
         self._timing_since = timing_since
 
@@ -138,7 +149,7 @@ class HardLimoncelloController:
         """Flip to ``target`` if the sustain timer has run out."""
         assert self._timing_since is not None
         if time_ns - self._timing_since >= self.config.sustain_duration_ns:
-            self._enter(target, None)
+            self._enter(target, None, time_ns)
 
     # --- introspection -----------------------------------------------------
 
@@ -167,10 +178,13 @@ class SingleThresholdController:
     Used by the hysteresis ablation benchmark.
     """
 
-    def __init__(self, threshold: float = 0.8) -> None:
+    def __init__(self, threshold: float = 0.8,
+                 tracer=None, ident: str = "") -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         self.threshold = threshold
+        self.tracer = tracer
+        self.ident = ident
         self._enabled = True
         self._last_time: Optional[float] = None
         self.transitions = 0
@@ -202,6 +216,12 @@ class SingleThresholdController:
         changed = desired != self._enabled
         if changed:
             self.transitions += 1
+            if self.tracer:
+                self.tracer.event(
+                    "controller-transition", time_ns, ident=self.ident,
+                    state=(ControllerState.ENABLED if desired
+                           else ControllerState.DISABLED).value,
+                    enabled=desired)
         self._enabled = desired
         decision = Decision(time_ns=time_ns, utilization=utilization,
                             state=self.state, changed=changed)

@@ -143,17 +143,31 @@ class LimoncelloDaemon:
             and carrying the retry policy and fail-safe deadline.
         controller: Optional pre-built controller (ablation studies swap
             in :class:`~repro.core.controller.SingleThresholdController`).
+        tracer: Optional :class:`repro.obs.Tracer`; when set, MSR writes,
+            fail-safe engagements, and incident open/resolve all emit
+            structured events at simulated time. Propagated to the
+            controller so its transitions share the same log.
+        ident: Stable identity for emitted events, conventionally
+            ``"<machine>/<socket>"``.
     """
 
     def __init__(self, sampler: BandwidthSampler,
                  actuator: PrefetcherActuator,
                  config: Optional[LimoncelloConfig] = None,
-                 controller=None) -> None:
+                 controller=None, tracer=None, ident: str = "") -> None:
         self.config = config or LimoncelloConfig()
         self.sampler = sampler
         self.actuator = actuator
+        self.tracer = tracer
+        self.ident = ident
         self.controller = controller if controller is not None \
-            else HardLimoncelloController(self.config)
+            else HardLimoncelloController(self.config, tracer=tracer,
+                                          ident=ident)
+        if controller is not None and tracer \
+                and getattr(controller, "tracer", None) is None:
+            # A pre-built controller joins this daemon's event stream.
+            controller.tracer = tracer
+            controller.ident = ident
         self.report = DaemonReport()
         self._pending_state: Optional[bool] = None
         self._retry_failures = 0
@@ -223,6 +237,11 @@ class LimoncelloDaemon:
         for incident in self.report.open_incidents():
             incident.recovered_ns = now_ns
             incident.action += "; cleared by machine restart"
+            if self.tracer:
+                self.tracer.event(
+                    "incident-resolved", now_ns, ident=self.ident,
+                    incident=incident.kind,
+                    detected_ns=incident.detected_ns, recovered_ns=now_ns)
         reset = getattr(self.controller, "reset", None)
         if callable(reset):
             reset()
@@ -240,6 +259,9 @@ class LimoncelloDaemon:
             kind="machine-restart", onset_ns=now_ns, detected_ns=now_ns,
             action=f"controller state reset; {state}",
             recovered_ns=now_ns))
+        if self.tracer:
+            self.tracer.event("machine-restart", now_ns, ident=self.ident,
+                              policy=state)
 
     # --- internals -----------------------------------------------------------
 
@@ -284,13 +306,27 @@ class LimoncelloDaemon:
             detected_ns=now_ns,
             action="fail-safe: reverting to prefetchers enabled")
         self.report.incidents.append(self._blackout_incident)
+        if self.tracer:
+            self.tracer.event("failsafe-engaged", now_ns, ident=self.ident,
+                              dark_since_ns=dark_since)
+            self.tracer.event("incident-open", now_ns, ident=self.ident,
+                              incident="telemetry-blackout",
+                              onset_ns=dark_since)
         self._apply(True, now_ns)
 
     def _release_failsafe(self, now_ns: float) -> None:
         self._failsafe_active = False
+        if self.tracer:
+            self.tracer.event("failsafe-released", now_ns, ident=self.ident)
         if self._blackout_incident is not None:
             self._blackout_incident.recovered_ns = now_ns
             self._blackout_incident.action += "; telemetry recovered"
+            if self.tracer:
+                self.tracer.event(
+                    "incident-resolved", now_ns, ident=self.ident,
+                    incident="telemetry-blackout",
+                    detected_ns=self._blackout_incident.detected_ns,
+                    recovered_ns=now_ns)
             self._blackout_incident = None
 
     def _tally_state(self) -> None:
@@ -320,7 +356,11 @@ class LimoncelloDaemon:
                 and self._retry_failures >= policy.max_attempts):
             return  # gave up on this target until the decision changes
         self.report.actuation_attempts += 1
-        if self.actuator.set_enabled(desired):
+        ok = self.actuator.set_enabled(desired)
+        if self.tracer:
+            self.tracer.event("msr-write", now_ns, ident=self.ident,
+                              enabled=desired, ok=ok)
+        if ok:
             self._pending_state = None
             self._retry_failures = 0
             self._close_actuation_incident(now_ns)
@@ -335,6 +375,10 @@ class LimoncelloDaemon:
                 action=("retrying toward prefetchers "
                         + ("enabled" if desired else "disabled")))
             self.report.incidents.append(self._actuation_incident)
+            if self.tracer:
+                self.tracer.event("incident-open", now_ns, ident=self.ident,
+                                  incident="actuation-failure",
+                                  onset_ns=now_ns)
         if (policy.max_attempts is not None
                 and self._retry_failures >= policy.max_attempts):
             self._actuation_incident.action = (
@@ -345,6 +389,12 @@ class LimoncelloDaemon:
         if self._actuation_incident is not None:
             self._actuation_incident.recovered_ns = now_ns
             self._actuation_incident.action += "; actuation recovered"
+            if self.tracer:
+                self.tracer.event(
+                    "incident-resolved", now_ns, ident=self.ident,
+                    incident="actuation-failure",
+                    detected_ns=self._actuation_incident.detected_ns,
+                    recovered_ns=now_ns)
             self._actuation_incident = None
 
     def _supersede_actuation_incident(self) -> None:

@@ -13,8 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
-class ConfigError(ReproError):
-    """An invalid configuration value was supplied."""
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Also a :class:`ValueError`: a bad knob (e.g. ``REPRO_WORKERS=-2``)
+    is a bad value, and callers outside this library reasonably catch it
+    as one.
+    """
 
 
 class MSRError(ReproError):

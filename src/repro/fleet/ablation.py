@@ -19,8 +19,9 @@ bit-identical results to ``run(workers=1)``.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import LimoncelloConfig, RetryPolicy
 from repro.errors import ConfigError
@@ -29,6 +30,7 @@ from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
 from repro.fleet.parallel import resolve_workers, run_sharded
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import FleetProfiler
 from repro.profiling.profile_data import ProfileData
 
@@ -163,6 +165,9 @@ class AblationShardSpec:
     config: Optional[LimoncelloConfig]
     profile_sample_rate: float
     fault_plan: Optional[FaultPlan] = None
+    #: Position in the shard plan; carried so a traced worker can stamp
+    #: its events without the parent re-deriving the mapping.
+    shard_index: int = 0
 
 
 def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
@@ -174,6 +179,40 @@ def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
         config=spec.config, profile_sample_rate=spec.profile_sample_rate,
         fault_plan=spec.fault_plan)
     return study._run_single()
+
+
+def _traced_single(study, tracer: Tracer, index: int, machines: int,
+                   seed: int, epochs: int):
+    """Run a study's single-fleet path under ``tracer``, bracketed by
+    shard-start/shard-finish events. The finish timestamp is the latest
+    simulated time any event observed — a pure function of the shard
+    parameters, like every other ``t_ns`` in the log."""
+    tracer.event("shard-start", 0.0, index=index, machines=machines,
+                 seed=seed)
+    result = study._run_single(tracer)
+    t_end = max((event["t_ns"] for event in tracer.events), default=0.0)
+    tracer.event("shard-finish", t_end, index=index, epochs=epochs)
+    return result
+
+
+def run_ablation_shard_obs(
+        spec: AblationShardSpec) -> Tuple[AblationResult, List[Dict], float]:
+    """Traced worker twin of :func:`run_ablation_shard`.
+
+    Builds the tracer *inside* the worker (tracers never cross process
+    boundaries) and returns ``(result, events, wall_seconds)``; the
+    parent splices the events into the merged log in plan order.
+    """
+    start = time.monotonic()
+    study = AblationStudy(
+        mode=spec.mode, machines=spec.machines, epochs=spec.epochs,
+        warmup_epochs=spec.warmup_epochs, seed=spec.seed,
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate,
+        fault_plan=spec.fault_plan)
+    tracer = Tracer()
+    result = _traced_single(study, tracer, spec.shard_index, spec.machines,
+                            spec.seed, spec.epochs)
+    return result, tracer.events, time.monotonic() - start
 
 
 class AblationStudy:
@@ -229,8 +268,9 @@ class AblationStudy:
                 warmup_epochs=self.warmup_epochs, seed=seed,
                 config=self.config,
                 profile_sample_rate=self._sample_rate,
-                fault_plan=self.fault_plan)
-            for size, seed in zip(plan.sizes, plan.seeds(self.seed))
+                fault_plan=self.fault_plan, shard_index=index)
+            for index, (size, seed)
+            in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
         ]
 
     def cache_key_material(self) -> Dict:
@@ -260,11 +300,18 @@ class AblationStudy:
 
     # --- execution -----------------------------------------------------------
 
-    def _build_fleet(self, seed: int) -> Fleet:
+    def _build_fleet(self, seed: int, tracer=None) -> Fleet:
         if self._fleet_factory is not None:
-            return self._fleet_factory(seed)
+            fleet = self._fleet_factory(seed)
+            if tracer:
+                # Factory fleets still join the event stream: daemons are
+                # deployed by _apply_mode, after this attribute lands.
+                for machine in fleet.machines:
+                    machine.tracer = tracer
+            return fleet
         return Fleet(machines=self.machines, seed=seed,
-                     fault_plan=self.fault_plan)
+                     fault_plan=self.fault_plan,
+                     tracer=tracer if tracer else None)
 
     def _apply_mode(self, fleet: Fleet) -> None:
         if self.mode == "control":
@@ -279,10 +326,11 @@ class AblationStudy:
         elif self.mode == "soft-only":
             fleet.deploy_soft_limoncello()
 
-    def _run_single(self) -> AblationResult:
+    def _run_single(self, tracer=None) -> AblationResult:
         """Run the whole population as one fleet (no sharding)."""
-        control_fleet = self._build_fleet(self.seed)
-        experiment_fleet = self._build_fleet(self.seed)
+        tracer = tracer or NULL_TRACER
+        control_fleet = self._build_fleet(self.seed, tracer)
+        experiment_fleet = self._build_fleet(self.seed, tracer)
         self._apply_mode(experiment_fleet)
 
         control_profiler = FleetProfiler(
@@ -292,14 +340,19 @@ class AblationStudy:
 
         # Warm both arms past scheduler ramp-up and controller sustain
         # timers before measuring (the paper measures a steady-state
-        # fleet; its rollout took weeks).
+        # fleet; its rollout took weeks). The arm context tags each
+        # fleet's daemon events without perturbing execution order.
         if self.warmup_epochs:
-            control_fleet.run(self.warmup_epochs)
-            experiment_fleet.run(self.warmup_epochs)
-        control = control_fleet.run(self.epochs,
-                                    observers=[control_profiler])
-        experiment = experiment_fleet.run(self.epochs,
-                                          observers=[experiment_profiler])
+            with tracer.context(arm="control"):
+                control_fleet.run(self.warmup_epochs)
+            with tracer.context(arm="experiment"):
+                experiment_fleet.run(self.warmup_epochs)
+        with tracer.context(arm="control"):
+            control = control_fleet.run(self.epochs,
+                                        observers=[control_profiler])
+        with tracer.context(arm="experiment"):
+            experiment = experiment_fleet.run(
+                self.epochs, observers=[experiment_profiler])
         # Chaos metrics describe the controller under fault, so they are
         # collected from the experiment arm (the one running daemons).
         chaos = (collect_chaos_metrics(experiment_fleet.machines)
@@ -314,7 +367,8 @@ class AblationStudy:
         )
 
     def run(self, workers: Optional[int] = None,
-            cache_dir: Optional[str] = None) -> AblationResult:
+            cache_dir: Optional[str] = None,
+            obs_dir: Optional[str] = None) -> AblationResult:
         """Run both arms and collect the paired result.
 
         Args:
@@ -324,8 +378,21 @@ class AblationStudy:
             cache_dir: Directory for the on-disk result cache. ``None``
                 reads ``$REPRO_CACHE_DIR``; empty/unset disables
                 caching. A hit skips the computation entirely.
+            obs_dir: Run directory for the observability layer. ``None``
+                reads ``$REPRO_OBS_DIR``; empty/unset disables it. When
+                set, the study writes ``events.jsonl`` and
+                ``manifest.json`` there; a cold run's event log is
+                byte-identical at any worker count.
         """
         from repro.fleet.result_cache import study_cache
+        from repro.obs.session import ObsSession, resolve_obs_dir
+
+        workers = resolve_workers(workers)
+        obs_dir = resolve_obs_dir(obs_dir)
+        session = (ObsSession(obs_dir, "ablation", workers=workers)
+                   if obs_dir is not None else None)
+        if session is not None:
+            session.event("study-start", study="ablation")
 
         cache = None
         if self._fleet_factory is None:
@@ -333,21 +400,62 @@ class AblationStudy:
             # (no cache key) nor resized per shard, so those studies run
             # unsharded and uncached.
             cache = study_cache(cache_dir)
-        if cache is not None:
-            cached = cache.load_ablation(self.cache_key_material())
-            if cached is not None:
-                return cached
 
-        if self._fleet_factory is not None:
-            result = self._run_single()
-        else:
-            specs = self.shard_specs()
-            shards = run_sharded(run_ablation_shard, specs,
-                                 resolve_workers(workers))
-            result = shards[0]
-            for shard in shards[1:]:
-                result.merge(shard)
-
+        result = None
+        hit = False
         if cache is not None:
-            cache.store_ablation(self.cache_key_material(), result)
+            material = self.cache_key_material()
+            result = cache.load_ablation(material)
+            hit = result is not None
+            if session is not None:
+                session.cache_probe(hit, cache.key_for(material))
+
+        if result is None:
+            if self._fleet_factory is not None:
+                if session is not None:
+                    with session.phase("execute"):
+                        tracer = session.shard_tracer()
+                        result = _traced_single(
+                            self, tracer, 0, self.machines, self.seed,
+                            self.epochs)
+                    session.add_shard(0, tracer.events)
+                else:
+                    result = self._run_single()
+            else:
+                specs = self.shard_specs()
+                if session is not None:
+                    with session.phase("execute"):
+                        outputs = run_sharded(run_ablation_shard_obs,
+                                              specs, workers)
+                    results = []
+                    for spec, (shard, events, wall) in zip(specs, outputs):
+                        session.add_shard(spec.shard_index, events, wall)
+                        results.append(shard)
+                    with session.phase("merge"):
+                        result = results[0]
+                        for index, shard in enumerate(results[1:], start=1):
+                            session.event("merge-step", index=index)
+                            result.merge(shard)
+                else:
+                    shards = run_sharded(run_ablation_shard, specs, workers)
+                    result = shards[0]
+                    for shard in shards[1:]:
+                        result.merge(shard)
+
+            if cache is not None:
+                material = self.cache_key_material()
+                cache.store_ablation(material, result)
+                if session is not None:
+                    session.event("cache-store", key=cache.key_for(material))
+
+        if session is not None:
+            session.event("study-finish", study="ablation")
+            plan = (self.shard_plan() if self._fleet_factory is None
+                    else None)
+            session.finalize(
+                self.cache_key_material(),
+                shard_seeds=(plan.seeds(self.seed) if plan is not None
+                             else [self.seed]),
+                fault_plan=(self.fault_plan.spec()
+                            if self.fault_plan is not None else None))
         return result

@@ -149,6 +149,8 @@ class Fleet:
             seeded from ``(plan seed, fleet seed, machine name)``, so the
             same plan over the same fleet replays identically — whether
             machines are simulated serially or across shard workers.
+        tracer: Optional :class:`repro.obs.Tracer` shared by every
+            machine's control daemons (events keyed to simulated time).
     """
 
     def __init__(self, machines: int = 40,
@@ -162,8 +164,8 @@ class Fleet:
                  seed: int = 0,
                  telemetry_dropout: float = 0.0,
                  platform_mix: Optional[Dict[PlatformSpec, float]] = None,
-                 fault_plan: Optional[FaultPlan] = None
-                 ) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 tracer=None) -> None:
         if machines <= 0:
             raise ConfigError("need at least one machine")
         if epoch_ns <= 0:
@@ -179,7 +181,8 @@ class Fleet:
                     telemetry_dropout=telemetry_dropout,
                     rng=random.Random(seed * 100_003 + i),
                     chaos=(MachineChaos(fault_plan, seed, f"machine-{i}")
-                           if fault_plan is not None else None))
+                           if fault_plan is not None else None),
+                    tracer=tracer)
             for i, spec in enumerate(platforms)
         ]
         self.traffic = traffic or DiurnalTraffic(

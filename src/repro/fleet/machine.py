@@ -45,7 +45,7 @@ class Machine:
                  sockets: int = 2, telemetry_dropout: float = 0.0,
                  demand_noise_sigma: float = 0.12,
                  rng: Optional[random.Random] = None,
-                 chaos=None) -> None:
+                 chaos=None, tracer=None) -> None:
         if sockets <= 0:
             raise ConfigError("machines need at least one socket")
         if demand_noise_sigma < 0:
@@ -68,6 +68,9 @@ class Machine:
         self.chaos = chaos
         #: Times this machine has come back from a chaos-injected crash.
         self.restarts = 0
+        #: Optional :class:`repro.obs.Tracer` shared by this machine's
+        #: daemons; events carry ``"<machine>/<socket>"`` idents.
+        self.tracer = tracer
         self.daemons: List[LimoncelloDaemon] = []
 
     # --- Limoncello deployment -------------------------------------------------
@@ -87,7 +90,9 @@ class Machine:
             controller = (controller_factory() if controller_factory
                           else None)
             self.daemons.append(LimoncelloDaemon(
-                sampler, actuator, config, controller=controller))
+                sampler, actuator, config, controller=controller,
+                tracer=self.tracer,
+                ident=f"{self.name}/{socket.index}"))
 
     def deploy_soft_limoncello(self) -> None:
         """Mark the tax-function prefetch insertions as rolled out."""

@@ -33,8 +33,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """The worker count to use: explicit arg, else ``$REPRO_WORKERS``,
     else 1 (serial).
 
-    ``0`` (from either source) means "all available CPUs". Negative
-    counts are rejected.
+    An explicit ``workers=0`` means "all available CPUs" (that is what
+    ``--workers 0`` documents). The environment variable is stricter: it
+    must be a positive integer, and ``0``, negatives, and non-integers
+    are all rejected with a :class:`ConfigError` (a ``ValueError``)
+    naming the variable — a mistyped ``REPRO_WORKERS`` silently running
+    serial, or accidentally fanning out to every CPU, is exactly the
+    kind of quiet misconfiguration that wastes a study run.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV_VAR, "").strip()
@@ -44,7 +49,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             workers = int(env)
         except ValueError:
             raise ConfigError(
-                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}")
+                f"{WORKERS_ENV_VAR} must be a positive integer, "
+                f"got {env!r}") from None
+        if workers <= 0:
+            raise ConfigError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, "
+                f"got {workers}")
+        return workers
     if workers < 0:
         raise ConfigError(f"workers cannot be negative, got {workers}")
     if workers == 0:

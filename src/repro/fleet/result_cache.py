@@ -26,6 +26,8 @@ import pathlib
 import tempfile
 from typing import Dict, Optional, Union
 
+from repro.serialization import canonical_json
+
 #: Environment override for the default cache directory; unset or empty
 #: disables caching.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -41,7 +43,7 @@ DEFAULT_MAX_ENTRIES = 256
 
 def _canonical(obj) -> str:
     """Deterministic JSON encoding (sorted keys, no whitespace)."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return canonical_json(obj)
 
 
 def study_cache(cache_dir: Optional[Union[str, pathlib.Path]] = None

@@ -13,8 +13,9 @@ to regenerate Figures 16 through 20.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import LimoncelloConfig
 from repro.errors import ConfigError
@@ -23,6 +24,7 @@ from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
 from repro.fleet.parallel import resolve_workers, run_sharded
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, plan_shards
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profile_data import ProfileData
 from repro.profiling.profiler import FleetProfiler
 from repro.workloads.base import FunctionCategory, TAX_CATEGORIES
@@ -155,6 +157,8 @@ class RolloutShardSpec:
     config: Optional[LimoncelloConfig]
     profile_sample_rate: float
     fault_plan: Optional[FaultPlan] = None
+    #: Position in the shard plan, for event stamping in traced workers.
+    shard_index: int = 0
 
 
 def run_rollout_shard(spec: RolloutShardSpec) -> RolloutResult:
@@ -166,6 +170,36 @@ def run_rollout_shard(spec: RolloutShardSpec) -> RolloutResult:
         config=spec.config, profile_sample_rate=spec.profile_sample_rate,
         fault_plan=spec.fault_plan)
     return study._run_single()
+
+
+def _traced_single(study: "RolloutStudy", tracer: Tracer, index: int,
+                   machines: int, seed: int,
+                   epochs: int) -> "RolloutResult":
+    """Run a rollout's single-fleet path under ``tracer``, bracketed by
+    shard-start/shard-finish events (see the ablation twin)."""
+    tracer.event("shard-start", 0.0, index=index, machines=machines,
+                 seed=seed)
+    result = study._run_single(tracer)
+    t_end = max((event["t_ns"] for event in tracer.events), default=0.0)
+    tracer.event("shard-finish", t_end, index=index, epochs=epochs)
+    return result
+
+
+def run_rollout_shard_obs(
+        spec: RolloutShardSpec) -> Tuple[RolloutResult, List[Dict], float]:
+    """Traced worker twin of :func:`run_rollout_shard`; returns
+    ``(result, events, wall_seconds)`` — the tracer is built inside the
+    worker and only its plain-dict events cross the process boundary."""
+    start = time.monotonic()
+    study = RolloutStudy(
+        machines=spec.machines, epochs=spec.epochs,
+        warmup_epochs=spec.warmup_epochs, seed=spec.seed,
+        config=spec.config, profile_sample_rate=spec.profile_sample_rate,
+        fault_plan=spec.fault_plan)
+    tracer = Tracer()
+    result = _traced_single(study, tracer, spec.shard_index, spec.machines,
+                            spec.seed, spec.epochs)
+    return result, tracer.events, time.monotonic() - start
 
 
 class RolloutStudy:
@@ -200,17 +234,24 @@ class RolloutStudy:
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
 
-    def _build(self, prefetch_aware: bool = False) -> Fleet:
+    def _build(self, prefetch_aware: bool = False, tracer=None) -> Fleet:
         if self._fleet_factory is not None:
-            return self._fleet_factory(self.seed)
+            fleet = self._fleet_factory(self.seed)
+            if tracer:
+                # Deploy hooks run after this, so daemons pick it up.
+                for machine in fleet.machines:
+                    machine.tracer = tracer
+            return fleet
         from repro.fleet.scheduler import BandwidthAwareScheduler
         return Fleet(
             machines=self.machines, seed=self.seed,
             scheduler=BandwidthAwareScheduler(prefetch_aware=prefetch_aware),
-            fault_plan=self.fault_plan)
+            fault_plan=self.fault_plan,
+            tracer=tracer if tracer else None)
 
-    def _run_arm(self, deploy, prefetch_aware: bool = False) -> tuple:
-        fleet = self._build(prefetch_aware)
+    def _run_arm(self, deploy, prefetch_aware: bool = False,
+                 tracer=None) -> tuple:
+        fleet = self._build(prefetch_aware, tracer)
         deploy(fleet)
         if self.warmup_epochs:
             fleet.run(self.warmup_epochs)
@@ -227,32 +268,99 @@ class RolloutStudy:
                 warmup_epochs=self.warmup_epochs, seed=seed,
                 config=self.config,
                 profile_sample_rate=self._sample_rate,
-                fault_plan=self.fault_plan)
-            for size, seed in zip(plan.sizes, plan.seeds(self.seed))
+                fault_plan=self.fault_plan, shard_index=index)
+            for index, (size, seed)
+            in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
         ]
 
-    def run(self, workers: Optional[int] = None) -> RolloutResult:
+    def run_material(self) -> Dict:
+        """Everything the study's result depends on, as plain data (the
+        manifest ``run`` block; worker count deliberately excluded)."""
+        from repro.fleet.ablation import _config_key_material
+
+        material = {
+            "study": "rollout",
+            "machines": self.machines,
+            "epochs": self.epochs,
+            "warmup_epochs": self.warmup_epochs,
+            "seed": self.seed,
+            "shard_size": self.shard_size,
+            "profile_sample_rate": self._sample_rate,
+            "config": _config_key_material(self.config),
+        }
+        if self.fault_plan is not None:
+            material["fault_plan"] = self.fault_plan.to_key_material()
+        return material
+
+    def run(self, workers: Optional[int] = None,
+            obs_dir: Optional[str] = None) -> RolloutResult:
         """Run all arms across every shard and collect the result.
 
         Args:
             workers: Process-pool size for sharded execution. ``None``
                 reads ``$REPRO_WORKERS`` (default 1, serial); ``0``
                 means all CPUs. The result is identical at any value.
+            obs_dir: Run directory for the observability layer. ``None``
+                reads ``$REPRO_OBS_DIR``; empty/unset disables it.
         """
+        from repro.obs.session import ObsSession, resolve_obs_dir
+
+        workers = resolve_workers(workers)
+        obs_dir = resolve_obs_dir(obs_dir)
+        session = (ObsSession(obs_dir, "rollout", workers=workers)
+                   if obs_dir is not None else None)
+        if session is not None:
+            session.event("study-start", study="rollout")
+
         if self._fleet_factory is not None:
             # A custom factory cannot be resized per shard; run unsharded.
-            return self._run_single()
-        specs = self.shard_specs()
-        shards = run_sharded(run_rollout_shard, specs,
-                             resolve_workers(workers))
-        result = shards[0]
-        for shard in shards[1:]:
-            result.merge(shard)
+            if session is not None:
+                with session.phase("execute"):
+                    tracer = session.shard_tracer()
+                    result = _traced_single(self, tracer, 0, self.machines,
+                                            self.seed, self.epochs)
+                session.add_shard(0, tracer.events)
+            else:
+                result = self._run_single()
+        else:
+            specs = self.shard_specs()
+            if session is not None:
+                with session.phase("execute"):
+                    outputs = run_sharded(run_rollout_shard_obs,
+                                          specs, workers)
+                results = []
+                for spec, (shard, events, wall) in zip(specs, outputs):
+                    session.add_shard(spec.shard_index, events, wall)
+                    results.append(shard)
+                with session.phase("merge"):
+                    result = results[0]
+                    for index, shard in enumerate(results[1:], start=1):
+                        session.event("merge-step", index=index)
+                        result.merge(shard)
+            else:
+                shards = run_sharded(run_rollout_shard, specs, workers)
+                result = shards[0]
+                for shard in shards[1:]:
+                    result.merge(shard)
+
+        if session is not None:
+            session.event("study-finish", study="rollout")
+            plan = (plan_shards(self.machines, self.shard_size)
+                    if self._fleet_factory is None else None)
+            session.finalize(
+                self.run_material(),
+                shard_seeds=(plan.seeds(self.seed) if plan is not None
+                             else [self.seed]),
+                fault_plan=(self.fault_plan.spec()
+                            if self.fault_plan is not None else None))
         return result
 
-    def _run_single(self) -> RolloutResult:
+    def _run_single(self, tracer=None) -> RolloutResult:
         """Run the whole population as one fleet (no sharding)."""
-        before, before_profile, _ = self._run_arm(lambda fleet: None)
+        tracer = tracer or NULL_TRACER
+        with tracer.context(arm="before"):
+            before, before_profile, _ = self._run_arm(
+                lambda fleet: None, tracer=tracer)
 
         def hard(fleet: Fleet) -> None:
             """Deploy Hard Limoncello only."""
@@ -263,9 +371,15 @@ class RolloutStudy:
             fleet.deploy_hard_limoncello(self.config)
             fleet.deploy_soft_limoncello()
 
-        hard_metrics, hard_profile, _ = self._run_arm(hard)
-        full_metrics, full_profile, full_fleet = self._run_arm(full)
-        integrated_metrics, _, _ = self._run_arm(full, prefetch_aware=True)
+        with tracer.context(arm="hard"):
+            hard_metrics, hard_profile, _ = self._run_arm(
+                hard, tracer=tracer)
+        with tracer.context(arm="full"):
+            full_metrics, full_profile, full_fleet = self._run_arm(
+                full, tracer=tracer)
+        with tracer.context(arm="full+scheduler"):
+            integrated_metrics, _, _ = self._run_arm(
+                full, prefetch_aware=True, tracer=tracer)
         # Chaos metrics track the controller under fault, so they come
         # from the full-Limoncello arm (the deployment end-state).
         chaos = (collect_chaos_metrics(full_fleet.machines)

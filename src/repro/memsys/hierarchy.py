@@ -84,6 +84,11 @@ class MemoryHierarchy:
         self.now_ns = 0.0
         self._sw_issued = 0
         self._useful = 0
+        #: Optional :class:`repro.obs.Tracer`; checked once per
+        #: :meth:`run` call (never inside the hot loops), so attaching
+        #: one costs a single ``sim-run`` event per trace replay and
+        #: leaving it ``None`` costs one attribute test.
+        self.obs = None
 
     # --- public controls -------------------------------------------------------
 
@@ -149,6 +154,9 @@ class MemoryHierarchy:
             + self.llc.wasted_prefetches - wasted0)
         for stats in result.functions.values():
             result.total.merge(stats)
+        if self.obs is not None and self.obs:
+            self.obs.event("sim-run", self.now_ns,
+                           accesses=result.total.instructions)
         return result
 
     # --- the reference interpreter ---------------------------------------------

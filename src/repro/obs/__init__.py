@@ -1,0 +1,53 @@
+"""``repro.obs`` — the deterministic run-observability layer.
+
+Every fleet study can emit, next to its result, a *run directory*:
+
+* ``events.jsonl`` — a schema-versioned structured event log keyed to
+  simulated time, merged across shards in deterministic order so serial
+  and sharded executions of the same study produce byte-identical logs
+  (the same contract the result merge obeys);
+* ``manifest.json`` — what the run *was*: config digest, fault plan,
+  seeds, shard plan, engine choice, plus a wall-clock execution overlay
+  (worker count, per-phase and per-shard timings) that is explicitly
+  outside the determinism contract.
+
+``repro report <run-dir>`` renders both into a timeline and timing
+breakdown; see :mod:`repro.obs.report`.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    read_events_jsonl,
+    validate_event,
+    write_events_jsonl,
+)
+from repro.obs.session import (
+    MANIFEST_NAME,
+    EVENTS_NAME,
+    OBS_ENV_VAR,
+    ObsSession,
+    manifest_run_digest,
+    read_manifest,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.report import build_report, render_report
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EVENTS_NAME",
+    "MANIFEST_NAME",
+    "NULL_TRACER",
+    "NullTracer",
+    "OBS_ENV_VAR",
+    "ObsSession",
+    "Tracer",
+    "build_report",
+    "manifest_run_digest",
+    "read_events_jsonl",
+    "read_manifest",
+    "render_report",
+    "validate_event",
+    "write_events_jsonl",
+]

@@ -1,0 +1,110 @@
+"""Span/event tracing primitives for deterministic run observability.
+
+Two clocks, deliberately separated:
+
+* **Simulated time** (``t_ns``) is deterministic — a pure function of the
+  study parameters — and is the only clock that enters the structured
+  event log, so serial and sharded runs of the same study can produce
+  byte-identical logs.
+* **Wall-clock** timings (phases, spans) come from ``time.monotonic()``
+  and are kept on the tracer as a separate overlay; they end up in the
+  manifest's ``execution`` block, which is outside the determinism
+  contract.
+
+Disabled tracing must cost nothing on hot paths, so call sites guard
+with truthiness (``if tracer: tracer.event(...)``): :data:`NULL_TRACER`
+is falsy and every one of its methods is a no-op, which means a disabled
+daemon tick performs a single branch and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from repro.obs.events import EVENT_SCHEMA_VERSION
+
+
+class NullTracer:
+    """The disabled tracer: falsy, stateless, every method a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) stands in wherever a
+    tracer is optional, so instrumented code never needs ``None`` checks
+    beyond the idiomatic ``if tracer:`` guard.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def event(self, kind: str, t_ns: float, **fields) -> None:
+        """Discard the event."""
+
+    @contextmanager
+    def context(self, **fields) -> Iterator[None]:
+        """No-op context scope."""
+        yield
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """No-op wall-clock phase."""
+        yield
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects structured events (simulated time) and phase timings
+    (wall clock) for one execution scope — a study or a single shard.
+
+    Events are plain dicts carrying the schema version, the kind, the
+    simulated timestamp, any fields pushed by enclosing
+    :meth:`context` scopes, and the call's own fields. Emission order is
+    the deterministic merge order within the scope.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+        #: (name, wall_seconds) per completed :meth:`phase`, in
+        #: completion order. Wall clock only — never merged into logs.
+        self.phases: List[Tuple[str, float]] = []
+        self._ctx: Dict = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    def event(self, kind: str, t_ns: float, **fields) -> None:
+        """Record one event at simulated time ``t_ns``."""
+        record: Dict = {"v": EVENT_SCHEMA_VERSION, "kind": kind,
+                        "t_ns": float(t_ns)}
+        record.update(self._ctx)
+        record.update(fields)
+        self.events.append(record)
+
+    @contextmanager
+    def context(self, **fields) -> Iterator[None]:
+        """Attach ``fields`` to every event emitted inside the scope
+        (e.g. ``arm="experiment"`` around one study arm)."""
+        saved = self._ctx
+        self._ctx = {**saved, **fields}
+        try:
+            yield
+        finally:
+            self._ctx = saved
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a wall-clock phase; recorded on :attr:`phases`."""
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.phases.append((name, time.monotonic() - start))

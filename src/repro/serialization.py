@@ -20,6 +20,17 @@ from repro.memsys.stats import FunctionStats, RunResult
 _PathLike = Union[str, pathlib.Path]
 
 
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace.
+
+    The one encoding shared by everything that content-hashes or
+    byte-compares JSON — result-cache keys and payload digests, the
+    observability event log, manifest run digests. Two equal values
+    always encode to identical bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
 # --- traces -----------------------------------------------------------------
 
 def access_to_dict(record: MemoryAccess) -> Dict:

@@ -8,7 +8,11 @@ average/P99/peak bandwidth) reported throughout the evaluation.
 
 from repro.telemetry.timeseries import TimeSeries, TimePoint
 from repro.telemetry.window import SlidingWindow
-from repro.telemetry.percentile import PercentileSummary, percentile
+from repro.telemetry.percentile import (
+    PercentileSummary,
+    format_relative_change,
+    percentile,
+)
 from repro.telemetry.counters import CounterSet
 from repro.telemetry.sampler import (
     BandwidthSample,
@@ -22,6 +26,7 @@ __all__ = [
     "TimePoint",
     "SlidingWindow",
     "PercentileSummary",
+    "format_relative_change",
     "percentile",
     "CounterSet",
     "BandwidthSample",

@@ -8,6 +8,21 @@ from typing import Dict, Sequence
 from repro.errors import TelemetryError
 
 
+def format_relative_change(change: float, precision: int = 1) -> str:
+    """Render a fractional change as a signed percentage.
+
+    Infinite changes (a statistic appearing against a zero baseline, see
+    :meth:`PercentileSummary.relative_change`) render as ``+inf``/``-inf``
+    rather than the unreadable ``+inf%`` that ``format(inf, '+.1%')``
+    produces.
+    """
+    if change == float("inf"):
+        return "+inf"
+    if change == float("-inf"):
+        return "-inf"
+    return format(change, f"+.{precision}%")
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile of ``values`` (linear interpolation).
 
@@ -64,12 +79,19 @@ class PercentileSummary:
         """Fractional change of each statistic versus ``baseline``.
 
         A value of ``-0.15`` means this summary is 15% below the baseline —
-        the form in which the paper quotes its reductions.
+        the form in which the paper quotes its reductions. A zero baseline
+        with a nonzero new value is an unbounded change and is reported as
+        signed infinity (previously it was silently reported as 0.0,
+        masking e.g. a latency stat appearing where the baseline had
+        none); zero-to-zero is genuinely "no change" and stays 0.0. Use
+        :func:`format_relative_change` to render these values.
         """
         def change(new: float, old: float) -> float:
             """Fractional change of one statistic."""
             if old == 0.0:
-                return 0.0
+                if new == 0.0:
+                    return 0.0
+                return float("inf") if new > 0.0 else float("-inf")
             return (new - old) / old
 
         return {

@@ -42,7 +42,27 @@ class TestResolveWorkers:
 
     def test_bad_env_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "many")
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match=WORKERS_ENV_VAR):
+            resolve_workers(None)
+
+    def test_env_zero_rejected(self, monkeypatch):
+        # Explicit workers=0 means "all CPUs", but a 0 in the
+        # environment is far more likely a broken export than a request
+        # for full parallelism — reject it loudly, naming the variable.
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        with pytest.raises(ConfigError, match=WORKERS_ENV_VAR):
+            resolve_workers(None)
+
+    def test_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "-3")
+        with pytest.raises(ConfigError, match=WORKERS_ENV_VAR):
+            resolve_workers(None)
+
+    def test_config_error_is_a_value_error(self, monkeypatch):
+        # Callers that predate ConfigError catch ValueError; keep both
+        # spellings working.
+        monkeypatch.setenv(WORKERS_ENV_VAR, "zero")
+        with pytest.raises(ValueError):
             resolve_workers(None)
 
 

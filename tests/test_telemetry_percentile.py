@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import TelemetryError
-from repro.telemetry import PercentileSummary, percentile
+from repro.telemetry import (
+    PercentileSummary,
+    format_relative_change,
+    percentile,
+)
 
 
 class TestPercentile:
@@ -48,7 +52,34 @@ class TestPercentileSummary:
         assert change["mean"] == pytest.approx(-0.15)
         assert change["p99"] == pytest.approx(-0.15)
 
-    def test_relative_change_zero_baseline(self):
+    def test_relative_change_zero_baseline_is_infinite(self):
+        # A statistic appearing where the baseline had none is an
+        # unbounded change, not "no change" (the old, masking behaviour).
         baseline = PercentileSummary.of([0.0])
         other = PercentileSummary.of([1.0])
-        assert other.relative_change(baseline)["mean"] == 0.0
+        assert other.relative_change(baseline)["mean"] == float("inf")
+
+    def test_relative_change_zero_baseline_negative_value(self):
+        baseline = PercentileSummary.of([0.0])
+        other = PercentileSummary.of([-1.0])
+        assert other.relative_change(baseline)["mean"] == float("-inf")
+
+    def test_relative_change_zero_to_zero_is_zero(self):
+        baseline = PercentileSummary.of([0.0])
+        other = PercentileSummary.of([0.0])
+        change = other.relative_change(baseline)
+        assert all(value == 0.0 for value in change.values())
+
+
+class TestFormatRelativeChange:
+    def test_finite(self):
+        assert format_relative_change(-0.153) == "-15.3%"
+        assert format_relative_change(0.25) == "+25.0%"
+        assert format_relative_change(0.0) == "+0.0%"
+
+    def test_precision(self):
+        assert format_relative_change(-0.1534, precision=2) == "-15.34%"
+
+    def test_infinite(self):
+        assert format_relative_change(float("inf")) == "+inf"
+        assert format_relative_change(float("-inf")) == "-inf"

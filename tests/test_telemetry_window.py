@@ -57,3 +57,28 @@ class TestSlidingWindow:
         window.add(0.0, 5.0)
         window.clear()
         assert window.total() == 0.0
+
+    def test_no_drift_over_long_runs(self):
+        # Regression for the float-drift bug: millions of add/evict
+        # cycles with values of very different magnitudes used to leave
+        # a residue in the running sum (sometimes negative). The
+        # compensated sum plus periodic recomputation keeps the window
+        # exact to within float tolerance of a fresh sum.
+        window = SlidingWindow(span_ns=100.0)
+        t = 0.0
+        for i in range(200_000):
+            t += 0.7
+            window.add(t, 1e9 if i % 3 == 0 else 1e-3)
+        expected = sum(value for _, value in window._points)
+        assert window.total() == pytest.approx(expected, rel=1e-12)
+
+    def test_total_never_negative_after_heavy_eviction(self):
+        window = SlidingWindow(span_ns=10.0)
+        t = 0.0
+        for i in range(50_000):
+            t += 1.0
+            window.add(t, 1e12 if i % 2 == 0 else 1e-6)
+        window.advance(t + 1e6)
+        assert len(window) == 0
+        assert window.total() == 0.0
+        assert window.rate() == 0.0
