@@ -9,7 +9,13 @@ separated from its predecessor by a number of pure-compute cycles.
 
 from repro.access.record import AccessKind, MemoryAccess
 from repro.access.trace import Trace, interleave
-from repro.access.compiled import CompiledTrace
+from repro.access.compiled import CompiledTrace, concat_compiled
+from repro.access.builder import (
+    RecordTraceBuilder,
+    SLOW_BUILDER_ENV,
+    TraceBuilder,
+    trace_builder,
+)
 from repro.access.address import AddressSpace
 
 __all__ = [
@@ -17,6 +23,11 @@ __all__ = [
     "MemoryAccess",
     "Trace",
     "CompiledTrace",
+    "concat_compiled",
+    "TraceBuilder",
+    "RecordTraceBuilder",
+    "trace_builder",
+    "SLOW_BUILDER_ENV",
     "interleave",
     "AddressSpace",
 ]

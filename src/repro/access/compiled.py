@@ -95,9 +95,87 @@ class CompiledTrace:
         self.packed: List[Tuple[int, int, int, int, int, int, int, int]] = \
             list(zip(kinds, lines, extras, pcs, gaps, fids, addrs, sizes))
 
+    @classmethod
+    def from_columns(cls, kinds: List[int], lines: List[int],
+                     extras: List[int], pcs: List[int], gaps: List[int],
+                     fids: List[int], addrs: List[int], sizes: List[int],
+                     functions: List[str],
+                     packed: "List[Tuple[int, int, int, int, int, int, int, int]]" = None,
+                     ) -> "CompiledTrace":
+        """Adopt already-lowered columns without re-walking records.
+
+        The caller hands over ownership: the lists are stored as-is (no
+        copies) and must not be mutated afterwards. This is how
+        :class:`~repro.access.builder.TraceBuilder` and the columnar
+        injector/concat/interleave paths make ``Trace.compile()`` free.
+        """
+        compiled = cls.__new__(cls)
+        compiled.length = len(kinds)
+        compiled.kinds = kinds
+        compiled.lines = lines
+        compiled.extras = extras
+        compiled.pcs = pcs
+        compiled.gaps = gaps
+        compiled.fids = fids
+        compiled.addrs = addrs
+        compiled.sizes = sizes
+        compiled.functions = functions
+        compiled.packed = packed if packed is not None else \
+            list(zip(kinds, lines, extras, pcs, gaps, fids, addrs, sizes))
+        return compiled
+
+    @classmethod
+    def from_packed(cls, packed, functions: List[str]) -> "CompiledTrace":
+        """Adopt pre-zipped per-record tuples (see :attr:`packed`)."""
+        if packed:
+            kinds, lines, extras, pcs, gaps, fids, addrs, sizes = \
+                map(list, zip(*packed))
+        else:
+            kinds, lines, extras, pcs = [], [], [], []
+            gaps, fids, addrs, sizes = [], [], [], []
+        return cls.from_columns(kinds, lines, extras, pcs, gaps, fids,
+                                addrs, sizes, functions, packed=packed)
+
     def __len__(self) -> int:
         return self.length
 
     def __repr__(self) -> str:
         return (f"CompiledTrace({self.length} records, "
                 f"{len(self.functions)} functions)")
+
+
+def concat_compiled(first: CompiledTrace,
+                    second: CompiledTrace) -> CompiledTrace:
+    """Concatenate two compiled traces without touching records.
+
+    Function interning follows first-seen order across the combined
+    sequence, exactly as compiling the concatenated records would.
+    """
+    if not first.length:
+        return second
+    if not second.length:
+        return first
+    functions = list(first.functions)
+    fid_of = {name: fid for fid, name in enumerate(functions)}
+    remap: List[int] = []
+    identity = True
+    for fid, name in enumerate(second.functions):
+        out = fid_of.get(name)
+        if out is None:
+            out = fid_of[name] = len(functions)
+            functions.append(name)
+        identity = identity and out == fid
+        remap.append(out)
+    if identity:
+        fids = first.fids + second.fids
+        packed = first.packed + second.packed
+    else:
+        fids = first.fids + [remap[fid] for fid in second.fids]
+        packed = first.packed + [
+            (kind, line, extra, pc, gap, remap[fid], addr, size)
+            for kind, line, extra, pc, gap, fid, addr, size in second.packed]
+    return CompiledTrace.from_columns(
+        first.kinds + second.kinds, first.lines + second.lines,
+        first.extras + second.extras, first.pcs + second.pcs,
+        first.gaps + second.gaps, fids, first.addrs + second.addrs,
+        first.sizes + second.sizes, functions, packed=packed)

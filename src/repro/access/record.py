@@ -40,6 +40,11 @@ KIND_STORE = KIND_CODES[AccessKind.STORE]
 KIND_SOFTWARE_PREFETCH = KIND_CODES[AccessKind.SOFTWARE_PREFETCH]
 KIND_STREAM_HINT = KIND_CODES[AccessKind.STREAM_HINT]
 
+#: Inverse of :data:`KIND_CODES`: kind code -> :class:`AccessKind`. Used
+#: when a column-backed trace materializes records back out of its
+#: compiled columns.
+KIND_FROM_CODE = sorted(KIND_CODES, key=KIND_CODES.get)
+
 
 @dataclass(frozen=True)
 class MemoryAccess:

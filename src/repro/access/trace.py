@@ -5,7 +5,12 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
-from repro.access.record import AccessKind, MemoryAccess
+from repro.access.record import (
+    AccessKind,
+    KIND_FROM_CODE,
+    KIND_STORE,
+    MemoryAccess,
+)
 from repro.errors import TraceError
 
 
@@ -16,12 +21,19 @@ class Trace:
     statistics. Workload generators produce them, the software-prefetch
     injector rewrites them, and :class:`repro.memsys.MemoryHierarchy`
     consumes them.
+
+    A trace is backed by records, by the flat int columns of a
+    :class:`~repro.access.compiled.CompiledTrace`, or both. Builder-made
+    traces (:class:`~repro.access.builder.TraceBuilder`) start column-only
+    — ``compile()`` is then free — and materialize records lazily the
+    first time something iterates or indexes them; the public record
+    constructor works exactly as it always has.
     """
 
     __slots__ = ("_records", "_compiled")
 
     def __init__(self, records: Iterable[MemoryAccess] = ()) -> None:
-        self._records: List[MemoryAccess] = list(records)
+        self._records: Optional[List[MemoryAccess]] = list(records)
         self._compiled = None
         for record in self._records:
             if not isinstance(record, MemoryAccess):
@@ -29,31 +41,85 @@ class Trace:
                     f"trace records must be MemoryAccess, got {type(record).__name__}"
                 )
 
+    # --- alternate constructors (internal) -----------------------------------
+
+    @classmethod
+    def _trusted(cls, records: List[MemoryAccess]) -> "Trace":
+        """Adopt an already-validated record list without re-checking it.
+
+        For internal transformation paths only (slices, concat, the
+        injector's rebuild): every record must already be a
+        ``MemoryAccess``, and the caller hands over list ownership.
+        """
+        trace = cls.__new__(cls)
+        trace._records = records
+        trace._compiled = None
+        return trace
+
+    @classmethod
+    def _from_compiled(cls, compiled) -> "Trace":
+        """A column-backed trace adopting ``compiled`` (records lazy)."""
+        trace = cls.__new__(cls)
+        trace._records = None
+        trace._compiled = compiled
+        return trace
+
+    def _materialize(self) -> List[MemoryAccess]:
+        """Build (and cache) the record list from the compiled columns."""
+        records = self._records
+        if records is None:
+            kind_of = KIND_FROM_CODE
+            functions = self._compiled.functions
+            records = self._records = [
+                MemoryAccess(address=addr, size=size, kind=kind_of[kind],
+                             pc=pc, function=functions[fid],
+                             gap_cycles=gap)
+                for kind, _line, _extra, pc, gap, fid, addr, size
+                in self._compiled.packed
+            ]
+        return records
+
     # --- sequence protocol -------------------------------------------------
 
     def __len__(self) -> int:
+        if self._records is None:
+            return self._compiled.length
         return len(self._records)
 
     def __iter__(self) -> Iterator[MemoryAccess]:
-        return iter(self._records)
+        return iter(self._materialize())
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self._records[index])
-        return self._records[index]
+            return Trace._trusted(self._materialize()[index])
+        return self._materialize()[index]
 
     def __add__(self, other: "Trace") -> "Trace":
         if not isinstance(other, Trace):
             return NotImplemented
-        return Trace(itertools.chain(self._records, other._records))
+        if self._records is None or other._records is None:
+            # At least one side is column-backed: concatenate columns so
+            # neither side has to materialize records.
+            from repro.access.compiled import concat_compiled
+            return Trace._from_compiled(
+                concat_compiled(self.compile(), other.compile()))
+        return Trace._trusted(self._records + other._records)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Trace):
             return NotImplemented
-        return self._records == other._records
+        if self._records is None and other._records is None:
+            # Column comparison: equal records imply identical first-seen
+            # function interning, so (functions, packed) is a faithful key.
+            mine, theirs = self._compiled, other._compiled
+            if mine is theirs:
+                return True
+            return (mine.functions == theirs.functions
+                    and mine.packed == theirs.packed)
+        return self._materialize() == other._materialize()
 
     def __repr__(self) -> str:
-        return f"Trace({len(self._records)} records)"
+        return f"Trace({len(self)} records)"
 
     # --- compilation ---------------------------------------------------------
 
@@ -64,6 +130,8 @@ class Trace:
         cached on the trace — safe because traces are immutable by
         convention and every transformation returns a new trace — so
         repeated simulator runs of the same trace compile exactly once.
+        For builder-made (column-backed) traces this is free: the columns
+        were populated during generation.
         """
         compiled = self._compiled
         if compiled is None:
@@ -75,7 +143,7 @@ class Trace:
 
     def map(self, fn: Callable[[MemoryAccess], MemoryAccess]) -> "Trace":
         """A new trace with ``fn`` applied to every record."""
-        return Trace(fn(record) for record in self._records)
+        return Trace(fn(record) for record in self._materialize())
 
     def attributed(self, function: str) -> "Trace":
         """A copy with every record attributed to ``function``."""
@@ -89,42 +157,65 @@ class Trace:
         """This trace concatenated with itself ``times`` times."""
         if times < 0:
             raise ValueError(f"times must be non-negative, got {times}")
-        return Trace(itertools.chain.from_iterable(
-            self._records for _ in range(times)))
+        records = self._materialize()
+        return Trace._trusted(list(itertools.chain.from_iterable(
+            records for _ in range(times))))
 
     def demand_only(self) -> "Trace":
         """A copy with software-prefetch records removed."""
-        return Trace(record for record in self._records if record.is_demand)
+        return Trace._trusted([record for record in self._materialize()
+                               if record.is_demand])
 
     # --- statistics -----------------------------------------------------------
 
     @property
     def demand_count(self) -> int:
         """Number of demand (load/store) records."""
+        if self._records is None:
+            return sum(1 for kind in self._compiled.kinds
+                       if kind <= KIND_STORE)
         return sum(1 for record in self._records if record.is_demand)
 
     @property
     def prefetch_count(self) -> int:
         """Number of software-prefetch records."""
-        return len(self._records) - self.demand_count
+        return len(self) - self.demand_count
 
     @property
     def compute_cycles(self) -> int:
         """Total pure-compute cycles encoded in the trace gaps."""
+        if self._records is None:
+            return sum(self._compiled.gaps)
         return sum(record.gap_cycles for record in self._records)
 
     @property
     def instruction_count(self) -> int:
         """Approximate instruction count: one per record plus one per gap
         cycle (the simulator's cycle model assumes IPC 1 for compute)."""
-        return len(self._records) + self.compute_cycles
+        return len(self) + self.compute_cycles
 
     def unique_lines(self) -> int:
         """Number of distinct cache lines touched by demand accesses."""
-        return len({record.line for record in self._records if record.is_demand})
+        if self._records is None:
+            compiled = self._compiled
+            return len({line for kind, line in zip(compiled.kinds,
+                                                   compiled.lines)
+                        if kind <= KIND_STORE})
+        return len({record.line for record in self._records
+                    if record.is_demand})
 
     def footprint_bytes(self) -> int:
         """Total bytes spanned by the trace's demand address range."""
+        if self._records is None:
+            compiled = self._compiled
+            demand = [(addr, size) for kind, addr, size
+                      in zip(compiled.kinds, compiled.addrs, compiled.sizes)
+                      if kind <= KIND_STORE]
+            if not demand:
+                return 0
+            low = min(addr for addr, _size in demand)
+            high = max(addr + size for addr, size in demand)
+            return high - low
         demand = [record for record in self._records if record.is_demand]
         if not demand:
             return 0
@@ -134,6 +225,8 @@ class Trace:
 
     def functions(self) -> Sequence[str]:
         """Distinct function names appearing in the trace, in first-seen order."""
+        if self._records is None:
+            return [name for name in self._compiled.functions if name]
         seen: List[str] = []
         for record in self._records:
             if record.function and record.function not in seen:
@@ -150,6 +243,12 @@ def interleave(traces: Sequence[Trace], chunk: int = 64,
     at fine granularity, which is exactly what confuses hardware stream
     prefetchers on short streams.
 
+    When every input is column-backed (the builder pipeline), the merge
+    happens on compiled columns — chunk-sized slices of ``packed`` plus a
+    function-id remap — and the result is column-backed too, so the whole
+    generate → interleave path never touches a record object. Otherwise
+    the original record path runs.
+
     Args:
         traces: The traces to interleave. Exhausted traces drop out.
         chunk: Records taken from each trace per turn.
@@ -157,6 +256,8 @@ def interleave(traces: Sequence[Trace], chunk: int = 64,
     """
     if chunk <= 0:
         raise ValueError(f"chunk must be positive, got {chunk}")
+    if traces and all(trace._records is None for trace in traces):
+        return _interleave_columns(traces, chunk, limit)
     iterators = [iter(trace) for trace in traces]
     merged: List[MemoryAccess] = []
     while iterators:
@@ -165,11 +266,94 @@ def interleave(traces: Sequence[Trace], chunk: int = 64,
             taken = list(itertools.islice(iterator, chunk))
             merged.extend(taken)
             if limit is not None and len(merged) >= limit:
-                return Trace(merged[:limit])
+                return Trace._trusted(merged[:limit])
             if len(taken) == chunk:
                 still_live.append(iterator)
         iterators = still_live
-    return Trace(merged)
+    return Trace._trusted(merged)
+
+
+class _ColumnMerge:
+    """One input trace's cursor in a columnar merge (interleave).
+
+    Function ids are re-interned *as rows are emitted*, so the output
+    functions list lands in first-seen output order — the exact list
+    compiling the merged records would produce. Once every input fid is
+    resolved, chunks are emitted with C-level ``extend``/genexprs.
+    """
+
+    __slots__ = ("compiled", "position", "remap", "unresolved", "identity")
+
+    def __init__(self, compiled) -> None:
+        self.compiled = compiled
+        self.position = 0
+        self.remap: List[Optional[int]] = [None] * len(compiled.functions)
+        self.unresolved = len(self.remap)
+        self.identity = True
+
+    def emit(self, chunk: int, packed: list, functions: List[str],
+             fid_of: dict) -> int:
+        """Append up to ``chunk`` rows to ``packed``; returns rows taken."""
+        rows = self.compiled.packed[self.position:self.position + chunk]
+        self.position += len(rows)
+        if not self.unresolved:
+            if self.identity:
+                packed.extend(rows)
+            else:
+                remap = self.remap
+                packed.extend(
+                    (kind, line, extra, pc, gap, remap[fid], addr, size)
+                    for kind, line, extra, pc, gap, fid, addr, size in rows)
+            return len(rows)
+        remap = self.remap
+        names = self.compiled.functions
+        for row in rows:
+            fid = row[5]
+            out = remap[fid]
+            if out is None:
+                name = names[fid]
+                out = fid_of.get(name)
+                if out is None:
+                    out = fid_of[name] = len(functions)
+                    functions.append(name)
+                remap[fid] = out
+                self.unresolved -= 1
+                if out != fid:
+                    self.identity = False
+            packed.append(row if out == row[5] else
+                          row[:5] + (out,) + row[6:])
+        return len(rows)
+
+
+def _interleave_columns(traces: Sequence[Trace], chunk: int,
+                        limit: Optional[int]) -> Trace:
+    """Columnar interleave: bit-identical output to the record path."""
+    from repro.access.compiled import CompiledTrace
+
+    functions: List[str] = []
+    fid_of: dict = {}
+    packed: list = []
+    states = [_ColumnMerge(trace.compile()) for trace in traces]
+
+    def truncated() -> Trace:
+        del packed[limit:]
+        # First-seen interning means the kept prefix uses a contiguous
+        # fid range; drop names whose first use was truncated away.
+        used = max((row[5] for row in packed), default=-1)
+        del functions[used + 1:]
+        return Trace._from_compiled(CompiledTrace.from_packed(
+            packed, functions))
+
+    while states:
+        still_live = []
+        for state in states:
+            taken = state.emit(chunk, packed, functions, fid_of)
+            if limit is not None and len(packed) >= limit:
+                return truncated()
+            if taken == chunk:
+                still_live.append(state)
+        states = still_live
+    return Trace._from_compiled(CompiledTrace.from_packed(packed, functions))
 
 
 def software_prefetch(address: int, size: int = 64, pc: int = 0,

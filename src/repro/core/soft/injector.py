@@ -11,15 +11,28 @@ size gate, and clamping.
 Because the injector sees the whole stream, it has exactly the knowledge
 the paper attributes to software: "we know the exact addresses we want to
 prefetch, and we also know how much data should be prefetched."
+
+Injection runs directly on a trace's compiled columns (run detection,
+planning, and the splice all stay in packed int tuples), so a sweep that
+re-injects one base trace per (distance, degree) config never materializes
+a record. The original record-path implementation is kept verbatim as the
+oracle: ``REPRO_SLOW_INJECTOR=1`` forces it, and the equivalence suite
+(``tests/test_injector_compiled.py``) proves both paths bit-identical.
 """
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.access.record import AccessKind, MemoryAccess
+from repro.access.compiled import CompiledTrace
+from repro.access.record import (
+    AccessKind,
+    KIND_CODES,
+    MemoryAccess,
+)
 from repro.access.trace import Trace
 from repro.core.soft.descriptor import PrefetchDescriptor
 from repro.errors import ConfigError
@@ -27,6 +40,20 @@ from repro.units import CACHE_LINE_BYTES
 
 #: XORed into the demand PC to form the synthetic prefetch-site PC.
 _PREFETCH_PC_TAG = 0x1
+
+#: Set to "1" (or "true"/"yes"/"on") to force the record-path injector.
+SLOW_INJECTOR_ENV = "REPRO_SLOW_INJECTOR"
+
+_KIND_PREFETCH = KIND_CODES[AccessKind.SOFTWARE_PREFETCH]
+_KIND_HINT = KIND_CODES[AccessKind.STREAM_HINT]
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
+_LINE_SHIFT = CACHE_LINE_BYTES.bit_length() - 1
+
+
+def slow_injector_requested() -> bool:
+    """Whether ``REPRO_SLOW_INJECTOR`` forces the record-path injector."""
+    return os.environ.get(SLOW_INJECTOR_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 @dataclass
@@ -97,10 +124,148 @@ class SoftwarePrefetchInjector:
         return sorted(self._descriptors)
 
     def inject(self, trace: Trace) -> Trace:
-        """Return a copy of ``trace`` with prefetch records inserted."""
-        runs = self._collect_runs(trace)
-        insertions = self._plan_insertions(trace, runs)
-        return self._rebuild(trace, insertions)
+        """Return a copy of ``trace`` with prefetch records inserted.
+
+        Runs on the trace's compiled columns (free for builder-generated
+        traces, cached otherwise) and returns a column-backed trace;
+        ``REPRO_SLOW_INJECTOR=1`` forces the original record-path oracle.
+        """
+        if slow_injector_requested():
+            runs = self._collect_runs(trace)
+            insertions = self._plan_insertions(trace, runs)
+            return self._rebuild(trace, insertions)
+        return self._inject_compiled(trace.compile())
+
+    # --- compiled fast path -------------------------------------------------
+
+    def _inject_compiled(self, compiled: CompiledTrace) -> Trace:
+        """Columnar injection: identical output to the record path.
+
+        Inserted records only ever land at indices at or after the first
+        record of their function's run, so the first-seen interning order
+        of function names is unchanged — the output adopts the input
+        ``functions`` list as-is and inserted tuples reuse the input fid.
+        """
+        runs = self._collect_runs_compiled(compiled)
+        insertions = self._plan_insertions_compiled(compiled, runs)
+        if not insertions:
+            return Trace._from_compiled(compiled)
+        in_packed = compiled.packed
+        out_packed: list = []
+        extend = out_packed.extend
+        previous = 0
+        for index in sorted(insertions):
+            extend(in_packed[previous:index])
+            extend(insertions[index])
+            previous = index
+        extend(in_packed[previous:])
+        return Trace._from_compiled(CompiledTrace.from_packed(
+            out_packed, compiled.functions))
+
+    def _collect_runs_compiled(self, compiled: CompiledTrace):
+        """Column twin of :meth:`_collect_runs`: runs keyed ``(fid, pc)``."""
+        descriptors = self._descriptors
+        targeted = {fid for fid, name in enumerate(compiled.functions)
+                    if name in descriptors}
+        if not targeted:
+            return []
+        line_bytes = CACHE_LINE_BYTES
+        active: Dict[Tuple[int, int], _Run] = {}
+        closed: List[Tuple[int, int, _Run]] = []
+        for index, (kind, first_line, extra, pc, _gap, fid, _addr,
+                    _size) in enumerate(compiled.packed):
+            if kind == _KIND_PREFETCH or fid not in targeted:
+                continue
+            key = (fid, pc)
+            last_line = first_line + extra * line_bytes
+            run = active.get(key)
+            if run is not None and first_line == run.next_line:
+                run.append(index, first_line, last_line)
+                continue
+            if run is not None and first_line == run.next_line - line_bytes:
+                # Sub-line stride: another access within the run's current
+                # last line (e.g. serialize reading 32-byte fields). The
+                # stream continues; extend if this record reaches further.
+                if last_line >= run.next_line:
+                    run.append(index, run.next_line, last_line)
+                continue
+            if run is not None:
+                closed.append((key[0], key[1], run))
+            active[key] = _Run(first_line, index)
+            active[key].next_line = last_line + line_bytes
+        for (fid, pc), run in active.items():
+            closed.append((fid, pc, run))
+        return closed
+
+    def _plan_insertions_compiled(self, compiled: CompiledTrace, runs):
+        """Column twin of :meth:`_plan_insertions`: plans packed tuples."""
+        functions = compiled.functions
+        stats = InjectionStats()
+        insertions: Dict[int, list] = defaultdict(list)
+        for fid, pc, run in runs:
+            stats.streams_seen += 1
+            function = functions[fid]
+            descriptor = self._descriptors[function]
+            if not descriptor.applies_to(run.length_bytes):
+                stats.streams_gated += 1
+                continue
+            stats.streams_instrumented += 1
+            inserted = self._instrument_run_compiled(
+                descriptor, fid, pc, run, insertions)
+            stats.prefetches_inserted += inserted
+            stats.per_function[function] = (
+                stats.per_function.get(function, 0) + inserted)
+        self.last_stats = stats
+        return insertions
+
+    def _instrument_run_compiled(self, descriptor: PrefetchDescriptor,
+                                 fid: int, pc: int, run: _Run,
+                                 insertions) -> int:
+        """Column twin of :meth:`_instrument_run` (packed-tuple output)."""
+        tagged_pc = pc ^ _PREFETCH_PC_TAG
+        if self._emit_hints:
+            first_index, _ = run.positions[0]
+            start = run.start_line
+            size = run.length_bytes
+            extra = (((start + size - 1) & _LINE_MASK) - start) >> _LINE_SHIFT
+            insertions[first_index].append(
+                (_KIND_HINT, start, extra, tagged_pc, 0, fid, start, size))
+            return 1
+        degree = descriptor.degree_bytes
+        distance = descriptor.distance_bytes
+        clamp = descriptor.clamp_to_stream
+        start_line = run.start_line
+        positions = run.positions
+        last_position = len(positions) - 1
+        end = run.length_bytes
+        inserted = 0
+        position = 0  # walks run.positions
+        for offset in range(0, end, degree):
+            # Find the record covering this line offset.
+            while (position < last_position
+                   and positions[position + 1][1] <= offset):
+                position += 1
+            index = positions[position][0]
+            target = offset + distance
+            size = degree
+            if clamp:
+                if target >= end:
+                    continue
+                size = min(degree, end - target)
+            address = start_line + target
+            line = address & _LINE_MASK
+            extra = (((address + size - 1) & _LINE_MASK) - line) >> _LINE_SHIFT
+            insertions[index].append(
+                (_KIND_PREFETCH, line, extra, tagged_pc, 0, fid,
+                 address, size))
+            inserted += 1
+        return inserted
+
+    # --- record-path oracle -------------------------------------------------
+    #
+    # The original implementation, kept verbatim (modulo the trusted
+    # constructor in _rebuild). REPRO_SLOW_INJECTOR=1 routes inject()
+    # here; the equivalence suite diffs the two paths record for record.
 
     # --- pass 1: stream detection ------------------------------------------------
 
@@ -199,9 +364,9 @@ class SoftwarePrefetchInjector:
     @staticmethod
     def _rebuild(trace: Trace, insertions) -> Trace:
         if not insertions:
-            return Trace(trace)
+            return Trace._trusted(list(trace))
         records: List[MemoryAccess] = []
         for index, record in enumerate(trace):
             records.extend(insertions.get(index, ()))
             records.append(record)
-        return Trace(records)
+        return Trace._trusted(records)

@@ -282,6 +282,9 @@ class MemoryHierarchy:
         win_popleft = win_points.popleft
         line_bytes_f = float(line_bytes)
         d_fills = 0
+        p_fills = 0
+        sw_issued = 0
+        prune_threshold = self._IN_FLIGHT_PRUNE_THRESHOLD
         bank = self.prefetchers
         bank_snapshot = bank.enabled_prefetchers
         accept_hint = bank.accept_hint
@@ -546,10 +549,87 @@ class MemoryHierarchy:
                 s_comp += sw_cost_cycles
                 s_swpf += 1
                 now += sw_cost_ns
+                # Inlined _issue_prefetch_at (software path): same checks
+                # in the same order — in-flight dedup, prune, presence in
+                # any level, then a DRAM prefetch fill and a prefetched
+                # install into LLC and L2.
                 while True:
                     if line not in in_flight:
-                        issue_prefetch(line, True, now)
-                        in_flight = self._in_flight
+                        if len(in_flight) > prune_threshold:
+                            in_flight = self._in_flight = {
+                                pending: arrival
+                                for pending, arrival in in_flight.items()
+                                if arrival > now
+                            }
+                        tag = line >> l1_shift
+                        cache_set = l1_sets_get(
+                            tag & l1_mask if l1_mask is not None
+                            else tag % l1_nsets)
+                        present = cache_set is not None and line in cache_set
+                        if not present:
+                            tag = line >> l2_shift
+                            l2_index = tag & l2_mask if l2_mask is not None \
+                                else tag % l2_nsets
+                            cache_set = l2_sets_get(l2_index)
+                            present = cache_set is not None \
+                                and line in cache_set
+                        if not present:
+                            tag = line >> llc_shift
+                            llc_index = tag & llc_mask \
+                                if llc_mask is not None else tag % llc_nsets
+                            cache_set = llc_sets_get(llc_index)
+                            present = cache_set is not None \
+                                and line in cache_set
+                        if not present:
+                            # DRAM prefetch fill (inlined DRAMModel.request).
+                            horizon = now - win_span
+                            win_sum = window._sum
+                            while win_points \
+                                    and win_points[0][0] <= horizon:
+                                win_sum -= win_popleft()[1]
+                            if external_load is not None:
+                                raw = (win_sum / win_span
+                                       + external_load(now)) / sat_bw
+                            else:
+                                raw = (win_sum / win_span) / sat_bw
+                            u = raw if raw > 0.0 else 0.0
+                            clamped = u if u < max_util else max_util
+                            queue = (queue_gain
+                                     * (clamped ** queue_exp)
+                                     / (1.0 - clamped))
+                            latency = unloaded_ns * (1.0 + queue)
+                            if u > max_util:
+                                latency *= 1.0 + overload_gain \
+                                    * (u - max_util)
+                            win_append((now, line_bytes_f))
+                            window._sum = win_sum + line_bytes_f
+                            p_fills += 1
+                            in_flight[line] = now + latency
+                            # Install into LLC, tagged prefetched.
+                            cache_set = llc_sets_get(llc_index)
+                            if cache_set is None:
+                                cache_set = llc_sets[llc_index] = OrderedDict()
+                            if len(cache_set) >= llc_assoc:
+                                _, victim = cache_set.popitem(False)
+                                llc_sized -= 1
+                                if victim.prefetched \
+                                        and not victim.referenced:
+                                    llc_wasted += 1
+                            cache_set[line] = line_state(True)
+                            llc_sized += 1
+                            # Install into L2, tagged prefetched.
+                            cache_set = l2_sets_get(l2_index)
+                            if cache_set is None:
+                                cache_set = l2_sets[l2_index] = OrderedDict()
+                            if len(cache_set) >= l2_assoc:
+                                _, victim = cache_set.popitem(False)
+                                l2_sized -= 1
+                                if victim.prefetched \
+                                        and not victim.referenced:
+                                    l2_wasted += 1
+                            cache_set[line] = line_state(True)
+                            l2_sized += 1
+                            sw_issued += 1
                     if not extra:
                         break
                     extra -= 1
@@ -593,6 +673,9 @@ class MemoryHierarchy:
         llc._size += llc_sized
         dram.demand_fills += d_fills
         dram.demand_bytes += d_fills * line_bytes
+        dram.prefetch_fills += p_fills
+        dram.prefetch_bytes += p_fills * line_bytes
+        self._sw_issued += sw_issued
         recent.clear()
         recent.extend(recent_list)
         self._useful += useful

@@ -4,6 +4,10 @@ These model the "other functions" of Figures 11/12 — the ones that *gain*
 performance when hardware prefetchers are disabled, because the prefetcher
 cannot predict their accesses and only pollutes the cache and burns
 bandwidth on their behalf.
+
+Like the tax generators, these emit through
+:func:`~repro.access.builder.trace_builder`, so traces are born columnar
+(``REPRO_SLOW_BUILDER=1`` selects the record-path oracle).
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-from repro.access import AddressSpace, MemoryAccess, Trace
+from repro.access import AccessKind, AddressSpace, Trace, trace_builder
 from repro.units import CACHE_LINE_BYTES
 
 _PC_CHASE = 0x5000_0010
@@ -40,12 +44,12 @@ def pointer_chase_trace(space: AddressSpace, working_set_bytes: int,
     rng = rng or random.Random(0)
     base = space.allocate(working_set_bytes)
     num_lines = working_set_bytes // CACHE_LINE_BYTES
-    return Trace([
-        MemoryAccess(
-            address=base + rng.randrange(num_lines) * CACHE_LINE_BYTES,
-            size=8, pc=_PC_CHASE, function=function, gap_cycles=gap_cycles)
-        for _ in range(hops)
-    ])
+    builder = trace_builder()
+    builder.append_addresses(
+        [base + rng.randrange(num_lines) * CACHE_LINE_BYTES
+         for _ in range(hops)],
+        size=8, pc=_PC_CHASE, function=function, gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def random_access_trace(space: AddressSpace, working_set_bytes: int,
@@ -77,15 +81,19 @@ def btree_lookup_trace(space: AddressSpace, keys: int,
         region = min(region * 16, fanout_region_bytes)
         level_regions.append(space.allocate(region))
         level_sizes.append(region)
-    records: List[MemoryAccess] = []
+    node_size = min(node_bytes, 64)
+    per_level: List[List[int]] = [[] for _ in range(depth)]
     for _ in range(keys):
         for level, (base, size) in enumerate(zip(level_regions, level_sizes)):
             node = rng.randrange(size // node_bytes) * node_bytes
-            records.append(MemoryAccess(
-                address=base + node, size=min(node_bytes, 64),
-                pc=_PC_BTREE + level * 8, function="btree_lookup",
-                gap_cycles=gap_cycles))
-    return Trace(records)
+            per_level[level].append(base + node)
+    builder = trace_builder()
+    builder.append_round_robin(
+        [(addresses, node_size, AccessKind.LOAD, _PC_BTREE + level * 8,
+          gap_cycles)
+         for level, addresses in enumerate(per_level)],
+        function="btree_lookup")
+    return builder.build()
 
 
 def misc_streaming_trace(space: AddressSpace, bursts: int,
@@ -103,18 +111,16 @@ def misc_streaming_trace(space: AddressSpace, bursts: int,
     if bursts <= 0:
         raise ValueError(f"bursts must be positive, got {bursts}")
     rng = rng or random.Random(0)
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
     for burst in range(bursts):
         lines = rng.randrange(16, 64)
         base = space.allocate(lines * CACHE_LINE_BYTES)
         # Thousands of distinct call sites: vary the PC per burst so no
         # single site is hot enough to justify a hand insertion.
         pc = _PC_MISC_STREAM + (burst % 1024) * 8
-        for i in range(lines):
-            records.append(MemoryAccess(
-                address=base + i * CACHE_LINE_BYTES, size=CACHE_LINE_BYTES,
-                pc=pc, function="misc_streaming", gap_cycles=gap_cycles))
-    return Trace(records)
+        builder.append_stream(base, lines, pc=pc, function="misc_streaming",
+                              gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def hashmap_probe_trace(space: AddressSpace, probes: int,
@@ -131,14 +137,15 @@ def hashmap_probe_trace(space: AddressSpace, probes: int,
     rng = rng or random.Random(0)
     base = space.allocate(table_bytes)
     num_lines = table_bytes // CACHE_LINE_BYTES
-    records: List[MemoryAccess] = []
+    buckets: List[int] = []
+    entries: List[int] = []
     for _ in range(probes):
-        bucket = rng.randrange(num_lines) * CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=base + bucket, size=8, pc=_PC_HASHMAP_BUCKET,
-            function="hashmap_probe", gap_cycles=gap_cycles))
-        entry = rng.randrange(num_lines) * CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=base + entry, size=32, pc=_PC_HASHMAP_ENTRY,
-            function="hashmap_probe", gap_cycles=2))
-    return Trace(records)
+        buckets.append(base + rng.randrange(num_lines) * CACHE_LINE_BYTES)
+        entries.append(base + rng.randrange(num_lines) * CACHE_LINE_BYTES)
+    load = AccessKind.LOAD
+    builder = trace_builder()
+    builder.append_round_robin(
+        [(buckets, 8, load, _PC_HASHMAP_BUCKET, gap_cycles),
+         (entries, 32, load, _PC_HASHMAP_ENTRY, 2)],
+        function="hashmap_probe")
+    return builder.build()

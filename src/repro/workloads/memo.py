@@ -10,8 +10,10 @@ This module caches generated traces under their generation parameters
 (the content key: ``(workload, seed, scale, ...)``). Sharing the trace
 *object* across arms is safe because traces are immutable by convention
 (every transformation returns a new :class:`~repro.access.trace.Trace`),
-and it means the arms also share the one cached
-:class:`~repro.access.compiled.CompiledTrace` lowering.
+and it means the arms also share the trace's
+:class:`~repro.access.compiled.CompiledTrace` columns — which
+builder-generated traces carry from birth, so a memo hit hands every arm
+an already-lowered trace.
 
 Set ``REPRO_TRACE_MEMO=0`` to disable memoization — e.g. when profiling
 generation itself, or in long-lived processes that sweep many distinct
@@ -31,7 +33,7 @@ from repro.access.trace import Trace
 #: Set to "0" (or "false"/"no"/"off") to disable the trace memo.
 MEMO_ENV = "REPRO_TRACE_MEMO"
 
-#: Retained traces; oldest-inserted entries are dropped past this bound.
+#: Retained traces; least-recently-used entries are dropped past this bound.
 MAX_MEMO_ENTRIES = 32
 
 _memo: "OrderedDict[Tuple, Trace]" = OrderedDict()
@@ -64,6 +66,11 @@ def memoized_trace(key: Tuple, build: Callable[[], Trace]) -> Trace:
         _memo[key] = trace
         if len(_memo) > MAX_MEMO_ENTRIES:
             _memo.popitem(last=False)
+    else:
+        # Refresh recency so eviction is true LRU: a sweep that cycles
+        # through more than MAX_MEMO_ENTRIES keys while re-touching a hot
+        # base trace must not evict that base trace (FIFO would).
+        _memo.move_to_end(key)
     return trace
 
 

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable
 
-from repro.access import AddressSpace, MemoryAccess, Trace
+from repro.access import AddressSpace, Trace, trace_builder
 from repro.errors import ConfigError
 from repro.units import CACHE_LINE_BYTES, KB
 from repro.workloads import irregular
@@ -28,33 +28,30 @@ def _streaming_kernel(rng: random.Random, space: AddressSpace,
                       scale: float) -> Trace:
     """Long unit-stride array sweeps, libquantum/STREAM style, broken into
     medium-length runs so stream-end overshoot recurs."""
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
     runs = max(1, int(24 * scale))
     for _ in range(runs):
         run_lines = rng.randrange(32, 96)
         base = space.allocate(run_lines * CACHE_LINE_BYTES)
-        for i in range(run_lines):
-            records.append(MemoryAccess(
-                address=base + i * CACHE_LINE_BYTES, size=CACHE_LINE_BYTES,
-                pc=_PC_STREAM, function="spec_stream", gap_cycles=2))
-    return Trace(records)
+        builder.append_stream(base, run_lines, pc=_PC_STREAM,
+                              function="spec_stream", gap_cycles=2)
+    return builder.build()
 
 
 def _strided_kernel(rng: random.Random, space: AddressSpace,
                     scale: float) -> Trace:
     """Fixed non-unit strides (matrix columns): stride prefetcher food,
     adjacent-line prefetcher poison."""
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
     sweeps = max(1, int(12 * scale))
     for _ in range(sweeps):
         stride = rng.choice((128, 256, 512))
         count = rng.randrange(48, 128)
         base = space.allocate(stride * count)
-        for i in range(count):
-            records.append(MemoryAccess(
-                address=base + i * stride, size=8, pc=_PC_STRIDED,
-                function="spec_strided", gap_cycles=4))
-    return Trace(records)
+        builder.append_stream(base, count, step=stride, size=8,
+                              pc=_PC_STRIDED, function="spec_strided",
+                              gap_cycles=4)
+    return builder.build()
 
 
 def _irregular_kernel(rng: random.Random, space: AddressSpace,

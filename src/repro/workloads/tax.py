@@ -9,14 +9,19 @@ reads data from a source, writes data to a destination, or both."
 Every generator emits per-cache-line records with small compute gaps and a
 stable per-site program counter, so hardware stride/stream prefetchers can
 train on them exactly as they would on the real functions.
+
+Generation is columnar-native: records go through
+:func:`~repro.access.builder.trace_builder` straight into compiled-trace
+columns (``REPRO_SLOW_BUILDER=1`` swaps in the record-path oracle), so a
+generated trace is born pre-lowered for the fast engine.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Optional
 
-from repro.access import AccessKind, AddressSpace, MemoryAccess, Trace
+from repro.access import AccessKind, AddressSpace, Trace, trace_builder
 from repro.units import CACHE_LINE_BYTES, cache_lines
 from repro.workloads.base import FunctionCategory, register_function
 
@@ -45,21 +50,26 @@ register_function("serialize", FunctionCategory.DATA_TRANSMISSION)
 register_function("deserialize", FunctionCategory.DATA_TRANSMISSION)
 
 
+def _emit_memcpy(builder, src: int, dst: int, size: int, gap_cycles: int,
+                 function: str, first_extra_gap: int = 0) -> None:
+    """Emit one memcpy call into ``builder``: alternating per-line loads
+    from ``src`` and stores to ``dst``. ``first_extra_gap`` adds caller
+    compute cycles to the first record (batched call sequences)."""
+    builder.append_copy(
+        src, dst, cache_lines(size), load_pc=_PC_MEMCPY_LOAD,
+        store_pc=_PC_MEMCPY_STORE, function=function,
+        gap_cycles=gap_cycles,
+        first_gap_cycles=gap_cycles + first_extra_gap)
+
+
 def memcpy_trace(src: int, dst: int, size: int, gap_cycles: int = 2,
                  function: str = "memcpy") -> Trace:
     """One memcpy call: streaming loads from ``src``, stores to ``dst``."""
     if size <= 0:
         raise ValueError(f"size must be positive, got {size}")
-    records: List[MemoryAccess] = []
-    for i in range(cache_lines(size)):
-        offset = i * CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=src + offset, size=CACHE_LINE_BYTES,
-            pc=_PC_MEMCPY_LOAD, function=function, gap_cycles=gap_cycles))
-        records.append(MemoryAccess(
-            address=dst + offset, size=CACHE_LINE_BYTES,
-            kind=AccessKind.STORE, pc=_PC_MEMCPY_STORE, function=function))
-    return Trace(records)
+    builder = trace_builder()
+    _emit_memcpy(builder, src, dst, size, gap_cycles, function)
+    return builder.build()
 
 
 def memmove_trace(src: int, dst: int, size: int, gap_cycles: int = 2) -> Trace:
@@ -71,29 +81,24 @@ def memmove_trace(src: int, dst: int, size: int, gap_cycles: int = 2) -> Trace:
     overlapping = dst > src and dst < src + size
     if not overlapping:
         return memcpy_trace(src, dst, size, gap_cycles, function="memmove")
-    records: List[MemoryAccess] = []
-    for i in reversed(range(cache_lines(size))):
-        offset = i * CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=src + offset, size=CACHE_LINE_BYTES,
-            pc=_PC_MEMCPY_LOAD, function="memmove", gap_cycles=gap_cycles))
-        records.append(MemoryAccess(
-            address=dst + offset, size=CACHE_LINE_BYTES,
-            kind=AccessKind.STORE, pc=_PC_MEMCPY_STORE, function="memmove"))
-    return Trace(records)
+    builder = trace_builder()
+    line = CACHE_LINE_BYTES
+    top = (cache_lines(size) - 1) * line
+    builder.append_copy(src + top, dst + top, cache_lines(size), step=-line,
+                        load_pc=_PC_MEMCPY_LOAD, store_pc=_PC_MEMCPY_STORE,
+                        function="memmove", gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def memset_trace(dst: int, size: int, gap_cycles: int = 1) -> Trace:
     """Streaming stores over ``[dst, dst + size)``."""
     if size <= 0:
         raise ValueError(f"size must be positive, got {size}")
-    return Trace([
-        MemoryAccess(address=dst + i * CACHE_LINE_BYTES,
-                     size=CACHE_LINE_BYTES, kind=AccessKind.STORE,
-                     pc=_PC_MEMSET_STORE, function="memset",
-                     gap_cycles=gap_cycles)
-        for i in range(cache_lines(size))
-    ])
+    builder = trace_builder()
+    builder.append_stream(dst, cache_lines(size), kind=AccessKind.STORE,
+                          pc=_PC_MEMSET_STORE, function="memset",
+                          gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def memcpy_call_trace(space: AddressSpace, sizes, gap_between_calls: int = 64,
@@ -107,19 +112,13 @@ def memcpy_call_trace(space: AddressSpace, sizes, gap_between_calls: int = 64,
         gap_between_calls: Compute cycles separating consecutive calls,
             representing the caller's own work.
     """
-    trace = Trace()
+    builder = trace_builder()
     for size in sizes:
         src = space.allocate(size)
         dst = space.allocate(size)
-        call = memcpy_trace(src, dst, size, function=function)
-        if len(call) and gap_between_calls:
-            first = call[0]
-            call = Trace([MemoryAccess(
-                address=first.address, size=first.size, kind=first.kind,
-                pc=first.pc, function=first.function,
-                gap_cycles=first.gap_cycles + gap_between_calls)]) + call[1:]
-        trace = trace + call
-    return trace
+        _emit_memcpy(builder, src, dst, size, gap_cycles=2,
+                     function=function, first_extra_gap=gap_between_calls)
+    return builder.build()
 
 
 def compress_trace(space: AddressSpace, input_size: int,
@@ -140,27 +139,25 @@ def compress_trace(space: AddressSpace, input_size: int,
     rng = rng or random.Random(0)
     src = space.allocate(input_size)
     dst = space.allocate(max(CACHE_LINE_BYTES, int(input_size * ratio)))
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
+    append = builder.append
+    line = CACHE_LINE_BYTES
     out_offset = 0
     for i in range(cache_lines(input_size)):
-        offset = i * CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=src + offset, size=CACHE_LINE_BYTES,
-            pc=_PC_COMPRESS_IN, function=function, gap_cycles=gap_cycles))
+        offset = i * line
+        append(src + offset, size=line, pc=_PC_COMPRESS_IN,
+               function=function, gap_cycles=gap_cycles)
         # Match-finding probe into the trailing window (usually warm).
         window_start = max(0, offset - window_bytes)
         probe = rng.randrange(window_start, offset + 1) if offset else 0
-        records.append(MemoryAccess(
-            address=src + probe, size=8, pc=_PC_COMPRESS_DICT,
-            function=function, gap_cycles=2))
+        append(src + probe, size=8, pc=_PC_COMPRESS_DICT,
+               function=function, gap_cycles=2)
         # Emit compressed output every 1/ratio input lines.
         if int(i * ratio) != int((i + 1) * ratio) or i == 0:
-            records.append(MemoryAccess(
-                address=dst + out_offset, size=CACHE_LINE_BYTES,
-                kind=AccessKind.STORE, pc=_PC_COMPRESS_OUT,
-                function=function))
-            out_offset += CACHE_LINE_BYTES
-    return Trace(records)
+            append(dst + out_offset, size=line, kind=AccessKind.STORE,
+                   pc=_PC_COMPRESS_OUT, function=function)
+            out_offset += line
+    return builder.build()
 
 
 def decompress_trace(space: AddressSpace, output_size: int,
@@ -173,20 +170,18 @@ def decompress_trace(space: AddressSpace, output_size: int,
     input_size = max(CACHE_LINE_BYTES, int(output_size * ratio))
     src = space.allocate(input_size)
     dst = space.allocate(output_size)
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
+    append = builder.append
+    line = CACHE_LINE_BYTES
     in_offset = 0
     for i in range(cache_lines(output_size)):
         if int(i * ratio) != int((i + 1) * ratio) or i == 0:
-            records.append(MemoryAccess(
-                address=src + in_offset, size=CACHE_LINE_BYTES,
-                pc=_PC_COMPRESS_IN, function="decompress",
-                gap_cycles=gap_cycles))
-            in_offset += CACHE_LINE_BYTES
-        records.append(MemoryAccess(
-            address=dst + i * CACHE_LINE_BYTES, size=CACHE_LINE_BYTES,
-            kind=AccessKind.STORE, pc=_PC_COMPRESS_OUT,
-            function="decompress", gap_cycles=2))
-    return Trace(records)
+            append(src + in_offset, size=line, pc=_PC_COMPRESS_IN,
+                   function="decompress", gap_cycles=gap_cycles)
+            in_offset += line
+        append(dst + i * line, size=line, kind=AccessKind.STORE,
+               pc=_PC_COMPRESS_OUT, function="decompress", gap_cycles=2)
+    return builder.build()
 
 
 def hashing_trace(space: AddressSpace, size: int, gap_cycles: int = 10,
@@ -200,21 +195,21 @@ def hashing_trace(space: AddressSpace, size: int, gap_cycles: int = 10,
     if size <= 0:
         raise ValueError(f"size must be positive, got {size}")
     src = space.allocate(size)
-    return Trace([
-        MemoryAccess(address=src + i * CACHE_LINE_BYTES,
-                     size=CACHE_LINE_BYTES, pc=_PC_HASH_LOAD,
-                     function=function, gap_cycles=gap_cycles)
-        for i in range(cache_lines(size))
-    ])
+    builder = trace_builder()
+    builder.append_stream(src, cache_lines(size), pc=_PC_HASH_LOAD,
+                          function=function, gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def crc32_trace(space: AddressSpace, size: int, gap_cycles: int = 4) -> Trace:
     """CRC over a buffer: the fastest, most bandwidth-hungry hash shape."""
-    trace = hashing_trace(space, size, gap_cycles=gap_cycles,
-                          function="crc32")
-    return trace.map(lambda r: MemoryAccess(
-        address=r.address, size=r.size, kind=r.kind, pc=_PC_CRC_LOAD,
-        function="crc32", gap_cycles=r.gap_cycles))
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    src = space.allocate(size)
+    builder = trace_builder()
+    builder.append_stream(src, cache_lines(size), pc=_PC_CRC_LOAD,
+                          function="crc32", gap_cycles=gap_cycles)
+    return builder.build()
 
 
 def serialize_trace(space: AddressSpace, message_bytes: int,
@@ -231,19 +226,19 @@ def serialize_trace(space: AddressSpace, message_bytes: int,
         raise ValueError(f"field_stride must be positive, got {field_stride}")
     src = space.allocate(message_bytes)
     dst = space.allocate(message_bytes)
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
+    append = builder.append
+    field_size = min(field_stride, 64)
     out_offset = 0
     for offset in range(0, message_bytes, field_stride):
-        records.append(MemoryAccess(
-            address=src + offset, size=min(field_stride, 64),
-            pc=_PC_SERIALIZE_IN, function="serialize", gap_cycles=gap_cycles))
+        append(src + offset, size=field_size, pc=_PC_SERIALIZE_IN,
+               function="serialize", gap_cycles=gap_cycles)
         if out_offset % CACHE_LINE_BYTES == 0:
-            records.append(MemoryAccess(
-                address=dst + out_offset, size=CACHE_LINE_BYTES,
-                kind=AccessKind.STORE, pc=_PC_SERIALIZE_OUT,
-                function="serialize"))
+            append(dst + out_offset, size=CACHE_LINE_BYTES,
+                   kind=AccessKind.STORE, pc=_PC_SERIALIZE_OUT,
+                   function="serialize")
         out_offset += field_stride
-    return Trace(records)
+    return builder.build()
 
 
 def deserialize_trace(space: AddressSpace, message_bytes: int,
@@ -255,15 +250,14 @@ def deserialize_trace(space: AddressSpace, message_bytes: int,
         raise ValueError(f"field_stride must be positive, got {field_stride}")
     src = space.allocate(message_bytes)
     dst = space.allocate(message_bytes * 2)
-    records: List[MemoryAccess] = []
+    builder = trace_builder()
+    append = builder.append
+    field_size = min(field_stride, 64)
     for offset in range(0, message_bytes, field_stride):
         if offset % CACHE_LINE_BYTES == 0:
-            records.append(MemoryAccess(
-                address=src + offset, size=CACHE_LINE_BYTES,
-                pc=_PC_DESERIALIZE_IN, function="deserialize",
-                gap_cycles=gap_cycles))
-        records.append(MemoryAccess(
-            address=dst + offset * 2, size=min(field_stride, 64),
-            kind=AccessKind.STORE, pc=_PC_DESERIALIZE_OUT,
-            function="deserialize"))
-    return Trace(records)
+            append(src + offset, size=CACHE_LINE_BYTES,
+                   pc=_PC_DESERIALIZE_IN, function="deserialize",
+                   gap_cycles=gap_cycles)
+        append(dst + offset * 2, size=field_size, kind=AccessKind.STORE,
+               pc=_PC_DESERIALIZE_OUT, function="deserialize")
+    return builder.build()

@@ -60,6 +60,29 @@ class TestMemoizedTrace:
             memoized_trace(("bound", i), Trace)
         assert len(memo._memo) == MAX_MEMO_ENTRIES
 
+    def test_hit_refreshes_recency(self):
+        """Eviction is LRU, not FIFO: a re-touched entry must survive a
+        sweep that cycles through more than MAX_MEMO_ENTRIES other keys."""
+        from repro.access import Trace
+        hot = memoized_trace(("hot",), Trace)
+        for i in range(MAX_MEMO_ENTRIES - 1):
+            memoized_trace(("cold", i), Trace)
+        # The memo is now full with ("hot",) as the oldest insertion.
+        # Touch it, then insert one more key: the eviction must take the
+        # oldest *cold* entry, not the just-touched hot one.
+        assert memoized_trace(("hot",), Trace) is hot
+        memoized_trace(("cold", MAX_MEMO_ENTRIES), Trace)
+        assert ("hot",) in memo._memo
+        assert ("cold", 0) not in memo._memo
+        assert memoized_trace(("hot",), Trace) is hot
+
+    def test_lru_order_tracks_hits(self):
+        from repro.access import Trace
+        for key in ("a", "b", "c"):
+            memoized_trace((key,), Trace)
+        memoized_trace(("a",), Trace)  # hit: "a" becomes most recent
+        assert list(memo._memo) == [("b",), ("c",), ("a",)]
+
 
 class TestWorkloadMemos:
     def test_fleet_mix_repeat_is_same_object(self):
