@@ -1,6 +1,6 @@
 # Convenience targets for the Limoncello reproduction.
 
-.PHONY: install lint test coverage bench report examples clean
+.PHONY: install lint test coverage bench bench-baselines report examples clean
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ coverage:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+
+bench-baselines:
+	PYTHONPATH=src python benchmarks/refresh_baselines.py
 
 report:
 	PYTHONPATH=src python -m repro report --out report.md

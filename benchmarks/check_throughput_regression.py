@@ -1,22 +1,29 @@
-"""Benchmark regression gate for the simulation-engine throughput.
+"""Benchmark regression gate for the engine-throughput benchmarks.
 
-Compares a fresh ``BENCH_sim_throughput.json`` against the committed
-baseline in ``benchmarks/baselines/`` and fails when any arm's
-compiled/interpreter *speedup ratio* regressed by more than the
-allowed fraction (default 20%).
+Compares freshly generated ``BENCH_*.json`` results against the
+committed baselines in ``benchmarks/baselines/`` and fails when any
+arm's *speedup ratio* regressed by more than the allowed fraction
+(default 20%). With no flags it gates every known benchmark
+(:data:`KNOWN_BENCHMARKS`); ``--current``/``--baseline`` narrow it to
+one explicit pair.
 
 The gate compares speedup ratios, not absolute accesses/s: the ratio
 divides out the raw speed of whatever runner CI landed on, so it is
 stable across machine generations while still catching a fast path
-that got slower relative to the interpreter.
+that got slower relative to its reference engine.
 
-Usage (CI runs this after the benchmark itself)::
+Usage (CI runs this after the benchmarks themselves)::
 
-    python benchmarks/check_throughput_regression.py \
-        --current benchmarks/results/BENCH_sim_throughput.json
+    python benchmarks/check_throughput_regression.py
 
-Refresh the baseline intentionally with ``--update`` after a change
-that is *supposed* to shift throughput, and commit the new file.
+Exit codes are distinct so CI can tell setup problems from real
+regressions: ``0`` all gates pass, ``1`` at least one metric regressed,
+``2`` a results or baseline file is missing or malformed (run the
+benchmark / commit the baseline first — that is not a perf regression).
+
+Refresh the baselines intentionally with ``--update`` (or
+``make bench-baselines``, which regenerates the results first) after a
+change that is *supposed* to shift throughput, and commit the new files.
 """
 
 import argparse
@@ -26,85 +33,132 @@ import shutil
 import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
-CURRENT_PATH = BENCH_DIR / "results" / "BENCH_sim_throughput.json"
-BASELINE_PATH = BENCH_DIR / "baselines" / "BENCH_sim_throughput.baseline.json"
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES_DIR = BENCH_DIR / "baselines"
+KNOWN_BENCHMARKS = ("sim_throughput", "trace_pipeline", "batched_engine")
+METRIC = "speedup"
 DEFAULT_TOLERANCE = 0.20
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_MISSING = 2
 
-def load(path):
+
+class MissingInput(Exception):
+    """A results or baseline file is absent or unreadable (exit 2)."""
+
+
+def current_path(name):
+    return RESULTS_DIR / f"BENCH_{name}.json"
+
+
+def baseline_path(name):
+    return BASELINES_DIR / f"BENCH_{name}.baseline.json"
+
+
+def load(path, role):
     path = pathlib.Path(path)
     if not path.exists():
-        raise SystemExit(f"missing benchmark file: {path}")
-    with path.open() as handle:
-        data = json.load(handle)
-    if "arms" not in data:
-        raise SystemExit(f"malformed benchmark file (no arms): {path}")
+        raise MissingInput(f"missing {role} file: {path}")
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except ValueError as exc:
+        raise MissingInput(f"malformed {role} file ({exc}): {path}")
+    if not isinstance(data, dict) or "arms" not in data:
+        raise MissingInput(f"malformed {role} file (no arms): {path}")
     return data
 
 
-def compare(current, baseline, tolerance):
-    """Per-arm verdict lines plus the list of failing arms."""
+def compare(name, current, baseline, tolerance):
+    """Per-arm verdict lines plus the list of failure descriptions."""
     lines = [f"{'arm':>10} {'baseline':>9} {'current':>8} "
              f"{'change':>8} {'verdict':>8}"]
     failures = []
-    for name, base_arm in sorted(baseline["arms"].items()):
-        base = base_arm["speedup"]
-        arm = current["arms"].get(name)
+    for arm_name, base_arm in sorted(baseline["arms"].items()):
+        base = base_arm[METRIC]
+        arm = current["arms"].get(arm_name)
         if arm is None:
-            failures.append(f"arm {name!r} missing from current results")
-            lines.append(f"{name:>10} {base:8.2f}x {'-':>8} {'-':>8} "
+            failures.append(
+                f"{name}: arm {arm_name!r} missing from current results")
+            lines.append(f"{arm_name:>10} {base:8.2f}x {'-':>8} {'-':>8} "
                          f"{'MISSING':>8}")
             continue
-        speedup = arm["speedup"]
-        change = (speedup - base) / base
+        observed = arm[METRIC]
+        change = (observed - base) / base
         regressed = change < -tolerance
         if regressed:
             failures.append(
-                f"arm {name!r} speedup {speedup:.2f}x is "
-                f"{-change:.0%} below baseline {base:.2f}x "
-                f"(allowed {tolerance:.0%})")
+                f"{name}: arm {arm_name!r} metric {METRIC!r} observed "
+                f"{observed:.2f}x vs baseline {base:.2f}x "
+                f"(ratio {observed / base:.2f}, allowed >= "
+                f"{1.0 - tolerance:.2f})")
         lines.append(
-            f"{name:>10} {base:8.2f}x {speedup:7.2f}x {change:+7.1%} "
+            f"{arm_name:>10} {base:8.2f}x {observed:7.2f}x {change:+7.1%} "
             f"{'REGRESS' if regressed else 'ok':>8}")
     return lines, failures
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Fail when simulation-engine speedups regressed "
-                    "past the tolerance vs the committed baseline.")
-    parser.add_argument("--current", default=str(CURRENT_PATH),
-                        help="freshly generated BENCH_sim_throughput.json")
-    parser.add_argument("--baseline", default=str(BASELINE_PATH),
-                        help="committed baseline JSON")
+        description="Fail when engine speedups regressed past the "
+                    "tolerance vs the committed baselines.")
+    parser.add_argument("--benchmarks", default=",".join(KNOWN_BENCHMARKS),
+                        help="comma-separated benchmark names to gate "
+                             "(default: all known)")
+    parser.add_argument("--current", default=None,
+                        help="gate one explicit results JSON instead of "
+                             "the named benchmarks")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON for --current (required "
+                             "together)")
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed fractional speedup regression "
                              "(default 0.20 = 20%%)")
     parser.add_argument("--update", action="store_true",
-                        help="overwrite the baseline with the current "
+                        help="overwrite the baselines with the current "
                              "results instead of gating")
     args = parser.parse_args(argv)
 
     if not 0.0 < args.tolerance < 1.0:
         raise SystemExit("--tolerance must be in (0, 1)")
+    if (args.current is None) != (args.baseline is None):
+        raise SystemExit("--current and --baseline go together")
 
-    current = load(args.current)
+    if args.current is not None:
+        pairs = [("explicit", pathlib.Path(args.current),
+                  pathlib.Path(args.baseline))]
+    else:
+        names = [n for n in args.benchmarks.split(",") if n]
+        pairs = [(n, current_path(n), baseline_path(n)) for n in names]
+
+    failures = []
+    try:
+        for name, cur_path, base_path in pairs:
+            current = load(cur_path, "results")
+            if args.update:
+                base_path.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copyfile(cur_path, base_path)
+                print(f"baseline updated: {base_path}")
+                continue
+            baseline = load(base_path, "baseline")
+            lines, gate_failures = compare(name, current, baseline,
+                                           args.tolerance)
+            print(f"== {name} ==")
+            print("\n".join(lines))
+            failures.extend(gate_failures)
+    except MissingInput as exc:
+        print(f"BENCH SETUP ERROR: {exc}", file=sys.stderr)
+        return EXIT_MISSING
+
     if args.update:
-        pathlib.Path(args.baseline).parent.mkdir(parents=True,
-                                                 exist_ok=True)
-        shutil.copyfile(args.current, args.baseline)
-        print(f"baseline updated: {args.baseline}")
-        return 0
-
-    baseline = load(args.baseline)
-    lines, failures = compare(current, baseline, args.tolerance)
-    print("\n".join(lines))
+        return EXIT_OK
     for failure in failures:
         print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
     if not failures:
         print(f"all arms within {args.tolerance:.0%} of baseline")
-    return 1 if failures else 0
+    return EXIT_REGRESSION if failures else EXIT_OK
 
 
 if __name__ == "__main__":

@@ -155,6 +155,70 @@ def run_ablation(args) -> int:
     if result.chaos is not None:
         print(f"\nfault plan: {fault_plan.spec()}")
         _print_chaos_summary(result.chaos)
+    if getattr(args, "compare_serial", False):
+        from repro.analysis import result_digest
+
+        serial = AblationStudy(
+            mode=args.mode, machines=args.machines, epochs=args.epochs,
+            warmup_epochs=args.warmup, seed=args.seed,
+            shard_size=shard_size, fault_plan=fault_plan).run(
+                workers=1, cache_dir="")  # "" disables the cache: the
+        # serial leg must recompute, not replay the sharded entry.
+        sharded_digest = result_digest(result)
+        serial_digest = result_digest(serial)
+        match = sharded_digest == serial_digest
+        print(f"\nserial-equivalence check: "
+              f"{'OK' if match else 'MISMATCH'} "
+              f"(digest {sharded_digest[:16]}…)")
+        if not match:
+            raise ReproError(
+                f"sharded result diverged from serial run: "
+                f"{sharded_digest} != {serial_digest}")
+    return 0
+
+
+def run_sweep(args) -> int:
+    """``repro sweep``: the trace-driven micro-fleet sweep."""
+    from repro.fleet import DEFAULT_SHARD_SIZE, MicroFleetSweep, sweep_digest
+
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    fault_plan = _resolve_fault_plan(args)
+    kwargs = dict(mode=args.mode, machines=args.machines, seed=args.seed,
+                  scale=args.scale, crash_rate=args.crash_rate,
+                  shard_size=shard_size, fault_plan=fault_plan)
+    result = MicroFleetSweep(batch_size=args.batch_size, **kwargs).run(
+        workers=args.workers, cache_dir=args.cache_dir)
+
+    live = result.machines - result.down
+    print(f"sweep arm: {args.mode}  "
+          f"(machines={result.machines}, down={result.down})")
+    rows = [
+        ("mean elapsed", f"{result.mean_elapsed_ns() / 1e6:.3f} ms"),
+        ("total stall cycles", f"{result.total('stall_cycles'):.0f}"),
+        ("total LLC misses", f"{int(result.total('llc_misses'))}"),
+        ("total DRAM demand fills",
+         f"{int(result.total('dram_demand_fills'))}"),
+        ("total DRAM wait", f"{result.total('dram_wait_ns') / 1e6:.3f} ms"),
+    ]
+    if live:
+        _table(("sweep metric", "value"), rows)
+    digest = sweep_digest(result)
+    print(f"\nresult digest: {digest}")
+
+    if args.compare_serial:
+        # Batching off, one worker, cache disabled: the oracle leg.
+        serial = MicroFleetSweep(batch_size=0, **kwargs).run(
+            workers=1, cache_dir="")
+        serial_digest = sweep_digest(serial)
+        match = digest == serial_digest
+        print(f"serial-equivalence check: "
+              f"{'OK' if match else 'MISMATCH'} (digest {digest[:16]}…)")
+        if not match:
+            raise ReproError(
+                f"batched result diverged from serial scalar run: "
+                f"{digest} != {serial_digest}")
     return 0
 
 

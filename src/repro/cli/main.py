@@ -85,10 +85,45 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--seed", type=int, default=9)
     ablation.add_argument("--shard-size", type=int, default=None,
                           help="max machines per shard (default 32)")
+    ablation.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run serially and fail unless the sharded result is "
+             "bit-identical (determinism check; CI runs it with "
+             "REPRO_BATCH set to pin the batched engine too)")
     _add_execution_flags(ablation)
     _add_fault_plan_flag(ablation)
     _add_obs_flag(ablation)
     ablation.set_defaults(run=commands.run_ablation)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="trace-driven micro-fleet sweep through the "
+                      "batched lockstep engine")
+    sweep.add_argument("--mode", choices=("off", "control"), default="off",
+                       help="'off' ablates every hardware prefetcher "
+                            "(lockstep-batched); 'control' keeps the "
+                            "default bank (scalar baseline)")
+    sweep.add_argument("--machines", type=int, default=64)
+    sweep.add_argument("--seed", type=int, default=17)
+    sweep.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor for the shared trace")
+    sweep.add_argument("--crash-rate", type=float, default=0.0,
+                       help="chaos: fraction of arms marked down for the "
+                            "whole replay (deterministic per-arm draw)")
+    sweep.add_argument("--shard-size", type=int, default=None,
+                       help="max machines per shard (default 32)")
+    sweep.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="arms per lockstep batch (default: $REPRO_BATCH or 32; "
+             "0 runs every arm on the scalar engine); results are "
+             "identical at any value")
+    sweep.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run serially with batching off and fail unless the "
+             "result is bit-identical (engine + sharding determinism "
+             "check)")
+    _add_execution_flags(sweep)
+    _add_fault_plan_flag(sweep)
+    sweep.set_defaults(run=commands.run_sweep)
 
     rollout = subparsers.add_parser(
         "rollout", help="before/after rollout study (Figures 16-20)")

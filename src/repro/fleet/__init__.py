@@ -32,11 +32,23 @@ from repro.fleet.cluster import Fleet, FleetMetrics
 from repro.fleet.shard import (
     DEFAULT_SHARD_SIZE,
     ShardPlan,
+    plan_batches,
     plan_shards,
     shard_seed,
 )
-from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.parallel import (
+    DEFAULT_BATCH_SIZE,
+    resolve_batch_size,
+    resolve_workers,
+    run_sharded,
+)
 from repro.fleet.result_cache import StudyResultCache, study_cache
+from repro.fleet.sweep import (
+    MicroFleetSweep,
+    MicroSweepResult,
+    MicroSweepShardSpec,
+    sweep_digest,
+)
 from repro.fleet.ablation import (
     AblationResult,
     AblationShardSpec,
@@ -46,13 +58,20 @@ from repro.fleet.rollout import RolloutResult, RolloutShardSpec, RolloutStudy
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_BATCH_SIZE",
     "ShardPlan",
+    "plan_batches",
     "plan_shards",
     "shard_seed",
+    "resolve_batch_size",
     "resolve_workers",
     "run_sharded",
     "StudyResultCache",
     "study_cache",
+    "MicroFleetSweep",
+    "MicroSweepResult",
+    "MicroSweepShardSpec",
+    "sweep_digest",
     "PlatformSpec",
     "PLATFORM_1",
     "PLATFORM_2",

@@ -92,3 +92,29 @@ def plan_shards(machines: int, shard_size: int = DEFAULT_SHARD_SIZE
     base, extra = divmod(machines, count)
     sizes = tuple(base + 1 if i < extra else base for i in range(count))
     return ShardPlan(machines=machines, sizes=sizes)
+
+
+def plan_batches(count: int, batch_size: int) -> List[Tuple[int, int]]:
+    """Split ``count`` arms into contiguous lockstep batches.
+
+    Returns ``(start, stop)`` slices covering ``range(count)`` in order.
+    Like :func:`plan_shards` the split is balanced — ``ceil(count /
+    batch_size)`` batches whose sizes differ by at most one — so a
+    population one arm over a batch boundary doesn't leave a degenerate
+    single-arm batch paying full vectorization overhead. Arms are
+    independent, so batch geometry can never change results; it only
+    shapes throughput and peak memory.
+    """
+    if count <= 0:
+        raise ConfigError("need at least one arm")
+    if batch_size <= 0:
+        raise ConfigError(f"batch size must be positive, got {batch_size}")
+    batches = -(-count // batch_size)  # ceil division
+    base, extra = divmod(count, batches)
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(batches):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices

@@ -1,0 +1,359 @@
+"""The micro-fleet sweep: trace-driven machine-arms at batch throughput.
+
+The ablation and rollout studies are *analytic* — their fleets evolve
+epoch by epoch through the scheduler and controller models. This study
+is the complementary *trace-driven* view: every machine-arm replays the
+shared fleetbench-style mixed trace through a full
+:class:`~repro.memsys.hierarchy.MemoryHierarchy`, differing only in its
+background bandwidth pressure (a per-machine
+:class:`~repro.memsys.dram.ConstantExternalLoad` drawn from a stable
+BLAKE2b stream). That shape — hundreds of arms, one trace, prefetchers
+ablated — is exactly what the batched lockstep engine
+(:mod:`repro.memsys.batched`) accelerates, and the sweep runs every
+shard through :func:`~repro.memsys.hierarchy.run_many` so eligible arms
+batch automatically.
+
+Determinism mirrors the other fleet studies:
+
+* shards come from :func:`~repro.fleet.shard.plan_shards`, each with its
+  :func:`~repro.fleet.shard.shard_seed`-derived trace seed;
+* per-arm draws (background load, chaos crashes) come from
+  :func:`~repro.faults.plan.fault_rng` streams keyed by study seed,
+  shard index, and machine name — never from shared RNG state — so the
+  result is independent of worker count and batch size;
+* shard results merge by concatenation in plan order, so serial and
+  sharded runs are bit-identical and :func:`sweep_digest` can prove it
+  (the CI equivalence job also diffs digests across ``REPRO_BATCH``
+  settings, pinning the batched engine to the scalar one end-to-end).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, fault_rng
+from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
+from repro.serialization import canonical_json
+
+#: Sweep arm configurations: ``off`` ablates every hardware prefetcher
+#: (the lockstep-eligible fleet shape); ``control`` leaves the default
+#: aggressive bank enabled (scalar engine, the paired baseline).
+SWEEP_MODES = ("off", "control")
+
+#: Upper bound of the per-machine background-load draw, bytes/ns. Spans
+#: idle co-tenants up to roughly two thirds of the DRAM saturation
+#: bandwidth, the paper's busy-fleet regime.
+_MAX_BACKGROUND_LOAD = 2.0
+
+#: Fields every per-arm summary row carries, in serialization order.
+_ARM_FIELDS = ("machine", "external_load", "down", "elapsed_ns",
+               "stall_cycles", "llc_misses", "dram_demand_fills",
+               "dram_wait_ns")
+
+
+def background_load(study_seed: int, shard_index: int,
+                    machine: str) -> float:
+    """The arm's constant background DRAM pressure, bytes/ns.
+
+    A pure function of ``(study seed, shard index, machine name)`` via a
+    BLAKE2b-seeded stream, so it is identical across worker counts,
+    batch sizes, and hosts.
+    """
+    rng = fault_rng(study_seed, "sweep-load", shard_index, machine)
+    return rng.uniform(0.0, _MAX_BACKGROUND_LOAD)
+
+
+def crashed(study_seed: int, shard_index: int, machine: str,
+            rate: float) -> bool:
+    """Whether a chaos sweep marks this arm down for the whole replay.
+
+    The trace-driven sweep has no epoch axis, so the analytic studies'
+    crash/outage/restart cycle collapses to a single draw: the arm is
+    either up for the replay or down throughout (its row reports zeros).
+    """
+    if rate <= 0.0:
+        return False
+    rng = fault_rng(study_seed, "sweep-crash", shard_index, machine)
+    return rng.random() < rate
+
+
+@dataclass
+class MicroSweepResult:
+    """Per-arm summaries plus totals for one micro-fleet sweep.
+
+    ``arms`` holds one row per machine in shard-plan order — down
+    (crashed) arms included, zeroed, so row count and order are a pure
+    function of the study parameters. Merging concatenates in shard
+    order, which keeps serial and sharded results byte-identical.
+    """
+
+    mode: str
+    machines: int = 0
+    down: int = 0
+    arms: List[Dict] = field(default_factory=list)
+
+    def merge(self, other: "MicroSweepResult") -> "MicroSweepResult":
+        """Fold the next shard's rows in (in place; plan order)."""
+        if other.mode != self.mode:
+            raise ConfigError(
+                f"cannot merge mode {other.mode!r} into {self.mode!r}")
+        self.machines += other.machines
+        self.down += other.down
+        self.arms.extend(other.arms)
+        return self
+
+    # --- aggregates ------------------------------------------------------------
+
+    def total(self, field_name: str) -> float:
+        """Sum of one numeric per-arm field over the live arms."""
+        return sum(arm[field_name] for arm in self.arms if not arm["down"])
+
+    def mean_elapsed_ns(self) -> float:
+        """Mean simulated duration across live arms (0 if all down)."""
+        live = self.machines - self.down
+        return self.total("elapsed_ns") / live if live else 0.0
+
+    def stall_fraction(self) -> float:
+        """Fleet-wide share of cycles lost to memory stalls."""
+        stalls = self.total("stall_cycles")
+        elapsed = self.total("elapsed_ns")
+        if elapsed <= 0.0:
+            return 0.0
+        # elapsed is in ns; stall_cycles are core cycles. The ratio uses
+        # the per-arm rows' own units, so it is comparable across runs
+        # of the same config only — which is all a sweep ever compares.
+        return stalls / elapsed
+
+    # --- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Lossless plain-data form (canonical field order per row)."""
+        return {
+            "mode": self.mode,
+            "machines": self.machines,
+            "down": self.down,
+            "arms": [
+                {name: arm[name] for name in _ARM_FIELDS}
+                for arm in self.arms
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MicroSweepResult":
+        return cls(mode=payload["mode"], machines=payload["machines"],
+                   down=payload["down"],
+                   arms=[dict(arm) for arm in payload["arms"]])
+
+
+def sweep_digest(result: MicroSweepResult) -> str:
+    """A stable content hash of a sweep result.
+
+    Two results digest equal iff every row matches bit-for-bit —
+    including each arm's float stall/elapsed values, which is what makes
+    the digest a proof of engine equivalence: the CLI's
+    ``--compare-serial`` and the CI batched-equivalence job diff digests
+    across worker counts and ``REPRO_BATCH`` settings.
+    """
+    return hashlib.sha256(
+        canonical_json(result.to_dict()).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class MicroSweepShardSpec:
+    """One shard's worth of a micro-fleet sweep (picklable pool payload)."""
+
+    mode: str
+    machines: int
+    study_seed: int
+    trace_seed: int
+    scale: float
+    crash_rate: float
+    shard_index: int
+    batch_size: Optional[int] = None
+
+
+def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
+    """Replay the shard's trace through its machine-arms.
+
+    Pure function of the spec — the process-pool worker entry point.
+    Arms are built cold, run through
+    :func:`~repro.memsys.hierarchy.run_many` (which batches the eligible
+    ones), and discarded; only their result rows survive, so the engine
+    runs with ``export_state=False``.
+    """
+    from repro.memsys.dram import ConstantExternalLoad
+    from repro.memsys.hierarchy import MemoryHierarchy, run_many
+    from repro.memsys.prefetchers.bank import PrefetcherBank
+    from repro.workloads.memo import memoized_fleet_mix
+
+    trace = memoized_fleet_mix(spec.trace_seed, spec.scale)
+    rows: List[Dict] = []
+    live_arms: List[MemoryHierarchy] = []
+    live_rows: List[Dict] = []
+    down = 0
+    for index in range(spec.machines):
+        machine = f"m{index}"
+        load = background_load(spec.study_seed, spec.shard_index, machine)
+        row = {
+            "machine": f"s{spec.shard_index}/{machine}",
+            "external_load": load,
+            "down": False,
+            "elapsed_ns": 0.0,
+            "stall_cycles": 0.0,
+            "llc_misses": 0,
+            "dram_demand_fills": 0,
+            "dram_wait_ns": 0.0,
+        }
+        rows.append(row)
+        if crashed(spec.study_seed, spec.shard_index, machine,
+                   spec.crash_rate):
+            row["down"] = True
+            down += 1
+            continue
+        prefetchers = PrefetcherBank([]) if spec.mode == "off" else None
+        arm = MemoryHierarchy(
+            prefetchers=prefetchers,
+            external_load=ConstantExternalLoad(load))
+        live_arms.append(arm)
+        live_rows.append(row)
+
+    if live_arms:
+        results = run_many(live_arms, trace, batch_size=spec.batch_size,
+                           export_state=False)
+        for row, result in zip(live_rows, results):
+            row["elapsed_ns"] = result.elapsed_ns
+            row["stall_cycles"] = result.total.stall_cycles
+            row["llc_misses"] = result.total.llc_misses
+            row["dram_demand_fills"] = result.dram_demand_fills
+            row["dram_wait_ns"] = result.total.dram_wait_ns
+    return MicroSweepResult(mode=spec.mode, machines=spec.machines,
+                            down=down, arms=rows)
+
+
+class MicroFleetSweep:
+    """A trace-driven sweep over a fleet of independent machine-arms.
+
+    Args:
+        mode: ``off`` (prefetchers ablated; arms batch through the
+            lockstep engine) or ``control`` (default bank enabled; arms
+            run scalar). Same-seed off/control pairs are a paired
+            experiment over identical traffic.
+        machines: Total machine-arm population.
+        seed: Master study seed; shard trace seeds and every per-arm
+            draw derive from it deterministically.
+        scale: Workload scale factor passed to the trace generator.
+        crash_rate: Fraction of arms a chaos sweep marks down (drawn
+            per-arm from the study's fault stream; 0 disables chaos).
+        shard_size: Machines per shard (see :mod:`repro.fleet.shard`).
+        batch_size: Lockstep batch size forwarded to
+            :func:`~repro.memsys.hierarchy.run_many`; ``None`` defers to
+            ``$REPRO_BATCH``. Never affects results, only throughput —
+            which is why it is excluded from the cache key.
+    """
+
+    def __init__(self, mode: str = "off", machines: int = 64,
+                 seed: int = 17, scale: float = 1.0,
+                 crash_rate: float = 0.0,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 batch_size: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+        if mode not in SWEEP_MODES:
+            raise ConfigError(
+                f"mode must be one of {SWEEP_MODES}, got {mode!r}")
+        if machines <= 0:
+            raise ConfigError("need at least one machine")
+        if scale <= 0:
+            raise ConfigError(f"scale must be positive, got {scale}")
+        if not 0.0 <= crash_rate < 1.0:
+            raise ConfigError(
+                f"crash rate must be in [0, 1), got {crash_rate}")
+        if shard_size <= 0:
+            raise ConfigError(f"shard size must be positive, got {shard_size}")
+        if fault_plan is not None and crash_rate == 0.0:
+            clause = fault_plan.clause("machine-crash")
+            if clause is not None:
+                rate = dict(clause.params).get("rate")
+                crash_rate = float(rate) if rate is not None else 0.0
+        self.mode = mode
+        self.machines = machines
+        self.seed = seed
+        self.scale = scale
+        self.crash_rate = crash_rate
+        self.shard_size = shard_size
+        self.batch_size = batch_size
+
+    # --- sharding ----------------------------------------------------------------
+
+    def shard_plan(self) -> ShardPlan:
+        """How this sweep's machines split across shards."""
+        return plan_shards(self.machines, self.shard_size)
+
+    def shard_specs(self) -> List[MicroSweepShardSpec]:
+        """Per-shard specs (plan order), ready for any worker."""
+        plan = self.shard_plan()
+        return [
+            MicroSweepShardSpec(
+                mode=self.mode, machines=size, study_seed=self.seed,
+                trace_seed=trace_seed, scale=self.scale,
+                crash_rate=self.crash_rate, shard_index=index,
+                batch_size=self.batch_size)
+            for index, (size, trace_seed)
+            in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
+        ]
+
+    def cache_key_material(self) -> Dict:
+        """Everything the result depends on, as plain data.
+
+        Excludes the worker count *and* the batch size: the lockstep
+        engine is bit-identical to the scalar one, so neither can change
+        the result — a cache entry written under ``REPRO_BATCH=0`` must
+        hit when read back under ``REPRO_BATCH=64``, and does.
+        """
+        return {
+            "study": "micro-sweep",
+            "mode": self.mode,
+            "machines": self.machines,
+            "seed": self.seed,
+            "scale": self.scale,
+            "crash_rate": self.crash_rate,
+            "shard_size": self.shard_size,
+        }
+
+    # --- execution ---------------------------------------------------------------
+
+    def run(self, workers: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> MicroSweepResult:
+        """Run every shard and merge the rows in plan order.
+
+        Args:
+            workers: Process-pool size. ``None`` reads ``$REPRO_WORKERS``
+                (default 1, serial); ``0`` means all CPUs. The result is
+                identical at any value.
+            cache_dir: Result-cache directory (``None`` reads
+                ``$REPRO_CACHE_DIR``; empty/unset disables caching).
+        """
+        from repro.fleet.result_cache import study_cache
+
+        workers = resolve_workers(workers)
+        cache = study_cache(cache_dir)
+        material = None
+        if cache is not None:
+            material = self.cache_key_material()
+            payload = cache.load(material)
+            if payload is not None:
+                try:
+                    return MicroSweepResult.from_dict(payload)
+                except (KeyError, TypeError):
+                    pass  # stale/foreign payload: recompute, overwrite
+        specs = self.shard_specs()
+        shards = run_sharded(run_sweep_shard, specs, workers)
+        result = shards[0]
+        for shard in shards[1:]:
+            result.merge(shard)
+        if cache is not None:
+            cache.store(material, result.to_dict())
+        return result

@@ -13,9 +13,9 @@ experiment in the paper is expressed in.
 
 from repro.memsys.config import CacheConfig, DRAMConfig, HierarchyConfig
 from repro.memsys.cache import SetAssociativeCache
-from repro.memsys.dram import DRAMModel
+from repro.memsys.dram import ConstantExternalLoad, DRAMModel
 from repro.memsys.stats import FunctionStats, RunResult
-from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.hierarchy import MemoryHierarchy, run_many
 from repro.memsys.prefetchers import (
     HardwarePrefetcher,
     NextLinePrefetcher,
@@ -30,10 +30,12 @@ __all__ = [
     "DRAMConfig",
     "HierarchyConfig",
     "SetAssociativeCache",
+    "ConstantExternalLoad",
     "DRAMModel",
     "FunctionStats",
     "RunResult",
     "MemoryHierarchy",
+    "run_many",
     "HardwarePrefetcher",
     "NextLinePrefetcher",
     "StridePrefetcher",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict, deque
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.access.record import AccessKind
 from repro.access.trace import Trace
@@ -808,3 +808,85 @@ class MemoryHierarchy:
     def in_flight_prefetches(self) -> int:
         """Prefetched lines whose data has not been demanded yet."""
         return len(self._in_flight)
+
+
+def run_many(hierarchies: Sequence[MemoryHierarchy], trace: Trace,
+             batch_size: Optional[int] = None,
+             export_state: bool = True) -> List[RunResult]:
+    """Run ``trace`` through many independent hierarchies, batching where
+    it is provably safe.
+
+    The fleet's dominant shape — hundreds of machine-arms replaying one
+    shared trace — goes through the NumPy lockstep engine
+    (:mod:`repro.memsys.batched`): arms that qualify (prefetchers all
+    disabled, constant or absent external load, no tracer) are grouped by
+    config signature, chunked into batches of ``batch_size``, and
+    executed simultaneously. Arms that do not qualify — or everything,
+    when batching is off — run through :meth:`MemoryHierarchy.run`
+    unchanged. Either way, every arm's result and post-run state is
+    bit-identical to a scalar ``run(trace)``; results come back in input
+    order.
+
+    Args:
+        hierarchies: The arms; mutated in place exactly as ``run`` would.
+        trace: One trace shared by every arm.
+        batch_size: Arms per lockstep batch. ``None`` defers to the
+            ``REPRO_BATCH`` environment variable (default
+            :data:`~repro.fleet.parallel.DEFAULT_BATCH_SIZE`); ``0``
+            disables batching entirely. ``REPRO_SLOW_ENGINE`` also
+            disables batching (the reference interpreter *is* the
+            oracle chain's far end).
+        export_state: When False, skip rebuilding batched arms' cache
+            contents after the run — the arms come back with counters,
+            clock, and window intact but caches flushed. Use only when
+            the arms are discarded afterwards.
+    """
+    from repro.fleet.parallel import resolve_batch_size
+    from repro.fleet.shard import plan_batches
+    from repro.memsys import batched
+
+    hierarchies = list(hierarchies)
+    resolved = resolve_batch_size(batch_size)
+    use_lockstep = (resolved > 0 and batched.HAVE_NUMPY
+                    and isinstance(trace, Trace)
+                    and not _slow_engine_requested())
+
+    results: List[Optional[RunResult]] = [None] * len(hierarchies)
+    scalar_arms = list(range(len(hierarchies)))
+    if use_lockstep:
+        compiled = trace.compile()
+        sw_lines = batched.software_prefetch_lines(compiled)
+        groups: Dict[tuple, List[int]] = {}
+        scalar_arms = []
+        for arm, hierarchy in enumerate(hierarchies):
+            if batched.lockstep_eligible(hierarchy):
+                # Arms batch together only when both the config and the
+                # starting cache/in-flight/recent state match — state
+                # uniformity is what makes lockstep evolution exact.
+                key = (batched.config_signature(hierarchy),
+                       batched.state_fingerprint(hierarchy))
+                groups.setdefault(key, []).append(arm)
+            else:
+                scalar_arms.append(arm)
+        for arms in groups.values():
+            # The lockstep engine's uniformity invariant needs the
+            # scalar engine's in-flight prune to be unreachable (the
+            # prune compares per-arm clocks, so firing it would let
+            # cache behavior diverge inside a batch). A trace
+            # pathological enough to cross the threshold runs scalar.
+            in_flight = len(hierarchies[arms[0]]._in_flight)
+            if (in_flight + sw_lines
+                    > MemoryHierarchy._IN_FLIGHT_PRUNE_THRESHOLD):
+                scalar_arms.extend(arms)
+                continue
+            for start, stop in plan_batches(len(arms), resolved):
+                chunk = arms[start:stop]
+                batch_results = batched.run_lockstep(
+                    [hierarchies[arm] for arm in chunk], compiled,
+                    export_state=export_state)
+                for arm, result in zip(chunk, batch_results):
+                    results[arm] = result
+
+    for arm in scalar_arms:
+        results[arm] = hierarchies[arm].run(trace)
+    return results  # type: ignore[return-value]

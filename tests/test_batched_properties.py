@@ -1,0 +1,100 @@
+"""Property-based equivalence: the lockstep engine on arbitrary traces.
+
+Hypothesis drives :func:`repro.memsys.run_many` with random record
+mixes, arm fleets, and batch sizes, and asserts the batched path is
+bit-identical to per-arm scalar runs — the same everything-observable
+comparison the golden suite makes, minimized automatically when a
+counterexample exists.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessKind, MemoryAccess, Trace
+from repro.memsys import (
+    ConstantExternalLoad,
+    MemoryHierarchy,
+    PrefetcherBank,
+    run_many,
+)
+from repro.memsys import batched
+
+from tests.test_batched_engine import snapshot
+
+pytestmark = pytest.mark.skipif(not batched.HAVE_NUMPY,
+                                reason="lockstep engine needs numpy")
+
+record_strategy = st.builds(
+    MemoryAccess,
+    address=st.integers(min_value=0, max_value=1 << 22),
+    size=st.integers(min_value=1, max_value=512),
+    kind=st.sampled_from((AccessKind.LOAD, AccessKind.STORE,
+                          AccessKind.SOFTWARE_PREFETCH,
+                          AccessKind.STREAM_HINT)),
+    pc=st.integers(min_value=0, max_value=9),
+    function=st.sampled_from(("alpha", "beta", "gamma")),
+    gap_cycles=st.integers(min_value=0, max_value=30),
+)
+
+records_strategy = st.lists(record_strategy, max_size=100)
+
+# None mixed with constant loads: both are lockstep-eligible and must
+# co-batch (an absent load is bit-equal to a zero-rate one only in the
+# formula's limit, so the engine carries the distinction per arm).
+loads_strategy = st.lists(
+    st.one_of(st.none(),
+              st.floats(min_value=0.0, max_value=4.0,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=7)
+
+
+def build_arms(loads):
+    return [
+        MemoryHierarchy(
+            prefetchers=PrefetcherBank([]),
+            external_load=None if load is None
+            else ConstantExternalLoad(load))
+        for load in loads
+    ]
+
+
+def assert_fleet_agrees(records, loads, batch_size, split=None):
+    if split is None:
+        traces = [Trace(records)]
+    else:
+        traces = [Trace(records[:split]), Trace(records[split:])]
+    scalar_arms = build_arms(loads)
+    batched_arms = build_arms(loads)
+    for trace in traces:
+        scalar_results = run_many(scalar_arms, trace, batch_size=0)
+        batched_results = run_many(batched_arms, trace,
+                                   batch_size=batch_size)
+        for arm in range(len(loads)):
+            assert (snapshot(batched_arms[arm], batched_results[arm])
+                    == snapshot(scalar_arms[arm], scalar_results[arm]))
+
+
+class TestPropertyEquivalence:
+    @given(records=records_strategy, loads=loads_strategy,
+           batch_size=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_random_fleets(self, records, loads, batch_size):
+        assert_fleet_agrees(records, loads, batch_size)
+
+    @given(records=records_strategy, loads=loads_strategy,
+           batch_size=st.integers(min_value=1, max_value=8),
+           split=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_warm_continuation(self, records, loads, batch_size, split):
+        assert_fleet_agrees(records, loads, batch_size,
+                            split=min(split, len(records)))
+
+    @given(records=records_strategy,
+           loads=st.lists(st.floats(min_value=0.0, max_value=2.0,
+                                    allow_nan=False, allow_infinity=False),
+                          min_size=2, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_env_default_batch(self, records, loads):
+        """batch_size=None (the study-layer default) also agrees —
+        under whatever REPRO_BATCH the environment pins."""
+        assert_fleet_agrees(records, loads, None)

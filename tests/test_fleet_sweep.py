@@ -1,0 +1,231 @@
+"""The micro-fleet sweep study and its batching plumbing.
+
+Covers the determinism contract (serial == sharded == any batch size,
+proven by digest), the result cache (batch size and worker count are
+excluded from the key), chaos arms inside batches, the fault-plan
+bridge, and the :func:`plan_batches` / :func:`resolve_batch_size`
+edge cases the study layer leans on.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.fleet import (
+    DEFAULT_BATCH_SIZE,
+    MicroFleetSweep,
+    MicroSweepResult,
+    plan_batches,
+    resolve_batch_size,
+    sweep_digest,
+)
+from repro.fleet.ablation import AblationStudy
+from repro.fleet.parallel import BATCH_ENV_VAR
+from repro.fleet.rollout import RolloutStudy
+from repro.fleet.sweep import background_load, crashed
+
+SCALE = 0.05  # tiny shared traces keep each sweep run fast
+
+
+def small_sweep(**overrides):
+    kwargs = dict(mode="off", machines=9, seed=3, scale=SCALE,
+                  shard_size=4, batch_size=3)
+    kwargs.update(overrides)
+    return MicroFleetSweep(**kwargs)
+
+
+class TestDeterminism:
+    def test_serial_equals_sharded(self):
+        serial = small_sweep().run(workers=1)
+        sharded = small_sweep().run(workers=2)
+        assert sweep_digest(serial) == sweep_digest(sharded)
+
+    def test_batched_equals_scalar(self):
+        """The whole point: REPRO_BATCH can never change a digest."""
+        batched = small_sweep(batch_size=3).run(workers=1)
+        scalar = small_sweep(batch_size=0).run(workers=1)
+        single = small_sweep(batch_size=1).run(workers=1)
+        assert sweep_digest(batched) == sweep_digest(scalar)
+        assert sweep_digest(single) == sweep_digest(scalar)
+
+    def test_modes_differ(self):
+        off = small_sweep(mode="off").run(workers=1)
+        control = small_sweep(mode="control").run(workers=1)
+        assert sweep_digest(off) != sweep_digest(control)
+
+    def test_rows_are_plan_ordered(self):
+        result = small_sweep().run(workers=1)
+        assert [arm["machine"] for arm in result.arms] == (
+            [f"s0/m{i}" for i in range(3)]
+            + [f"s1/m{i}" for i in range(3)]
+            + [f"s2/m{i}" for i in range(3)])
+
+
+class TestChaosArms:
+    def test_crash_rate_downs_deterministic_arms(self):
+        first = small_sweep(crash_rate=0.4).run(workers=1)
+        second = small_sweep(crash_rate=0.4).run(workers=1)
+        assert sweep_digest(first) == sweep_digest(second)
+        assert 0 < first.down < first.machines
+        downed = [arm for arm in first.arms if arm["down"]]
+        assert len(downed) == first.down
+        for arm in downed:  # down rows present but zeroed
+            assert arm["elapsed_ns"] == 0.0
+            assert arm["llc_misses"] == 0
+
+    def test_chaos_arms_inside_batches_keep_digest(self):
+        """Crashing arms out of a shard reshapes the surviving batch
+        geometry; results must not notice."""
+        batched = small_sweep(crash_rate=0.4, batch_size=4).run(workers=1)
+        scalar = small_sweep(crash_rate=0.4, batch_size=0).run(workers=1)
+        assert sweep_digest(batched) == sweep_digest(scalar)
+
+    def test_crash_rate_from_fault_plan(self):
+        plan = FaultPlan.parse("seed=2;machine-crash:rate=0.5")
+        assert small_sweep(fault_plan=plan).crash_rate == 0.5
+
+    def test_explicit_crash_rate_wins_over_plan(self):
+        plan = FaultPlan.parse("seed=2;machine-crash:rate=0.5")
+        sweep = small_sweep(crash_rate=0.25, fault_plan=plan)
+        assert sweep.crash_rate == 0.25
+
+    def test_draws_are_per_arm_stable(self):
+        assert (background_load(3, 0, "m1")
+                == background_load(3, 0, "m1"))
+        assert (background_load(3, 0, "m1")
+                != background_load(3, 1, "m1"))
+        assert crashed(3, 0, "m1", 0.0) is False
+
+
+class TestResultCache:
+    def test_cache_roundtrip(self, tmp_path):
+        first = small_sweep().run(workers=1, cache_dir=str(tmp_path))
+        # A cached re-run must not recompute: poison the shard runner.
+        import repro.fleet.sweep as sweep_mod
+
+        def boom(spec):
+            raise AssertionError("cache miss: shard recomputed")
+
+        original = sweep_mod.run_sweep_shard
+        sweep_mod.run_sweep_shard = boom
+        try:
+            second = small_sweep().run(workers=1, cache_dir=str(tmp_path))
+        finally:
+            sweep_mod.run_sweep_shard = original
+        assert sweep_digest(first) == sweep_digest(second)
+
+    def test_key_excludes_batch_size_and_workers(self, tmp_path):
+        small_sweep(batch_size=0).run(workers=2, cache_dir=str(tmp_path))
+        material = small_sweep(batch_size=7).cache_key_material()
+        assert material == small_sweep(batch_size=0).cache_key_material()
+        assert "batch_size" not in material
+        assert "workers" not in material
+
+    def test_key_includes_the_physics(self):
+        base = small_sweep().cache_key_material()
+        assert small_sweep(seed=4).cache_key_material() != base
+        assert small_sweep(crash_rate=0.1).cache_key_material() != base
+        assert small_sweep(mode="control").cache_key_material() != base
+
+
+class TestResultObject:
+    def test_roundtrip_is_digest_exact(self):
+        result = small_sweep(crash_rate=0.4).run(workers=1)
+        clone = MicroSweepResult.from_dict(result.to_dict())
+        assert sweep_digest(clone) == sweep_digest(result)
+
+    def test_merge_concatenates(self):
+        a = MicroSweepResult(mode="off", machines=1, down=0,
+                             arms=[{"machine": "s0/m0", "down": False,
+                                    "elapsed_ns": 2.0}])
+        b = MicroSweepResult(mode="off", machines=2, down=1,
+                             arms=[{"machine": "s1/m0", "down": True,
+                                    "elapsed_ns": 0.0},
+                                   {"machine": "s1/m1", "down": False,
+                                    "elapsed_ns": 4.0}])
+        merged = a.merge(b)
+        assert merged is a
+        assert merged.machines == 3 and merged.down == 1
+        assert merged.total("elapsed_ns") == 6.0
+        assert merged.mean_elapsed_ns() == 3.0
+
+    def test_merge_rejects_mode_mismatch(self):
+        a = MicroSweepResult(mode="off")
+        with pytest.raises(ConfigError):
+            a.merge(MicroSweepResult(mode="control"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MicroFleetSweep(mode="on")
+        with pytest.raises(ConfigError):
+            MicroFleetSweep(machines=0)
+        with pytest.raises(ConfigError):
+            MicroFleetSweep(scale=0.0)
+        with pytest.raises(ConfigError):
+            MicroFleetSweep(crash_rate=1.0)
+
+
+class TestStudyBridges:
+    def test_ablation_bridge(self):
+        study = AblationStudy(mode="off", machines=6, epochs=4, warmup_epochs=1)
+        sweep = study.micro_sweep(scale=SCALE, batch_size=5)
+        assert isinstance(sweep, MicroFleetSweep)
+        assert sweep.machines == 6
+        assert sweep.seed == study.seed
+        assert sweep.batch_size == 5
+        assert sweep.mode == "off"
+
+    def test_rollout_bridge(self):
+        study = RolloutStudy(machines=6, epochs=4, warmup_epochs=1)
+        stages = study.micro_sweep_stages(scale=SCALE)
+        assert set(stages) == {"before", "after"}
+        assert stages["before"].mode == "control"
+        assert stages["after"].mode == "off"
+        assert stages["before"].machines == 6
+
+
+class TestBatchPlumbing:
+    def test_plan_batches_balanced(self):
+        assert plan_batches(13, 5) == [(0, 5), (5, 9), (9, 13)]
+        assert plan_batches(8, 4) == [(0, 4), (4, 8)]
+        assert plan_batches(3, 64) == [(0, 3)]
+        assert plan_batches(1, 1) == [(0, 1)]
+
+    def test_plan_batches_covers_every_arm_once(self):
+        for count in (1, 7, 13, 64, 257):
+            for size in (1, 3, 32):
+                slices = plan_batches(count, size)
+                seen = [i for start, stop in slices
+                        for i in range(start, stop)]
+                assert seen == list(range(count))
+                widths = {stop - start for start, stop in slices}
+                assert max(widths) - min(widths) <= 1
+                assert max(widths) <= size
+
+    def test_plan_batches_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            plan_batches(0, 4)
+        with pytest.raises(ConfigError):
+            plan_batches(4, 0)
+
+    def test_resolve_explicit(self):
+        assert resolve_batch_size(0) == 0
+        assert resolve_batch_size(7) == 7
+        with pytest.raises(ConfigError):
+            resolve_batch_size(-1)
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV_VAR, raising=False)
+        assert resolve_batch_size(None) == DEFAULT_BATCH_SIZE
+        monkeypatch.setenv(BATCH_ENV_VAR, "64")
+        assert resolve_batch_size(None) == 64
+        monkeypatch.setenv(BATCH_ENV_VAR, "0")
+        assert resolve_batch_size(None) == 0
+        monkeypatch.setenv(BATCH_ENV_VAR, "off")
+        assert resolve_batch_size(None) == 0
+        monkeypatch.setenv(BATCH_ENV_VAR, "lots")
+        with pytest.raises(ConfigError):
+            resolve_batch_size(None)
+        monkeypatch.setenv(BATCH_ENV_VAR, "-3")
+        with pytest.raises(ConfigError):
+            resolve_batch_size(None)
