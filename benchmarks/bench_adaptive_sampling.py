@@ -1,0 +1,188 @@
+"""Adaptive early stopping vs exhaustive ablation: machine-runs saved.
+
+The adaptive runner schedules ablation arms in fixed rounds and stops
+an arm once its confidence interval has separated from every other
+arm's. Because the schedule and the stopping decisions are pure
+functions of the study parameters, the headline metric here — machine
+runs scheduled, adaptive vs exhaustive — is *deterministic*: the same
+number on every machine, every run, which is why it can be a hard CI
+gate rather than a statistical hope.
+
+The benchmark runs the exhaustive studies first (the oracle), then the
+adaptive study, and refuses to report savings unless the adaptive
+verdict ordering matches the exhaustive one. Results go to
+``benchmarks/results/BENCH_adaptive_sampling.json``; CI fails the run
+when the savings drop below ``--min-savings`` (default 2x, the ISSUE
+acceptance bar) and gates the ratio against ``benchmarks/baselines/``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # CLI use without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fleet import AblationStudy, AdaptiveAblation
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUTPUT_PATH = RESULTS_DIR / "BENCH_adaptive_sampling.json"
+
+ARMS = ("off", "control")
+MACHINES = 48
+EPOCHS = 12
+WARMUP = 4
+SEED = 3
+SHARD_SIZE = 4
+MARGIN = 0.005
+DEFAULT_ROUNDS = 1
+
+STUDY_KW = dict(machines=MACHINES, epochs=EPOCHS, warmup_epochs=WARMUP,
+                seed=SEED, shard_size=SHARD_SIZE)
+
+
+def run_exhaustive():
+    """Wall time and per-arm throughput change of the full-budget arms.
+
+    ``cache_dir=''`` keeps the benchmark suite's shared study cache out
+    of the measurement.
+    """
+    start = time.perf_counter()
+    changes = {}
+    for mode in ARMS:
+        result = AblationStudy(mode=mode, **STUDY_KW).run(
+            cache_dir="", checkpoint_dir="")
+        changes[mode] = result.throughput_change()
+    elapsed = time.perf_counter() - start
+    order = {mode: index for index, mode in enumerate(ARMS)}
+    ranking = sorted(ARMS, key=lambda m: (-changes[m], order[m]))
+    return elapsed, changes, ranking
+
+
+def run_adaptive():
+    start = time.perf_counter()
+    outcome = AdaptiveAblation(modes=ARMS, margin=MARGIN,
+                               **STUDY_KW).run(checkpoint_dir="")
+    elapsed = time.perf_counter() - start
+    return elapsed, outcome
+
+
+def run_experiment(rounds=DEFAULT_ROUNDS):
+    exhaustive_s = float("inf")
+    adaptive_s = float("inf")
+    for _ in range(rounds):
+        elapsed, changes, exhaustive_ranking = run_exhaustive()
+        exhaustive_s = min(exhaustive_s, elapsed)
+        elapsed, outcome = run_adaptive()
+        adaptive_s = min(adaptive_s, elapsed)
+
+    if outcome.ranking() != exhaustive_ranking:
+        raise AssertionError(
+            f"adaptive ranking {outcome.ranking()} disagrees with "
+            f"exhaustive ranking {exhaustive_ranking}; refusing to "
+            "report savings for a wrong verdict")
+
+    return {
+        "benchmark": "adaptive_sampling",
+        "rounds": rounds,
+        "modes": list(ARMS),
+        "machines_per_arm": MACHINES,
+        "shard_size": SHARD_SIZE,
+        "margin": MARGIN,
+        "exhaustive_ranking": exhaustive_ranking,
+        "exhaustive_throughput_change": changes,
+        "verdicts": outcome.verdicts(),
+        "arms": {
+            "adaptive": {
+                "machine_runs": outcome.machine_runs(),
+                "exhaustive_machine_runs":
+                    outcome.exhaustive_machine_runs(),
+                "rounds_run": outcome.rounds_run,
+                "rounds_total": outcome.rounds_total,
+                "exhaustive_s": exhaustive_s,
+                "adaptive_s": adaptive_s,
+                "wall_speedup": exhaustive_s / adaptive_s,
+                # Gate metric: machine-runs saved, exhaustive over
+                # adaptive. Deterministic — identical on every runner.
+                "speedup": outcome.savings(),
+                "target_speedup": 2.0,
+                "ranking_matches_exhaustive": True,
+            },
+        },
+    }
+
+
+def write_output(data, path=OUTPUT_PATH):
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def summary_lines(data):
+    arm = data["arms"]["adaptive"]
+    return [
+        f"arms {', '.join(data['modes'])}: {data['machines_per_arm']} "
+        f"machines each in shards of {data['shard_size']}, margin "
+        f"{data['margin']}",
+        f"exhaustive: {arm['exhaustive_machine_runs']} machine-runs "
+        f"in {arm['exhaustive_s']:.3f} s",
+        f"adaptive:   {arm['machine_runs']} machine-runs "
+        f"in {arm['adaptive_s']:.3f} s "
+        f"(stopped after round {arm['rounds_run']}/"
+        f"{arm['rounds_total']})",
+        f"machine-runs saved: {arm['speedup']:.2f}x (target "
+        f"{arm['target_speedup']:.1f}x); wall "
+        f"{arm['wall_speedup']:.2f}x",
+        "adaptive ranking verified against the exhaustive verdict",
+    ]
+
+
+def test_adaptive_sampling(benchmark, report):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_output(data)
+
+    # The ISSUE acceptance bar: the exhaustive verdict at >= 2x fewer
+    # machine-runs, deterministically.
+    assert data["arms"]["adaptive"]["speedup"] >= 2.0
+    assert data["arms"]["adaptive"]["ranking_matches_exhaustive"]
+
+    report("BENCH_adaptive_sampling",
+           "Adaptive early stopping - machine-runs vs exhaustive",
+           summary_lines(data))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure machine-runs saved by adaptive early "
+                    "stopping against the exhaustive ablation.")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help="timing rounds (best-of; the savings "
+                             "metric is deterministic regardless)")
+    parser.add_argument("--output", default=str(OUTPUT_PATH),
+                        help="where to write the JSON results")
+    parser.add_argument("--min-savings", type=float, default=0.0,
+                        help="fail unless adaptive saves this factor of "
+                             "machine-runs (CI passes 2.0)")
+    args = parser.parse_args(argv)
+
+    data = run_experiment(rounds=args.rounds)
+    path = write_output(data, args.output)
+    print("\n".join(summary_lines(data)))
+    print(f"wrote {path}")
+
+    savings = data["arms"]["adaptive"]["speedup"]
+    if savings < args.min_savings:
+        print(f"PERF GATE FAILED: adaptive savings {savings:.2f}x "
+              f"< required {args.min_savings:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""Checkpoint-journal overhead and kill-and-resume wall-clock.
+
+The shard work-queue journals every finished shard to disk so an
+interrupted study resumes instead of restarting. That durability must be
+close to free: this benchmark times the same micro-fleet sweep three
+ways —
+
+* ``plain``: checkpointing disabled (the pre-queue behaviour),
+* ``checkpoint``: journaling every shard to a fresh directory,
+* ``resume``: killed deterministically after 80% of the shards
+  (``REPRO_QUEUE_ABORT_AFTER`` semantics via the library knob), then
+  resumed against the journal.
+
+Before any number is reported, all three legs' result digests are
+checked identical — the bit-identity contract the queue is built on.
+Results go to ``benchmarks/results/BENCH_resume_overhead.json``; CI
+fails the run when journaling costs more than ``--max-overhead``
+(default 5%) and gates the ratios against ``benchmarks/baselines/``.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # CLI use without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import QueueInterrupted
+from repro.fleet import MicroFleetSweep, sweep_digest
+from repro.fleet.queue import ABORT_ENV_VAR
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUTPUT_PATH = RESULTS_DIR / "BENCH_resume_overhead.json"
+
+MACHINES = 40
+SHARD_SIZE = 4
+SEED = 17
+DEFAULT_ROUNDS = 3
+KILL_FRACTION = 0.8
+
+
+def build_sweep():
+    return MicroFleetSweep(mode="off", machines=MACHINES, seed=SEED,
+                           shard_size=SHARD_SIZE)
+
+
+def time_plain(rounds):
+    """Best-of wall time with every store disabled (cache_dir='' keeps
+    the benchmark suite's shared study cache out of the measurement)."""
+    best = float("inf")
+    digest = None
+    for _ in range(rounds):
+        sweep = build_sweep()
+        start = time.perf_counter()
+        result = sweep.run(cache_dir="", checkpoint_dir="")
+        best = min(best, time.perf_counter() - start)
+        digest = sweep_digest(result)
+    return best, digest
+
+
+def time_checkpointed(rounds):
+    """Best-of wall time journaling every shard to a fresh directory."""
+    best = float("inf")
+    digest = None
+    for _ in range(rounds):
+        root = tempfile.mkdtemp(prefix="bench-ckpt-")
+        try:
+            sweep = build_sweep()
+            start = time.perf_counter()
+            result = sweep.run(cache_dir="", checkpoint_dir=root)
+            best = min(best, time.perf_counter() - start)
+            digest = sweep_digest(result)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return best, digest
+
+
+def time_resume(rounds):
+    """Best-of wall time of the *resumed* leg after a kill at 80%.
+
+    The interrupted leg is untimed — the number that matters is how
+    fast a re-run gets back to the answer when most shards are already
+    journaled.
+    """
+    shard_count = len(build_sweep().shard_specs())
+    abort_after = max(1, int(shard_count * KILL_FRACTION))
+    best = float("inf")
+    digest = None
+    restored = None
+    for _ in range(rounds):
+        root = tempfile.mkdtemp(prefix="bench-resume-")
+        try:
+            os.environ[ABORT_ENV_VAR] = str(abort_after)
+            try:
+                build_sweep().run(cache_dir="", checkpoint_dir=root)
+                raise AssertionError(
+                    f"{ABORT_ENV_VAR} never fired; the kill-and-resume "
+                    "leg measured a plain run")
+            except QueueInterrupted:
+                pass
+            finally:
+                os.environ.pop(ABORT_ENV_VAR, None)
+            sweep = build_sweep()
+            start = time.perf_counter()
+            result = sweep.run(cache_dir="", checkpoint_dir=root)
+            best = min(best, time.perf_counter() - start)
+            digest = sweep_digest(result)
+            restored = sweep.queue_stats.restored
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return best, digest, restored, abort_after, shard_count
+
+
+def run_experiment(rounds=DEFAULT_ROUNDS):
+    # Untimed warmup: pays the one-time costs (trace generation and
+    # memoization, imports) so no timed leg carries them alone.
+    build_sweep().run(cache_dir="", checkpoint_dir="")
+
+    plain_s, plain_digest = time_plain(rounds)
+    ckpt_s, ckpt_digest = time_checkpointed(rounds)
+    resume_s, resume_digest, restored, abort_after, shards = (
+        time_resume(rounds))
+
+    if not plain_digest == ckpt_digest == resume_digest:
+        raise AssertionError(
+            "checkpointed or resumed digest differs from the plain run; "
+            "refusing to report overhead for a queue that changes results")
+    if restored != abort_after:
+        raise AssertionError(
+            f"resume restored {restored} shards, expected {abort_after}")
+
+    overhead = ckpt_s / plain_s - 1.0
+    return {
+        "benchmark": "resume_overhead",
+        "rounds": rounds,
+        "machines": MACHINES,
+        "shard_size": SHARD_SIZE,
+        "shards": shards,
+        "kill_fraction": KILL_FRACTION,
+        "arms": {
+            "checkpoint": {
+                "plain_s": plain_s,
+                "checkpointed_s": ckpt_s,
+                "overhead": overhead,
+                # Gate metric: plain/checkpointed wall ratio; 1.0 means
+                # journaling is free, the committed floor is 0.95.
+                "speedup": plain_s / ckpt_s,
+                "target_speedup": 0.95,
+                "bit_identical": True,
+            },
+            "resume": {
+                "plain_s": plain_s,
+                "resume_s": resume_s,
+                "restored_shards": restored,
+                # Gate metric: how much faster the resumed leg reaches
+                # the answer than recomputing from scratch.
+                "speedup": plain_s / resume_s,
+                "target_speedup": 2.0,
+                "bit_identical": True,
+            },
+        },
+    }
+
+
+def write_output(data, path=OUTPUT_PATH):
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def summary_lines(data):
+    ckpt = data["arms"]["checkpoint"]
+    resume = data["arms"]["resume"]
+    return [
+        f"{data['machines']} machines in {data['shards']} shards of "
+        f"{data['shard_size']}, killed at "
+        f"{data['kill_fraction']:.0%} for the resume leg",
+        f"plain run:        {ckpt['plain_s']:.3f} s",
+        f"checkpointed run: {ckpt['checkpointed_s']:.3f} s "
+        f"({ckpt['overhead']:+.1%} overhead)",
+        f"resumed run:      {resume['resume_s']:.3f} s "
+        f"({resume['restored_shards']} shards restored, "
+        f"{resume['speedup']:.2f}x faster than recompute)",
+        "all three legs verified bit-identical",
+    ]
+
+
+def test_resume_overhead(benchmark, report):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_output(data)
+
+    # The ISSUE gate: journaling costs at most 5% wall clock, and a
+    # resume after an 80% kill beats a fresh run comfortably.
+    assert data["arms"]["checkpoint"]["overhead"] <= 0.05
+    assert data["arms"]["resume"]["speedup"] >= 2.0
+
+    report("BENCH_resume_overhead",
+           "Checkpoint journal - overhead and kill-and-resume",
+           summary_lines(data))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure checkpoint-journal overhead and "
+                    "kill-and-resume wall-clock on a micro-fleet sweep.")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help="timing rounds per leg (best-of)")
+    parser.add_argument("--output", default=str(OUTPUT_PATH),
+                        help="where to write the JSON results")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail when journaling overhead exceeds "
+                             "this fraction (CI passes 0.05)")
+    parser.add_argument("--min-resume-speedup", type=float, default=0.0,
+                        help="fail unless the resumed leg beats a fresh "
+                             "run by this factor")
+    args = parser.parse_args(argv)
+
+    data = run_experiment(rounds=args.rounds)
+    path = write_output(data, args.output)
+    print("\n".join(summary_lines(data)))
+    print(f"wrote {path}")
+
+    failed = False
+    overhead = data["arms"]["checkpoint"]["overhead"]
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(f"PERF GATE FAILED: checkpoint overhead {overhead:.1%} "
+              f"> allowed {args.max_overhead:.1%}", file=sys.stderr)
+        failed = True
+    resume_speedup = data["arms"]["resume"]["speedup"]
+    if resume_speedup < args.min_resume_speedup:
+        print(f"PERF GATE FAILED: resume speedup {resume_speedup:.2f}x "
+              f"< required {args.min_resume_speedup:.2f}x",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,32 @@ def _parse_profile(text: str):
     return points
 
 
+def _resolve_checkpoint(args) -> tuple:
+    """``(checkpoint_dir_arg, resolved_dir)`` for a study subcommand.
+
+    Enforces the ``--resume`` contract: resuming demands a configured
+    checkpoint directory, because silently running from scratch is
+    exactly the failure mode the flag exists to catch.
+    """
+    from repro.fleet.queue import CHECKPOINT_ENV_VAR, resolve_checkpoint_dir
+
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resolved = resolve_checkpoint_dir(checkpoint_dir)
+    if getattr(args, "resume", False) and resolved is None:
+        raise ReproError(
+            "--resume needs a checkpoint directory: pass "
+            f"--checkpoint-dir or set ${CHECKPOINT_ENV_VAR}")
+    return checkpoint_dir, resolved
+
+
+def _print_queue_stats(stats, resolved_dir) -> None:
+    """One-line work-queue disposition after a checkpointed study."""
+    if stats is None or resolved_dir is None:
+        return
+    print(f"\nqueue: {stats.restored}/{stats.total} shards restored, "
+          f"{stats.computed} computed (journal: {resolved_dir})")
+
+
 def _resolve_fault_plan(args):
     """The study's fault plan: ``--fault-plan``, else $REPRO_FAULT_PLAN,
     else None (fault-free)."""
@@ -122,6 +148,49 @@ def run_latency_curve(args) -> int:
     return 0
 
 
+def _run_adaptive_ablation(args, shard_size, fault_plan,
+                           resolved_ckpt) -> int:
+    """``repro ablation --adaptive``: multi-arm CI early stopping."""
+    from repro.fleet import AdaptiveAblation
+
+    modes = tuple(m.strip() for m in args.arms.split(",") if m.strip())
+    kwargs = dict(shard_size=shard_size)
+    if args.margin is not None:
+        kwargs["margin"] = args.margin
+    if args.quantum is not None:
+        kwargs["quantum"] = args.quantum
+    if args.min_rounds is not None:
+        kwargs["min_rounds"] = args.min_rounds
+    study = AdaptiveAblation(
+        modes=modes, machines=args.machines, epochs=args.epochs,
+        warmup_epochs=args.warmup, seed=args.seed, fault_plan=fault_plan,
+        **kwargs)
+    result = study.run(workers=args.workers,
+                       checkpoint_dir=getattr(args, "checkpoint_dir", None),
+                       obs_dir=getattr(args, "obs_dir", None))
+    print("adaptive ablation over arms: " + ", ".join(result.modes))
+    rows = []
+    for mode in result.modes:
+        verdict = result.verdicts()[mode]
+        halfwidth = verdict["halfwidth"]
+        rows.append((
+            mode, f"{verdict['mean']:+.3%}",
+            "inf" if halfwidth is None else f"±{halfwidth:.3%}",
+            f"{verdict['shards_run']}/{verdict['shards_total']}",
+            verdict["machine_runs"],
+            "-" if verdict["stopped_round"] is None
+            else verdict["stopped_round"]))
+    _table(("arm", "Δthroughput", "CI95", "shards", "machine-runs",
+            "stopped@round"), rows)
+    print(f"\nranking: {' > '.join(result.ranking())}")
+    print(f"machine-runs: {result.machine_runs()} adaptive vs "
+          f"{result.exhaustive_machine_runs()} exhaustive "
+          f"({result.savings():.1f}x savings)")
+    if resolved_ckpt is not None:
+        print(f"journal: {resolved_ckpt}")
+    return 0
+
+
 def run_ablation(args) -> int:
     """``repro ablation``: a paired fleet ablation study."""
     from repro.fleet import DEFAULT_SHARD_SIZE, AblationStudy
@@ -130,13 +199,18 @@ def run_ablation(args) -> int:
     if shard_size is None:
         shard_size = DEFAULT_SHARD_SIZE
     fault_plan = _resolve_fault_plan(args)
-    result = AblationStudy(mode=args.mode, machines=args.machines,
-                           epochs=args.epochs, warmup_epochs=args.warmup,
-                           seed=args.seed, shard_size=shard_size,
-                           fault_plan=fault_plan,
-                           ).run(workers=args.workers,
-                                 cache_dir=args.cache_dir,
-                                 obs_dir=getattr(args, "obs_dir", None))
+    checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
+    if getattr(args, "adaptive", False):
+        return _run_adaptive_ablation(args, shard_size, fault_plan,
+                                      resolved_ckpt)
+    study = AblationStudy(mode=args.mode, machines=args.machines,
+                          epochs=args.epochs, warmup_epochs=args.warmup,
+                          seed=args.seed, shard_size=shard_size,
+                          fault_plan=fault_plan)
+    result = study.run(workers=args.workers,
+                       cache_dir=args.cache_dir,
+                       obs_dir=getattr(args, "obs_dir", None),
+                       checkpoint_dir=checkpoint_dir)
     bandwidth = result.bandwidth_reduction()
     latency = result.latency_reduction()
     print(f"experiment arm: {args.mode}")
@@ -155,6 +229,7 @@ def run_ablation(args) -> int:
     if result.chaos is not None:
         print(f"\nfault plan: {fault_plan.spec()}")
         _print_chaos_summary(result.chaos)
+    _print_queue_stats(study.queue_stats, resolved_ckpt)
     if getattr(args, "compare_serial", False):
         from repro.analysis import result_digest
 
@@ -162,8 +237,9 @@ def run_ablation(args) -> int:
             mode=args.mode, machines=args.machines, epochs=args.epochs,
             warmup_epochs=args.warmup, seed=args.seed,
             shard_size=shard_size, fault_plan=fault_plan).run(
-                workers=1, cache_dir="")  # "" disables the cache: the
-        # serial leg must recompute, not replay the sharded entry.
+                workers=1, cache_dir="", checkpoint_dir="")
+        # "" disables both stores: the serial leg must recompute, not
+        # replay the sharded entry or the shard journal.
         sharded_digest = result_digest(result)
         serial_digest = result_digest(serial)
         match = sharded_digest == serial_digest
@@ -185,11 +261,13 @@ def run_sweep(args) -> int:
     if shard_size is None:
         shard_size = DEFAULT_SHARD_SIZE
     fault_plan = _resolve_fault_plan(args)
+    checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
     kwargs = dict(mode=args.mode, machines=args.machines, seed=args.seed,
                   scale=args.scale, crash_rate=args.crash_rate,
                   shard_size=shard_size, fault_plan=fault_plan)
-    result = MicroFleetSweep(batch_size=args.batch_size, **kwargs).run(
-        workers=args.workers, cache_dir=args.cache_dir)
+    sweep = MicroFleetSweep(batch_size=args.batch_size, **kwargs)
+    result = sweep.run(workers=args.workers, cache_dir=args.cache_dir,
+                       checkpoint_dir=checkpoint_dir)
 
     live = result.machines - result.down
     print(f"sweep arm: {args.mode}  "
@@ -206,11 +284,13 @@ def run_sweep(args) -> int:
         _table(("sweep metric", "value"), rows)
     digest = sweep_digest(result)
     print(f"\nresult digest: {digest}")
+    _print_queue_stats(sweep.queue_stats, resolved_ckpt)
 
     if args.compare_serial:
-        # Batching off, one worker, cache disabled: the oracle leg.
+        # Batching off, one worker, cache and journal disabled: the
+        # oracle leg.
         serial = MicroFleetSweep(batch_size=0, **kwargs).run(
-            workers=1, cache_dir="")
+            workers=1, cache_dir="", checkpoint_dir="")
         serial_digest = sweep_digest(serial)
         match = digest == serial_digest
         print(f"serial-equivalence check: "
@@ -227,11 +307,14 @@ def run_rollout(args) -> int:
     from repro.fleet import RolloutStudy
 
     fault_plan = _resolve_fault_plan(args)
-    result = RolloutStudy(machines=args.machines, epochs=args.epochs,
-                          warmup_epochs=args.warmup, seed=args.seed,
-                          fault_plan=fault_plan).run(
-                              workers=args.workers,
-                              obs_dir=getattr(args, "obs_dir", None))
+    checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
+    study = RolloutStudy(machines=args.machines, epochs=args.epochs,
+                         warmup_epochs=args.warmup, seed=args.seed,
+                         fault_plan=fault_plan)
+    result = study.run(workers=args.workers,
+                       obs_dir=getattr(args, "obs_dir", None),
+                       cache_dir=args.cache_dir,
+                       checkpoint_dir=checkpoint_dir)
     print("Figure 16 — throughput gain by CPU band")
     _table(("band", "gain"), [(band, f"{gain:+.1%}") for band, gain
                               in result.throughput_gain_by_band().items()])
@@ -253,6 +336,87 @@ def run_rollout(args) -> int:
     if result.chaos is not None:
         print(f"\nfault plan: {fault_plan.spec()}")
         _print_chaos_summary(result.chaos)
+    _print_queue_stats(study.queue_stats, resolved_ckpt)
+    return 0
+
+
+def _human_bytes(count: int) -> str:
+    """Bytes as a compact human-readable figure."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{int(value)} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024
+    return f"{int(count)} B"
+
+
+def run_queue(args) -> int:
+    """``repro queue``: status of a checkpoint journal."""
+    from repro.fleet.queue import (CHECKPOINT_ENV_VAR, ShardCheckpoint,
+                                   queue_status, resolve_checkpoint_dir)
+
+    resolved = resolve_checkpoint_dir(getattr(args, "checkpoint_dir", None))
+    if resolved is None:
+        raise ReproError(
+            "no checkpoint directory: pass --checkpoint-dir or set "
+            f"${CHECKPOINT_ENV_VAR}")
+    status = queue_status(ShardCheckpoint(resolved))
+    print(f"journal: {status['root']}")
+    _table(("journal metric", "value"), [
+        ("entries", str(status["entries"])),
+        ("valid", str(status["valid"])),
+        ("corrupt", str(status["corrupt"])),
+        ("size", _human_bytes(status["bytes"])),
+        ("shard tasks", str(status["shard_tasks"])),
+        ("restores (hits)", str(status["stats"]["hits"])),
+        ("journal writes", str(status["stats"]["stores"])),
+    ])
+    if status["studies"]:
+        print("\njournaled shards by study:")
+        _table(("study", "shards", "indexes"), [
+            (study, str(info["shards"]),
+             ",".join(str(i) for i in info["shard_indexes"][:12])
+             + ("…" if len(info["shard_indexes"]) > 12 else ""))
+            for study, info in sorted(status["studies"].items())])
+    return 0
+
+
+def run_cache(args) -> int:
+    """``repro cache``: inspect or prune a result cache."""
+    import os
+
+    from repro.fleet.result_cache import (CACHE_ENV_VAR,
+                                          StudyResultCache)
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_ENV_VAR, "").strip() or None
+    if not cache_dir:
+        raise ReproError(
+            f"no cache directory: pass --cache-dir or set ${CACHE_ENV_VAR}")
+    cache = StudyResultCache(cache_dir)
+    scan = cache.scan()
+    stats = cache.stats()
+    total = stats["hits"] + stats["misses"]
+    hit_rate = f"{stats['hits'] / total:.1%}" if total else "n/a"
+    print(f"cache: {cache.root}")
+    _table(("cache metric", "value"), [
+        ("entries", str(scan["entries"])),
+        ("valid", str(scan["valid"])),
+        ("corrupt", str(scan["corrupt"])),
+        ("size", _human_bytes(scan["bytes"])),
+        ("hits", str(stats["hits"])),
+        ("misses", str(stats["misses"])),
+        ("stores", str(stats["stores"])),
+        ("hit rate", hit_rate),
+    ])
+    prune = getattr(args, "prune", None)
+    if prune is not None:
+        removed = cache.prune() if prune < 0 else cache.prune(prune)
+        print(f"\npruned {removed} "
+              f"entr{'y' if removed == 1 else 'ies'} "
+              f"({cache.scan()['entries']} remain)")
     return 0
 
 
@@ -432,8 +596,8 @@ def run_report(args) -> int:
 
     text = "\n".join(sections) + "\n"
     if args.out:
-        import pathlib
-        pathlib.Path(args.out).write_text(text)
+        from repro.serialization import atomic_write_text
+        atomic_write_text(args.out, text)
         print(f"wrote {args.out}")
     else:
         print(text)

@@ -22,6 +22,20 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
              "$REPRO_CACHE_DIR; unset disables caching)")
 
 
+def _add_checkpoint_flags(subparser: argparse.ArgumentParser) -> None:
+    """Shared work-queue flags for the fleet-study subcommands."""
+    subparser.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="journal each finished shard to this directory and restore "
+             "finished shards on re-run (default: $REPRO_CHECKPOINT; "
+             "unset disables checkpointing); results are bit-identical "
+             "with or without resume")
+    subparser.add_argument(
+        "--resume", action="store_true",
+        help="assert that a checkpoint directory is configured (fail "
+             "fast if not) and report how many shards were restored")
+
+
 def _add_obs_flag(subparser: argparse.ArgumentParser) -> None:
     """Shared observability flag for the fleet-study subcommands."""
     subparser.add_argument(
@@ -90,7 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run serially and fail unless the sharded result is "
              "bit-identical (determinism check; CI runs it with "
              "REPRO_BATCH set to pin the batched engine too)")
+    ablation.add_argument(
+        "--adaptive", action="store_true",
+        help="compare several arms with CI-based early stopping instead "
+             "of running one arm exhaustively (deterministic decisions; "
+             "pick a --shard-size smaller than --machines so arms have "
+             "several shards to stop between)")
+    ablation.add_argument(
+        "--arms", type=str, default="off,control", metavar="MODES",
+        help="with --adaptive: comma-separated arms to compare "
+             "(default: off,control)")
+    ablation.add_argument(
+        "--margin", type=float, default=None, metavar="X",
+        help="with --adaptive: CI separation margin on the per-shard "
+             "throughput change (default 0.02)")
+    ablation.add_argument(
+        "--quantum", type=int, default=None, metavar="N",
+        help="with --adaptive: shards per arm per round (default 1)")
+    ablation.add_argument(
+        "--min-rounds", type=int, default=None, metavar="N",
+        help="with --adaptive: rounds before any arm may stop "
+             "(default 2)")
     _add_execution_flags(ablation)
+    _add_checkpoint_flags(ablation)
     _add_fault_plan_flag(ablation)
     _add_obs_flag(ablation)
     ablation.set_defaults(run=commands.run_ablation)
@@ -122,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
              "result is bit-identical (engine + sharding determinism "
              "check)")
     _add_execution_flags(sweep)
+    _add_checkpoint_flags(sweep)
     _add_fault_plan_flag(sweep)
     sweep.set_defaults(run=commands.run_sweep)
 
@@ -132,9 +169,30 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--warmup", type=int, default=25)
     rollout.add_argument("--seed", type=int, default=5)
     _add_execution_flags(rollout)
+    _add_checkpoint_flags(rollout)
     _add_fault_plan_flag(rollout)
     _add_obs_flag(rollout)
     rollout.set_defaults(run=commands.run_rollout)
+
+    queue = subparsers.add_parser(
+        "queue", help="status of a checkpointed work-queue journal")
+    queue.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="journal directory to inspect (default: $REPRO_CHECKPOINT)")
+    queue.set_defaults(run=commands.run_queue)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune an on-disk result cache / "
+                      "checkpoint journal")
+    cache.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cache directory to inspect (default: $REPRO_CACHE_DIR)")
+    cache.add_argument(
+        "--prune", nargs="?", type=int, const=-1, default=None,
+        metavar="N",
+        help="evict the oldest entries beyond N (bare --prune uses the "
+             "library's default cap)")
+    cache.set_defaults(run=commands.run_cache)
 
     chaos = subparsers.add_parser(
         "chaos", help="fault-injection study: the control loop under "

@@ -52,3 +52,14 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an internally inconsistent state."""
+
+
+class QueueInterrupted(ReproError):
+    """A checkpointed work-queue stopped before computing every shard.
+
+    Raised by the abort-after knob (``REPRO_QUEUE_ABORT_AFTER``), which
+    CI and tests use to interrupt a study at a deterministic point.
+    Every shard finished before the interruption is already journaled —
+    atomically — so re-running the same study with the same checkpoint
+    directory resumes instead of restarting.
+    """

@@ -33,6 +33,7 @@ from repro.fleet.shard import (
     DEFAULT_SHARD_SIZE,
     ShardPlan,
     plan_batches,
+    plan_rounds,
     plan_shards,
     shard_seed,
 )
@@ -41,8 +42,24 @@ from repro.fleet.parallel import (
     resolve_batch_size,
     resolve_workers,
     run_sharded,
+    run_sharded_incremental,
 )
 from repro.fleet.result_cache import StudyResultCache, study_cache
+from repro.fleet.queue import (
+    QueueStats,
+    ShardCheckpoint,
+    queue_status,
+    run_checkpointed,
+    shard_checkpoint,
+    shard_task_material,
+)
+from repro.fleet.adaptive import (
+    AdaptiveAblation,
+    AdaptiveResult,
+    ArmState,
+    arm_interval,
+    arms_separated,
+)
 from repro.fleet.sweep import (
     MicroFleetSweep,
     MicroSweepResult,
@@ -61,13 +78,26 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "ShardPlan",
     "plan_batches",
+    "plan_rounds",
     "plan_shards",
     "shard_seed",
     "resolve_batch_size",
     "resolve_workers",
     "run_sharded",
+    "run_sharded_incremental",
     "StudyResultCache",
     "study_cache",
+    "QueueStats",
+    "ShardCheckpoint",
+    "queue_status",
+    "run_checkpointed",
+    "shard_checkpoint",
+    "shard_task_material",
+    "AdaptiveAblation",
+    "AdaptiveResult",
+    "ArmState",
+    "arm_interval",
+    "arms_separated",
     "MicroFleetSweep",
     "MicroSweepResult",
     "MicroSweepShardSpec",

@@ -28,7 +28,7 @@ from repro.errors import ConfigError
 from repro.faults.metrics import ChaosMetrics, collect_chaos_metrics
 from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
-from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.parallel import resolve_workers
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import FleetProfiler
@@ -195,6 +195,26 @@ def _traced_single(study, tracer: Tracer, index: int, machines: int,
     return result
 
 
+def obs_shard_payload(output: Tuple) -> Dict:
+    """Serialize one traced shard output — ``(result, events, wall)`` —
+    for the checkpoint journal. Events are already plain dicts; the wall
+    time rides along so a resumed run's manifest reports the original
+    compute cost rather than the (near-zero) restore cost."""
+    from repro.serialization import ablation_result_to_dict
+
+    result, events, wall = output
+    return {"result": ablation_result_to_dict(result),
+            "events": list(events), "wall": wall}
+
+
+def obs_shard_from_payload(payload: Dict) -> Tuple:
+    """Inverse of :func:`obs_shard_payload`."""
+    from repro.serialization import ablation_result_from_dict
+
+    return (ablation_result_from_dict(payload["result"]),
+            list(payload["events"]), float(payload["wall"]))
+
+
 def run_ablation_shard_obs(
         spec: AblationShardSpec) -> Tuple[AblationResult, List[Dict], float]:
     """Traced worker twin of :func:`run_ablation_shard`.
@@ -252,6 +272,9 @@ class AblationStudy:
         self.fault_plan = fault_plan
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
+        #: Work-queue disposition of the last :meth:`run` (a
+        #: :class:`~repro.fleet.queue.QueueStats`), or ``None``.
+        self.queue_stats = None
 
     # --- sharding -----------------------------------------------------------
 
@@ -297,6 +320,30 @@ class AblationStudy:
         if self.fault_plan is not None:
             material["fault_plan"] = self.fault_plan.to_key_material()
         return material
+
+    def shard_task_materials(self, traced: bool = False) -> List[Dict]:
+        """Work-queue key material per shard (plan order).
+
+        Each key covers the whole study identity (mode, epochs, config
+        signature, fault plan — via :meth:`cache_key_material`) plus the
+        shard's own population, seed, and plan position, so a shard
+        journaled by one study can never be restored into a different
+        one. ``traced`` keys traced (obs) payloads separately from plain
+        ones — they journal different payload shapes.
+        """
+        from repro.fleet.queue import shard_task_material
+
+        base = self.cache_key_material()
+        return [
+            shard_task_material("ablation", {
+                **base,
+                "shard_machines": spec.machines,
+                "shard_seed": spec.seed,
+                "shard_index": spec.shard_index,
+                "traced": traced,
+            })
+            for spec in self.shard_specs()
+        ]
 
     # --- the trace-driven companion ------------------------------------------
 
@@ -392,7 +439,9 @@ class AblationStudy:
 
     def run(self, workers: Optional[int] = None,
             cache_dir: Optional[str] = None,
-            obs_dir: Optional[str] = None) -> AblationResult:
+            obs_dir: Optional[str] = None,
+            checkpoint_dir: Optional[str] = None,
+            resume: bool = True) -> AblationResult:
         """Run both arms and collect the paired result.
 
         Args:
@@ -407,9 +456,24 @@ class AblationStudy:
                 set, the study writes ``events.jsonl`` and
                 ``manifest.json`` there; a cold run's event log is
                 byte-identical at any worker count.
+            checkpoint_dir: Shard-journal directory for the work queue.
+                ``None`` reads ``$REPRO_CHECKPOINT``; empty/unset
+                disables checkpointing. When set, every finished shard
+                is journaled the moment it completes and a re-run
+                restores finished shards instead of recomputing — the
+                merged result stays bit-identical either way.
+            resume: With a checkpoint directory, whether to restore
+                journaled shards (``True``, the default) or recompute
+                everything while still journaling (``False``).
+
+        After the call, :attr:`queue_stats` holds the work-queue
+        disposition (``None`` when the sharded path did not run).
         """
+        from repro.fleet.queue import run_checkpointed, shard_checkpoint
         from repro.fleet.result_cache import study_cache
         from repro.obs.session import ObsSession, resolve_obs_dir
+        from repro.serialization import (ablation_result_from_dict,
+                                         ablation_result_to_dict)
 
         workers = resolve_workers(workers)
         obs_dir = resolve_obs_dir(obs_dir)
@@ -417,13 +481,16 @@ class AblationStudy:
                    if obs_dir is not None else None)
         if session is not None:
             session.event("study-start", study="ablation")
+        self.queue_stats = None
 
         cache = None
+        checkpoint = None
         if self._fleet_factory is None:
             # A custom factory is opaque: it cannot be content-hashed
             # (no cache key) nor resized per shard, so those studies run
-            # unsharded and uncached.
+            # unsharded, uncached, and uncheckpointed.
             cache = study_cache(cache_dir)
+            checkpoint = shard_checkpoint(checkpoint_dir)
 
         result = None
         hit = False
@@ -448,20 +515,43 @@ class AblationStudy:
             else:
                 specs = self.shard_specs()
                 if session is not None:
+                    materials = self.shard_task_materials(traced=True)
                     with session.phase("execute"):
-                        outputs = run_sharded(run_ablation_shard_obs,
-                                              specs, workers)
+                        outputs, stats = run_checkpointed(
+                            run_ablation_shard_obs, specs, materials,
+                            workers, checkpoint=checkpoint,
+                            to_payload=obs_shard_payload,
+                            from_payload=obs_shard_from_payload,
+                            resume=resume)
+                    self.queue_stats = stats
+                    if checkpoint is not None:
+                        session.queue_stats(stats)
                     results = []
                     for spec, (shard, events, wall) in zip(specs, outputs):
                         session.add_shard(spec.shard_index, events, wall)
                         results.append(shard)
+                    if checkpoint is not None:
+                        restored = set(stats.restored_indexes)
+                        for spec in specs:
+                            session.event(
+                                "shard-restored"
+                                if spec.shard_index in restored
+                                else "shard-checkpoint",
+                                index=spec.shard_index)
                     with session.phase("merge"):
                         result = results[0]
                         for index, shard in enumerate(results[1:], start=1):
                             session.event("merge-step", index=index)
                             result.merge(shard)
                 else:
-                    shards = run_sharded(run_ablation_shard, specs, workers)
+                    materials = self.shard_task_materials(traced=False)
+                    shards, stats = run_checkpointed(
+                        run_ablation_shard, specs, materials, workers,
+                        checkpoint=checkpoint,
+                        to_payload=ablation_result_to_dict,
+                        from_payload=ablation_result_from_dict,
+                        resume=resume)
+                    self.queue_stats = stats
                     result = shards[0]
                     for shard in shards[1:]:
                         result.merge(shard)

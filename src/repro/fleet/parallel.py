@@ -16,6 +16,7 @@ degrades to the serial path rather than failing the study.
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import os
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -131,3 +132,86 @@ def run_sharded(worker: Callable[[_Spec], _Result],
         # No usable process pool here (restricted sandbox, missing
         # semaphores, killed worker): fall back to the serial path.
         return [worker(spec) for spec in specs]
+
+
+class _CallbackError(Exception):
+    """Wraps an exception raised by an ``on_result`` callback.
+
+    The incremental runner must tell *pool* failures (degrade to serial,
+    results unaffected) apart from *callback* failures (the caller's
+    journal raised, or deliberately interrupted the queue — propagate).
+    Since both surface inside the same ``try``, callback exceptions are
+    wrapped in this marker on the way out and unwrapped past the pool
+    handler.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+def run_sharded_incremental(
+        worker: Callable[[_Spec], _Result],
+        specs: Sequence[_Spec],
+        workers: int = 1,
+        on_result: Optional[Callable[[int, _Result], None]] = None,
+) -> List[_Result]:
+    """Like :func:`run_sharded`, but reports each result as it lands.
+
+    ``on_result(index, result)`` fires exactly once per spec, in
+    *completion* order (which under a pool differs from spec order), as
+    soon as that shard's result exists — this is the hook the checkpoint
+    journal writes through, so a study killed mid-run keeps every shard
+    that finished. The returned list is still in spec order, so the
+    downstream merge is unaffected.
+
+    Failure contract:
+
+    * Pool infrastructure failing (no semaphores, broken pool) degrades
+      to serial — but only the positions whose callback has *not* fired
+      are recomputed, so ``on_result`` still fires exactly once per spec
+      and nothing already journaled is recomputed or re-reported.
+    * An exception raised *by the callback* (including a deliberate
+      :class:`~repro.errors.QueueInterrupted`) propagates to the caller
+      unchanged; it is never mistaken for a pool failure.
+    """
+    if on_result is None:
+        return run_sharded(worker, specs, workers)
+    results: List[Optional[_Result]] = [None] * len(specs)
+    done = [False] * len(specs)
+
+    def finish(index: int, result: _Result) -> None:
+        results[index] = result
+        done[index] = True
+        try:
+            on_result(index, result)
+        except BaseException as exc:
+            raise _CallbackError(exc) from exc
+
+    try:
+        if workers <= 1 or len(specs) <= 1:
+            for index, spec in enumerate(specs):
+                finish(index, worker(spec))
+        else:
+            max_workers = min(workers, len(specs))
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=max_workers) as pool:
+                futures = {pool.submit(worker, spec): index
+                           for index, spec in enumerate(specs)}
+                for future in concurrent.futures.as_completed(futures):
+                    finish(futures[future], future.result())
+    except _CallbackError as exc:
+        raise exc.cause
+    except (OSError, ImportError, PermissionError,
+            concurrent.futures.process.BrokenProcessPool):
+        # Pool infrastructure failed. Recompute only the shards whose
+        # callback has not fired, so ``on_result`` still fires exactly
+        # once per spec; callback exceptions from this serial pass are
+        # unwrapped below.
+        try:
+            for index, spec in enumerate(specs):
+                if not done[index]:
+                    finish(index, worker(spec))
+        except _CallbackError as exc:
+            raise exc.cause
+    return results  # type: ignore[return-value]

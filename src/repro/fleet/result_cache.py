@@ -13,8 +13,19 @@ SHA-256 digest of the canonical payload, so a truncated file, a stale
 entry written under an older schema, or any bit-rot hashes wrong and is
 treated as a miss — the study recomputes and overwrites the bad entry
 rather than crashing or returning garbage. Writes are atomic
-(temp-file + rename) so concurrent study processes can share one cache
-directory.
+(temp-file + ``os.replace`` via
+:func:`repro.serialization.atomic_write_text`) so concurrent study
+processes can share one cache directory and a process killed mid-store
+can never leave a torn entry.
+
+The same store underlies the shard checkpoint journal
+(:class:`repro.fleet.queue.ShardCheckpoint`), which disables eviction —
+a journal must never silently drop a finished shard mid-study.
+
+Cumulative hit/miss/store counters persist to a ``_stats`` sidecar
+(deliberately extension-less so cache-entry globs never see it)
+(best effort, atomic) so ``repro cache`` can report hit rates across
+processes; the sidecar is not an entry and is never evicted.
 """
 
 from __future__ import annotations
@@ -23,10 +34,9 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 from typing import Dict, Optional, Union
 
-from repro.serialization import canonical_json
+from repro.serialization import atomic_write_text, canonical_json
 
 #: Environment override for the default cache directory; unset or empty
 #: disables caching.
@@ -37,8 +47,13 @@ CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 SCHEMA_VERSION = 1
 
 #: Default cap on cached entries per directory; the oldest (by mtime)
-#: are evicted past it.
+#: are evicted past it. ``None`` disables eviction entirely (the shard
+#: checkpoint journal runs that way).
 DEFAULT_MAX_ENTRIES = 256
+
+#: Sidecar file holding cumulative hit/miss/store counters. Not an
+#: entry: it is excluded from eviction, scans, and entry counts.
+STATS_NAME = "_stats"
 
 
 def _canonical(obj) -> str:
@@ -65,11 +80,11 @@ class StudyResultCache:
     Args:
         root: Cache directory (created on first write).
         max_entries: Eviction cap; oldest entries beyond it are removed
-            on each store.
+            on each store. ``None`` disables eviction.
     """
 
     def __init__(self, root: Union[str, pathlib.Path],
-                 max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
         self.root = pathlib.Path(root)
         self.max_entries = max_entries
 
@@ -85,6 +100,59 @@ class StudyResultCache:
         exists)."""
         return self.root / f"{self.key_for(material)}.json"
 
+    @staticmethod
+    def _is_entry(path: pathlib.Path) -> bool:
+        """Whether ``path`` names a cache entry (64-hex-char key)."""
+        stem = path.stem
+        return len(stem) == 64 and all(c in "0123456789abcdef"
+                                       for c in stem)
+
+    def _entries(self):
+        """Every entry file currently on disk (sidecars excluded)."""
+        try:
+            return [path for path in self.root.glob("*.json")
+                    if self._is_entry(path)]
+        except OSError:
+            return []
+
+    # --- persistent hit statistics ------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative hit/miss/store counters from the sidecar.
+
+        Best effort: a missing or corrupt sidecar reads as all zeros.
+        """
+        counters = {"hits": 0, "misses": 0, "stores": 0}
+        try:
+            data = json.loads((self.root / STATS_NAME).read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            return counters
+        if isinstance(data, dict):
+            for name in counters:
+                value = data.get(name)
+                if isinstance(value, int) and value >= 0:
+                    counters[name] = value
+        return counters
+
+    def _bump(self, **deltas: int) -> None:
+        """Fold counter deltas into the sidecar (best effort, atomic).
+
+        Never creates the cache directory (a read-only probe of a cache
+        that does not exist yet must not leave one behind), and never
+        raises: losing a count under a crash or a concurrent-writer race
+        is acceptable — the counters are reporting, not correctness.
+        """
+        if not self.root.is_dir():
+            return
+        counters = self.stats()
+        for name, delta in deltas.items():
+            counters[name] = counters.get(name, 0) + delta
+        try:
+            atomic_write_text(self.root / STATS_NAME,
+                              json.dumps(counters, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
     # --- raw payloads -----------------------------------------------------------
 
     def load(self, material: Dict) -> Optional[Dict]:
@@ -96,6 +164,15 @@ class StudyResultCache:
         replaces the bad entry.
         """
         path = self.path_for(material)
+        entry = self._read_entry(path)
+        if entry is None or entry.get("key") != self.key_for(material):
+            self._bump(misses=1)
+            return None
+        self._bump(hits=1)
+        return entry["payload"]
+
+    def _read_entry(self, path: pathlib.Path) -> Optional[Dict]:
+        """One verified entry (schema + digest), or ``None``."""
         try:
             entry = json.loads(path.read_text())
         except (OSError, ValueError, UnicodeDecodeError):
@@ -104,8 +181,6 @@ class StudyResultCache:
             return None
         if entry.get("schema") != SCHEMA_VERSION:
             return None
-        if entry.get("key") != self.key_for(material):
-            return None
         payload = entry.get("payload")
         digest = entry.get("digest")
         if payload is None or digest is None:
@@ -113,10 +188,16 @@ class StudyResultCache:
         if hashlib.sha256(
                 _canonical(payload).encode()).hexdigest() != digest:
             return None
-        return payload
+        return entry
 
-    def store(self, material: Dict, payload: Dict) -> pathlib.Path:
-        """Write ``payload`` under ``material``'s key (atomically)."""
+    def store(self, material: Dict, payload: Dict,
+              embed_material: bool = False) -> pathlib.Path:
+        """Write ``payload`` under ``material``'s key (atomically).
+
+        ``embed_material`` additionally records the key material inside
+        the entry — the checkpoint journal uses it so status tooling can
+        group entries by study without re-deriving keys.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(material)
         entry = {
@@ -126,31 +207,32 @@ class StudyResultCache:
                 _canonical(payload).encode()).hexdigest(),
             "payload": payload,
         }
-        fd, temp_name = tempfile.mkstemp(dir=str(self.root),
-                                         suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        if embed_material:
+            entry["material"] = material
+        atomic_write_text(path, json.dumps(entry))
+        self._bump(stores=1)
         self.prune()
         return path
 
-    def prune(self) -> int:
-        """Evict the oldest entries beyond ``max_entries``; returns how
-        many were removed."""
+    def prune(self, max_entries: Optional[int] = None) -> int:
+        """Evict the oldest entries beyond the cap; returns how many
+        were removed.
+
+        ``max_entries`` overrides the instance cap for this call (the
+        ``repro cache --prune`` front door). With both ``None``,
+        eviction is disabled and nothing is removed.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if max_entries is None:
+            return 0
         try:
-            entries = sorted(self.root.glob("*.json"),
+            entries = sorted(self._entries(),
                              key=lambda p: p.stat().st_mtime)
         except OSError:
             return 0
         removed = 0
-        excess = len(entries) - self.max_entries
+        excess = len(entries) - max_entries
         for path in entries[:max(excess, 0)]:
             try:
                 path.unlink()
@@ -158,6 +240,30 @@ class StudyResultCache:
             except OSError:
                 continue
         return removed
+
+    def scan(self) -> Dict:
+        """Integrity summary of the directory: entry count, bytes on
+        disk, and how many entries verify (schema + digest) vs. are
+        corrupt. Never raises; a missing directory scans as empty."""
+        entries = self._entries()
+        total_bytes = 0
+        valid = 0
+        corrupt = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+            if self._read_entry(path) is None:
+                corrupt += 1
+            else:
+                valid += 1
+        return {
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "valid": valid,
+            "corrupt": corrupt,
+        }
 
     # --- typed study entry points --------------------------------------------------
 

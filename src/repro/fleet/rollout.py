@@ -18,11 +18,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import LimoncelloConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceError
 from repro.faults.metrics import ChaosMetrics, collect_chaos_metrics
 from repro.faults.plan import FaultPlan
 from repro.fleet.cluster import Fleet, FleetMetrics
-from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.parallel import resolve_workers
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, plan_shards
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profile_data import ProfileData
@@ -185,6 +185,24 @@ def _traced_single(study: "RolloutStudy", tracer: Tracer, index: int,
     return result
 
 
+def obs_shard_payload(output: Tuple) -> Dict:
+    """Serialize one traced rollout shard output — ``(result, events,
+    wall)`` — for the checkpoint journal (see the ablation twin)."""
+    from repro.serialization import rollout_result_to_dict
+
+    result, events, wall = output
+    return {"result": rollout_result_to_dict(result),
+            "events": list(events), "wall": wall}
+
+
+def obs_shard_from_payload(payload: Dict) -> Tuple:
+    """Inverse of :func:`obs_shard_payload`."""
+    from repro.serialization import rollout_result_from_dict
+
+    return (rollout_result_from_dict(payload["result"]),
+            list(payload["events"]), float(payload["wall"]))
+
+
 def run_rollout_shard_obs(
         spec: RolloutShardSpec) -> Tuple[RolloutResult, List[Dict], float]:
     """Traced worker twin of :func:`run_rollout_shard`; returns
@@ -233,6 +251,9 @@ class RolloutStudy:
         self.fault_plan = fault_plan
         self._fleet_factory = fleet_factory
         self._sample_rate = profile_sample_rate
+        #: Work-queue disposition of the last :meth:`run` (a
+        #: :class:`~repro.fleet.queue.QueueStats`), or ``None``.
+        self.queue_stats = None
 
     def _build(self, prefetch_aware: bool = False, tracer=None) -> Fleet:
         if self._fleet_factory is not None:
@@ -315,8 +336,28 @@ class RolloutStudy:
             material["fault_plan"] = self.fault_plan.to_key_material()
         return material
 
+    def shard_task_materials(self, traced: bool = False) -> List[Dict]:
+        """Work-queue key material per shard (plan order; see the
+        ablation twin for the key-coverage argument)."""
+        from repro.fleet.queue import shard_task_material
+
+        base = self.run_material()
+        return [
+            shard_task_material("rollout", {
+                **base,
+                "shard_machines": spec.machines,
+                "shard_seed": spec.seed,
+                "shard_index": spec.shard_index,
+                "traced": traced,
+            })
+            for spec in self.shard_specs()
+        ]
+
     def run(self, workers: Optional[int] = None,
-            obs_dir: Optional[str] = None) -> RolloutResult:
+            obs_dir: Optional[str] = None,
+            cache_dir: Optional[str] = None,
+            checkpoint_dir: Optional[str] = None,
+            resume: bool = True) -> RolloutResult:
         """Run all arms across every shard and collect the result.
 
         Args:
@@ -325,8 +366,23 @@ class RolloutStudy:
                 means all CPUs. The result is identical at any value.
             obs_dir: Run directory for the observability layer. ``None``
                 reads ``$REPRO_OBS_DIR``; empty/unset disables it.
+            cache_dir: Whole-study result-cache directory (``None``
+                reads ``$REPRO_CACHE_DIR``; empty/unset disables it).
+            checkpoint_dir: Shard-journal directory (``None`` reads
+                ``$REPRO_CHECKPOINT``; empty/unset disables it). See
+                :meth:`AblationStudy.run
+                <repro.fleet.ablation.AblationStudy.run>`.
+            resume: Whether to restore journaled shards (default) or
+                recompute while still journaling.
+
+        After the call, :attr:`queue_stats` holds the work-queue
+        disposition (``None`` when the sharded path did not run).
         """
+        from repro.fleet.queue import run_checkpointed, shard_checkpoint
+        from repro.fleet.result_cache import study_cache
         from repro.obs.session import ObsSession, resolve_obs_dir
+        from repro.serialization import (rollout_result_from_dict,
+                                         rollout_result_to_dict)
 
         workers = resolve_workers(workers)
         obs_dir = resolve_obs_dir(obs_dir)
@@ -334,8 +390,30 @@ class RolloutStudy:
                    if obs_dir is not None else None)
         if session is not None:
             session.event("study-start", study="rollout")
+        self.queue_stats = None
 
-        if self._fleet_factory is not None:
+        cache = None
+        checkpoint = None
+        if self._fleet_factory is None:
+            cache = study_cache(cache_dir)
+            checkpoint = shard_checkpoint(checkpoint_dir)
+
+        result = None
+        if cache is not None:
+            material = self.run_material()
+            payload = cache.load(material)
+            if payload is not None:
+                try:
+                    result = rollout_result_from_dict(payload)
+                except TraceError:
+                    result = None  # stale payload: recompute, overwrite
+            if session is not None:
+                session.cache_probe(result is not None,
+                                    cache.key_for(material))
+
+        if result is not None:
+            pass
+        elif self._fleet_factory is not None:
             # A custom factory cannot be resized per shard; run unsharded.
             if session is not None:
                 with session.phase("execute"):
@@ -348,23 +426,52 @@ class RolloutStudy:
         else:
             specs = self.shard_specs()
             if session is not None:
+                materials = self.shard_task_materials(traced=True)
                 with session.phase("execute"):
-                    outputs = run_sharded(run_rollout_shard_obs,
-                                          specs, workers)
+                    outputs, stats = run_checkpointed(
+                        run_rollout_shard_obs, specs, materials, workers,
+                        checkpoint=checkpoint,
+                        to_payload=obs_shard_payload,
+                        from_payload=obs_shard_from_payload,
+                        resume=resume)
+                self.queue_stats = stats
+                if checkpoint is not None:
+                    session.queue_stats(stats)
                 results = []
                 for spec, (shard, events, wall) in zip(specs, outputs):
                     session.add_shard(spec.shard_index, events, wall)
                     results.append(shard)
+                if checkpoint is not None:
+                    restored = set(stats.restored_indexes)
+                    for spec in specs:
+                        session.event(
+                            "shard-restored"
+                            if spec.shard_index in restored
+                            else "shard-checkpoint",
+                            index=spec.shard_index)
                 with session.phase("merge"):
                     result = results[0]
                     for index, shard in enumerate(results[1:], start=1):
                         session.event("merge-step", index=index)
                         result.merge(shard)
             else:
-                shards = run_sharded(run_rollout_shard, specs, workers)
+                materials = self.shard_task_materials(traced=False)
+                shards, stats = run_checkpointed(
+                    run_rollout_shard, specs, materials, workers,
+                    checkpoint=checkpoint,
+                    to_payload=rollout_result_to_dict,
+                    from_payload=rollout_result_from_dict,
+                    resume=resume)
+                self.queue_stats = stats
                 result = shards[0]
                 for shard in shards[1:]:
                     result.merge(shard)
+            if cache is not None:
+                material = self.run_material()
+                cache.store(material, rollout_result_to_dict(result))
+                if session is not None:
+                    session.event("cache-store",
+                                  key=cache.key_for(material))
 
         if session is not None:
             session.event("study-finish", study="rollout")

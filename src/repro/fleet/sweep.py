@@ -35,7 +35,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, fault_rng
-from repro.fleet.parallel import resolve_workers, run_sharded
+from repro.fleet.parallel import resolve_workers
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 from repro.serialization import canonical_json
 
@@ -285,6 +285,9 @@ class MicroFleetSweep:
         self.crash_rate = crash_rate
         self.shard_size = shard_size
         self.batch_size = batch_size
+        #: Work-queue disposition of the last :meth:`run` (a
+        #: :class:`~repro.fleet.queue.QueueStats`), or ``None``.
+        self.queue_stats = None
 
     # --- sharding ----------------------------------------------------------------
 
@@ -323,10 +326,38 @@ class MicroFleetSweep:
             "shard_size": self.shard_size,
         }
 
+    def shard_task_materials(self) -> List[Dict]:
+        """Work-queue key material per shard (plan order).
+
+        Each key covers the shard spec plus the trace fingerprint — the
+        trace memo's own content key, ``("fleetbench_mix", trace_seed,
+        scale)`` — and, like the study cache key, deliberately excludes
+        the batch size (the lockstep engine is bit-identical to the
+        scalar one, so a shard journaled under ``REPRO_BATCH=0`` must
+        restore under ``REPRO_BATCH=64``, and does).
+        """
+        from repro.fleet.queue import shard_task_material
+
+        return [
+            shard_task_material("micro-sweep", {
+                "mode": spec.mode,
+                "machines": spec.machines,
+                "study_seed": spec.study_seed,
+                "trace_seed": spec.trace_seed,
+                "scale": spec.scale,
+                "crash_rate": spec.crash_rate,
+                "shard_index": spec.shard_index,
+                "trace": ["fleetbench_mix", spec.trace_seed, spec.scale],
+            })
+            for spec in self.shard_specs()
+        ]
+
     # --- execution ---------------------------------------------------------------
 
     def run(self, workers: Optional[int] = None,
-            cache_dir: Optional[str] = None) -> MicroSweepResult:
+            cache_dir: Optional[str] = None,
+            checkpoint_dir: Optional[str] = None,
+            resume: bool = True) -> MicroSweepResult:
         """Run every shard and merge the rows in plan order.
 
         Args:
@@ -335,11 +366,24 @@ class MicroFleetSweep:
                 identical at any value.
             cache_dir: Result-cache directory (``None`` reads
                 ``$REPRO_CACHE_DIR``; empty/unset disables caching).
+            checkpoint_dir: Shard-journal directory (``None`` reads
+                ``$REPRO_CHECKPOINT``; empty/unset disables
+                checkpointing). Finished shards journal as they land
+                and a re-run restores them; the merged result — and
+                :func:`sweep_digest` — is bit-identical either way.
+            resume: Whether to restore journaled shards (default) or
+                recompute while still journaling.
+
+        After the call, :attr:`queue_stats` holds the work-queue
+        disposition (``None`` on a whole-study cache hit).
         """
+        from repro.fleet.queue import run_checkpointed, shard_checkpoint
         from repro.fleet.result_cache import study_cache
 
         workers = resolve_workers(workers)
         cache = study_cache(cache_dir)
+        checkpoint = shard_checkpoint(checkpoint_dir)
+        self.queue_stats = None
         material = None
         if cache is not None:
             material = self.cache_key_material()
@@ -350,7 +394,13 @@ class MicroFleetSweep:
                 except (KeyError, TypeError):
                     pass  # stale/foreign payload: recompute, overwrite
         specs = self.shard_specs()
-        shards = run_sharded(run_sweep_shard, specs, workers)
+        shards, stats = run_checkpointed(
+            run_sweep_shard, specs, self.shard_task_materials(), workers,
+            checkpoint=checkpoint,
+            to_payload=MicroSweepResult.to_dict,
+            from_payload=MicroSweepResult.from_dict,
+            resume=resume)
+        self.queue_stats = stats
         result = shards[0]
         for shard in shards[1:]:
             result.merge(shard)

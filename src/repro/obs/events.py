@@ -37,6 +37,14 @@ EVENT_TYPES: Dict[str, tuple] = {
     "shard-start": ("index", "machines", "seed"),
     "shard-finish": ("index", "epochs"),
     "merge-step": ("index",),
+    # checkpointed work-queue (study-level, emitted in plan order):
+    # this run journaled the shard fresh vs. restored it from the journal
+    "shard-checkpoint": ("index",),
+    "shard-restored": ("index",),
+    # adaptive sampling (study-level): one event per evaluation round,
+    # plus one per arm the round retires early
+    "adaptive-round": ("round",),
+    "arm-early-stop": ("arm", "round"),
     # result cache
     "cache-hit": ("key",),
     "cache-miss": ("key",),
@@ -95,11 +103,12 @@ def canonical_event_line(event: Dict) -> str:
 
 
 def write_events_jsonl(events: Iterable[Dict], path: _PathLike) -> None:
-    """Write events as canonical JSON Lines."""
-    path = pathlib.Path(path)
-    with path.open("w") as handle:
-        for event in events:
-            handle.write(canonical_event_line(event) + "\n")
+    """Write events as canonical JSON Lines (atomically: temp file +
+    ``os.replace``, so a crash mid-finalize never leaves a torn log)."""
+    from repro.serialization import atomic_write_text
+
+    lines = [canonical_event_line(event) + "\n" for event in events]
+    atomic_write_text(pathlib.Path(path), "".join(lines))
 
 
 def read_events_jsonl(path: _PathLike, validate: bool = True) -> List[Dict]:

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import TraceError
+from repro.serialization import atomic_write_text
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     canonical_event_line,
@@ -81,6 +82,7 @@ class ObsSession:
         self._phases: List[Dict] = []
         self._shard_walls: Dict[int, float] = {}
         self._cache: str = "off"
+        self._queue: Optional[Dict] = None
         self._start = time.monotonic()
 
     # --- event collection ------------------------------------------------------
@@ -109,6 +111,11 @@ class ObsSession:
             return
         self._cache = "hit" if hit else "miss"
         self.event("cache-hit" if hit else "cache-miss", key=key)
+
+    def queue_stats(self, stats) -> None:
+        """Record the checkpointed work-queue disposition (execution
+        overlay; a :class:`~repro.fleet.queue.QueueStats`)."""
+        self._queue = stats.to_dict()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -162,9 +169,11 @@ class ObsSession:
                 "shard_wall_s": {str(index): wall for index, wall
                                  in sorted(self._shard_walls.items())},
                 "cache": self._cache,
+                "queue": self._queue,
             },
         }
-        (self.dir / MANIFEST_NAME).write_text(
+        atomic_write_text(
+            self.dir / MANIFEST_NAME,
             json.dumps(manifest, indent=2, sort_keys=True) + "\n")
         return self.dir
 

@@ -9,7 +9,9 @@ archiving next to the benchmark outputs.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from typing import Dict, Iterable, List, Union
 
 from repro.access.record import AccessKind, MemoryAccess
@@ -29,6 +31,33 @@ def canonical_json(obj) -> str:
     always encode to identical bytes.
     """
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def atomic_write_text(path: _PathLike, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The one write discipline shared by everything that persists results
+    — the result cache, the shard checkpoint journal, observability
+    output, archived metrics. A reader can never observe a torn file: it
+    sees either the previous complete content or the new complete
+    content, even if the writer is SIGKILLed mid-write, because the data
+    lands under a temporary name in the same directory first and the
+    final ``os.replace`` is atomic on POSIX.
+    """
+    path = pathlib.Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 # --- traces -----------------------------------------------------------------
@@ -72,11 +101,9 @@ def trace_from_dicts(records: Iterable[Dict]) -> Trace:
 
 
 def save_trace_jsonl(trace: Trace, path: _PathLike) -> None:
-    """Write a trace as JSON Lines (one record per line)."""
-    path = pathlib.Path(path)
-    with path.open("w") as handle:
-        for record in trace:
-            handle.write(json.dumps(access_to_dict(record)) + "\n")
+    """Write a trace as JSON Lines (one record per line; atomic)."""
+    lines = [json.dumps(access_to_dict(record)) for record in trace]
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
 
 
 def load_trace_jsonl(path: _PathLike) -> Trace:
@@ -162,10 +189,9 @@ def run_result_to_dict(result: RunResult) -> Dict:
 
 
 def save_run_result(result: RunResult, path: _PathLike) -> None:
-    """Archive a run result as pretty-printed JSON."""
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(run_result_to_dict(result), indent=2)
-                    + "\n")
+    """Archive a run result as pretty-printed JSON (atomic)."""
+    atomic_write_text(path, json.dumps(run_result_to_dict(result), indent=2)
+                      + "\n")
 
 
 def fleet_metrics_to_dict(metrics, include_samples: bool = False) -> Dict:
@@ -207,9 +233,8 @@ def fleet_metrics_to_dict(metrics, include_samples: bool = False) -> Dict:
 
 def save_fleet_metrics(metrics, path: _PathLike,
                        include_samples: bool = False) -> None:
-    """Archive fleet metrics as pretty-printed JSON."""
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(
+    """Archive fleet metrics as pretty-printed JSON (atomic)."""
+    atomic_write_text(path, json.dumps(
         fleet_metrics_to_dict(metrics, include_samples), indent=2) + "\n")
 
 
@@ -362,3 +387,45 @@ def ablation_result_from_dict(data: Dict):
     except (KeyError, TypeError) as error:
         raise TraceError(
             f"malformed ablation result record: {error}") from error
+
+
+def rollout_result_to_dict(result) -> Dict:
+    """A rollout shard result as a plain dict (lossless: raw samples
+    included, so a checkpointed shard restores bit-identically)."""
+    data = {
+        "before": fleet_metrics_to_dict(result.before,
+                                        include_samples=True),
+        "hard_only": fleet_metrics_to_dict(result.hard_only,
+                                           include_samples=True),
+        "full": fleet_metrics_to_dict(result.full, include_samples=True),
+        "full_integrated": fleet_metrics_to_dict(result.full_integrated,
+                                                 include_samples=True),
+        "before_profile": profile_data_to_dict(result.before_profile),
+        "hard_profile": profile_data_to_dict(result.hard_profile),
+        "full_profile": profile_data_to_dict(result.full_profile),
+    }
+    chaos = getattr(result, "chaos", None)
+    if chaos is not None:
+        data["chaos"] = chaos_metrics_to_dict(chaos)
+    return data
+
+
+def rollout_result_from_dict(data: Dict):
+    """Inverse of :func:`rollout_result_to_dict`."""
+    from repro.fleet.rollout import RolloutResult
+
+    try:
+        chaos = data.get("chaos")
+        return RolloutResult(
+            before=fleet_metrics_from_dict(data["before"]),
+            hard_only=fleet_metrics_from_dict(data["hard_only"]),
+            full=fleet_metrics_from_dict(data["full"]),
+            full_integrated=fleet_metrics_from_dict(data["full_integrated"]),
+            before_profile=profile_data_from_dict(data["before_profile"]),
+            hard_profile=profile_data_from_dict(data["hard_profile"]),
+            full_profile=profile_data_from_dict(data["full_profile"]),
+            chaos=None if chaos is None else chaos_metrics_from_dict(chaos),
+        )
+    except (KeyError, TypeError) as error:
+        raise TraceError(
+            f"malformed rollout result record: {error}") from error

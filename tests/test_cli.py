@@ -105,3 +105,68 @@ class TestReport:
         assert main(["report", "--quick", "--out", str(target)]) == 0
         assert "Loaded latency" in target.read_text()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestCheckpointCommands:
+    SWEEP = ["sweep", "--machines", "9", "--shard-size", "3"]
+
+    def test_sweep_reports_queue_disposition(self, tmp_path, capsys):
+        assert main(self.SWEEP + ["--checkpoint-dir", str(tmp_path)]) == 0
+        assert "0/3 shards restored, 3 computed" in capsys.readouterr().out
+        assert main(self.SWEEP + ["--checkpoint-dir", str(tmp_path),
+                                  "--resume"]) == 0
+        assert "3/3 shards restored, 0 computed" in capsys.readouterr().out
+
+    def test_resume_without_directory_fails_fast(self, monkeypatch):
+        from repro.fleet.queue import CHECKPOINT_ENV_VAR
+        monkeypatch.delenv(CHECKPOINT_ENV_VAR, raising=False)
+        with pytest.raises(ReproError):
+            main(self.SWEEP + ["--resume"])
+
+    def test_queue_status_command(self, tmp_path, capsys):
+        assert main(self.SWEEP + ["--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["queue", "--checkpoint-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "micro-sweep" in out
+        assert "shard tasks" in out
+
+    def test_queue_without_directory_fails_fast(self, monkeypatch):
+        from repro.fleet.queue import CHECKPOINT_ENV_VAR
+        monkeypatch.delenv(CHECKPOINT_ENV_VAR, raising=False)
+        with pytest.raises(ReproError):
+            main(["queue"])
+
+
+class TestCacheCommand:
+    def test_inspect_and_prune(self, tmp_path, capsys):
+        assert main(["ablation", "--machines", "4", "--epochs", "10",
+                     "--warmup", "3", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "stores" in out
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune", "0"]) == 0
+        assert "pruned 1 entry" in capsys.readouterr().out
+
+    def test_cache_without_directory_fails_fast(self, monkeypatch):
+        from repro.fleet.result_cache import CACHE_ENV_VAR
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        with pytest.raises(ReproError):
+            main(["cache"])
+
+
+class TestAdaptiveCommand:
+    def test_adaptive_ablation_prints_verdicts(self, capsys):
+        assert main(["ablation", "--adaptive", "--machines", "12",
+                     "--epochs", "10", "--warmup", "3",
+                     "--shard-size", "4", "--margin", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive ablation over arms: off, control" in out
+        assert "ranking:" in out
+        assert "exhaustive" in out
+
+    def test_adaptive_rejects_bad_arms(self):
+        with pytest.raises(ReproError):
+            main(["ablation", "--adaptive", "--arms", "off"])

@@ -34,6 +34,8 @@ FIELD_SAMPLES = {
     "recovered_ns": 3.0e9,
     "policy": "enabled",
     "accesses": 160_000,
+    "round": 1,
+    "arm": "off",
 }
 
 

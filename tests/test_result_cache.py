@@ -171,3 +171,85 @@ class TestAblationStudyCaching:
         AblationStudy(mode="hard", machines=6, epochs=8, warmup_epochs=2,
                       seed=3).run(cache_dir=tmp_path)
         assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+class TestStatsSidecar:
+    def test_counters_accumulate(self, cache):
+        cache.store(MATERIAL, PAYLOAD)          # store
+        cache.load(MATERIAL)                    # hit
+        cache.load({**MATERIAL, "seed": 99})    # miss
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_miss_before_first_store_is_not_recorded(self, cache):
+        """Counters are best-effort and never create the cache
+        directory: probing a cache that was never written leaves no
+        trace on disk."""
+        cache.load(MATERIAL)
+        assert not cache.root.exists()
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_counters_survive_reopen(self, cache):
+        cache.store(MATERIAL, PAYLOAD)
+        cache.load(MATERIAL)
+        reopened = StudyResultCache(cache.root)
+        assert reopened.stats() == {"hits": 1, "misses": 0, "stores": 1}
+
+    def test_sidecar_is_not_an_entry(self, cache):
+        """The stats file must never be scanned, pruned, or restored as
+        if it were a cached result."""
+        cache.store(MATERIAL, PAYLOAD)
+        cache.load(MATERIAL)
+        scan = cache.scan()
+        assert scan["entries"] == 1 and scan["corrupt"] == 0
+        cache.prune(0)
+        assert cache.stats()["stores"] == 1  # sidecar survived the prune
+
+    def test_missing_sidecar_reads_as_zero(self, cache):
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+
+class TestScan:
+    def test_empty_directory(self, cache):
+        assert cache.scan() == {"entries": 0, "bytes": 0, "valid": 0,
+                                "corrupt": 0}
+
+    def test_counts_valid_and_corrupt(self, cache):
+        good = cache.store(MATERIAL, PAYLOAD)
+        bad = cache.store({**MATERIAL, "seed": 2}, PAYLOAD)
+        bad.write_text("garbage")
+        scan = cache.scan()
+        assert scan["entries"] == 2
+        assert scan["valid"] == 1 and scan["corrupt"] == 1
+        assert scan["bytes"] >= good.stat().st_size
+
+
+class TestEvictionControls:
+    def test_max_entries_none_never_evicts(self, tmp_path):
+        cache = StudyResultCache(tmp_path, max_entries=None)
+        for i in range(300):
+            cache.store({"i": i}, {"value": i})
+        cache.prune()
+        assert cache.scan()["entries"] == 300
+
+    def test_prune_call_level_override(self, tmp_path):
+        import os
+        cache = StudyResultCache(tmp_path, max_entries=None)
+        for i in range(5):
+            path = cache.store({"i": i}, {"value": i})
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        removed = cache.prune(2)
+        assert removed == 3
+        assert cache.scan()["entries"] == 2
+        assert cache.load({"i": 4}) == {"value": 4}
+
+
+class TestEmbeddedMaterial:
+    def test_store_embeds_material_on_request(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD, embed_material=True)
+        entry = json.loads(path.read_text())
+        assert entry["material"] == MATERIAL
+        assert cache.load(MATERIAL) == PAYLOAD
+
+    def test_default_store_omits_material(self, cache):
+        path = cache.store(MATERIAL, PAYLOAD)
+        assert "material" not in json.loads(path.read_text())

@@ -195,3 +195,51 @@ class TestStudyResultSerialization:
             profile_data_from_dict({"functions": "nope"})
         with pytest.raises(TraceError):
             ablation_result_from_dict({"mode": "off"})
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        from repro.serialization import atomic_write_text
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, '{"a": 1}') == target
+        assert target.read_text() == '{"a": 1}'
+
+    def test_replaces_existing_content(self, tmp_path):
+        from repro.serialization import atomic_write_text
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        from repro.serialization import atomic_write_text
+        atomic_write_text(tmp_path / "out.json", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_write_preserves_previous_content(self, tmp_path):
+        """The atomicity promise: a reader never sees a torn file."""
+        from repro.serialization import atomic_write_text
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "intact")
+        with pytest.raises(TypeError):
+            atomic_write_text(target, object())  # not a str: write fails
+        assert target.read_text() == "intact"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestRolloutResultRoundTrip:
+    def test_round_trip_is_lossless(self):
+        from repro.fleet import RolloutStudy
+        from repro.serialization import (rollout_result_from_dict,
+                                         rollout_result_to_dict)
+        result = RolloutStudy(machines=4, epochs=8, warmup_epochs=2,
+                              seed=5).run()
+        data = rollout_result_to_dict(result)
+        restored = rollout_result_from_dict(data)
+        assert rollout_result_to_dict(restored) == data
+
+    def test_malformed_dict_rejected(self):
+        from repro.serialization import rollout_result_from_dict
+        with pytest.raises((TraceError, KeyError, TypeError)):
+            rollout_result_from_dict({"not": "a rollout result"})
