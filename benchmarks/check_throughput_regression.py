@@ -36,7 +36,8 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
 BASELINES_DIR = BENCH_DIR / "baselines"
 KNOWN_BENCHMARKS = ("sim_throughput", "trace_pipeline", "batched_engine",
-                    "resume_overhead", "adaptive_sampling")
+                    "resume_overhead", "adaptive_sampling",
+                    "policy_compare")
 METRIC = "speedup"
 DEFAULT_TOLERANCE = 0.20
 
@@ -120,7 +121,22 @@ def main(argv=None):
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baselines with the current "
                              "results instead of gating")
+    parser.add_argument("--list", action="store_true",
+                        help="print the known benchmarks and per-file "
+                             "status (results present / baseline "
+                             "committed), then exit 0")
     args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"{'benchmark':>18} {'results':>8} {'baseline':>9}")
+        for name in KNOWN_BENCHMARKS:
+            print(f"{name:>18} "
+                  f"{'yes' if current_path(name).exists() else 'no':>8} "
+                  f"{'yes' if baseline_path(name).exists() else 'no':>9}")
+        print(f"\nexit codes: {EXIT_OK} = all gates pass, "
+              f"{EXIT_REGRESSION} = regression past tolerance, "
+              f"{EXIT_MISSING} = missing/malformed results or baseline")
+        return EXIT_OK
 
     if not 0.0 < args.tolerance < 1.0:
         raise SystemExit("--tolerance must be in (0, 1)")

@@ -26,6 +26,7 @@ BENCHMARK_SCRIPTS = {
     "batched_engine": BENCH_DIR / "bench_batched_engine.py",
     "resume_overhead": BENCH_DIR / "bench_resume_overhead.py",
     "adaptive_sampling": BENCH_DIR / "bench_adaptive_sampling.py",
+    "policy_compare": BENCH_DIR / "bench_policy_compare.py",
 }
 
 

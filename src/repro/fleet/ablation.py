@@ -18,10 +18,11 @@ bit-identical results to ``run(workers=1)``.
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import LimoncelloConfig, RetryPolicy
 from repro.errors import ConfigError
@@ -33,6 +34,10 @@ from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.profiling.profiler import FleetProfiler
 from repro.profiling.profile_data import ProfileData
+from repro.serialization import canonical_json
+
+if TYPE_CHECKING:
+    from repro.policy.metrics import PolicyMetrics
 
 #: Experiment-arm configurations.
 MODES = ("off", "hard", "hard+soft", "soft-only", "control")
@@ -85,6 +90,9 @@ class AblationResult:
     #: Controller-robustness aggregate for the experiment arm; ``None``
     #: unless the study ran under a fault plan.
     chaos: Optional[ChaosMetrics] = None
+    #: Per-policy decision aggregate for the experiment arm; ``None``
+    #: unless the study ran with an injected control policy.
+    policy_metrics: Optional["PolicyMetrics"] = None
 
     def merge(self, other: "AblationResult") -> "AblationResult":
         """Fold another shard's paired result into this one (in place).
@@ -104,6 +112,11 @@ class AblationResult:
             if self.chaos is None:
                 self.chaos = ChaosMetrics()
             self.chaos.merge(other.chaos)
+        if other.policy_metrics is not None:
+            if self.policy_metrics is None:
+                from repro.policy.metrics import PolicyMetrics
+                self.policy_metrics = PolicyMetrics()
+            self.policy_metrics.merge(other.policy_metrics)
         return self
 
     def bandwidth_reduction(self) -> Dict[str, float]:
@@ -168,6 +181,10 @@ class AblationShardSpec:
     #: Position in the shard plan; carried so a traced worker can stamp
     #: its events without the parent re-deriving the mapping.
     shard_index: int = 0
+    #: Canonical JSON of the injected control policy, or ``None`` for
+    #: the stock hysteresis deployment. A string (not a Policy object)
+    #: so the spec stays hashable and picklable across pool workers.
+    policy_json: Optional[str] = None
 
 
 def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
@@ -177,7 +194,7 @@ def run_ablation_shard(spec: AblationShardSpec) -> AblationResult:
         mode=spec.mode, machines=spec.machines, epochs=spec.epochs,
         warmup_epochs=spec.warmup_epochs, seed=spec.seed,
         config=spec.config, profile_sample_rate=spec.profile_sample_rate,
-        fault_plan=spec.fault_plan)
+        fault_plan=spec.fault_plan, policy=spec.policy_json)
     return study._run_single()
 
 
@@ -228,7 +245,7 @@ def run_ablation_shard_obs(
         mode=spec.mode, machines=spec.machines, epochs=spec.epochs,
         warmup_epochs=spec.warmup_epochs, seed=spec.seed,
         config=spec.config, profile_sample_rate=spec.profile_sample_rate,
-        fault_plan=spec.fault_plan)
+        fault_plan=spec.fault_plan, policy=spec.policy_json)
     tracer = Tracer()
     result = _traced_single(study, tracer, spec.shard_index, spec.machines,
                             spec.seed, spec.epochs)
@@ -244,6 +261,11 @@ class AblationStudy:
             larger studies split into balanced shards that can run on
             parallel workers. The shard plan — and therefore the result
             — is independent of the worker count.
+        policy: Optional control policy for the experiment arm's
+            daemons — a :class:`~repro.policy.Policy`, its serialized
+            dict, or canonical JSON. Requires a daemon-running mode
+            (``hard``/``hard+soft``). Enters cache and shard-task keys
+            only when set, so policy-free study keys are unchanged.
     """
 
     def __init__(self, mode: str = "off", machines: int = 30,
@@ -253,7 +275,8 @@ class AblationStudy:
                  fleet_factory: Optional[Callable[[int], Fleet]] = None,
                  profile_sample_rate: float = 0.25,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 policy=None) -> None:
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
         if epochs <= 0:
@@ -262,6 +285,15 @@ class AblationStudy:
             raise ConfigError("warmup cannot be negative")
         if shard_size <= 0:
             raise ConfigError("shard size must be positive")
+        self.policy_json: Optional[str] = None
+        if policy is not None:
+            if mode not in ("hard", "hard+soft"):
+                raise ConfigError(
+                    "a control policy needs a daemon-running mode "
+                    f"('hard' or 'hard+soft'), got {mode!r}")
+            from repro.policy import policy_from_spec
+            self.policy_json = canonical_json(
+                policy_from_spec(policy).to_dict())
         self.mode = mode
         self.machines = machines
         self.epochs = epochs
@@ -291,7 +323,8 @@ class AblationStudy:
                 warmup_epochs=self.warmup_epochs, seed=seed,
                 config=self.config,
                 profile_sample_rate=self._sample_rate,
-                fault_plan=self.fault_plan, shard_index=index)
+                fault_plan=self.fault_plan, shard_index=index,
+                policy_json=self.policy_json)
             for index, (size, seed)
             in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
         ]
@@ -319,6 +352,8 @@ class AblationStudy:
         }
         if self.fault_plan is not None:
             material["fault_plan"] = self.fault_plan.to_key_material()
+        if self.policy_json is not None:
+            material["policy"] = json.loads(self.policy_json)
         return material
 
     def shard_task_materials(self, traced: bool = False) -> List[Dict]:
@@ -390,12 +425,20 @@ class AblationStudy:
         if self.mode == "off":
             fleet.force_prefetchers(False)
         elif self.mode == "hard":
-            fleet.deploy_hard_limoncello(self.config)
+            self._deploy_controller(fleet)
         elif self.mode == "hard+soft":
-            fleet.deploy_hard_limoncello(self.config)
+            self._deploy_controller(fleet)
             fleet.deploy_soft_limoncello()
         elif self.mode == "soft-only":
             fleet.deploy_soft_limoncello()
+
+    def _deploy_controller(self, fleet: Fleet) -> None:
+        """The experiment arm's control plane: the injected policy when
+        one is set, the stock hysteresis daemons otherwise."""
+        if self.policy_json is not None:
+            fleet.deploy_policy(self.policy_json, self.config)
+        else:
+            fleet.deploy_hard_limoncello(self.config)
 
     def _run_single(self, tracer=None) -> AblationResult:
         """Run the whole population as one fleet (no sharding)."""
@@ -428,6 +471,11 @@ class AblationStudy:
         # collected from the experiment arm (the one running daemons).
         chaos = (collect_chaos_metrics(experiment_fleet.machines)
                  if self.fault_plan is not None else None)
+        if self.policy_json is not None:
+            from repro.policy.metrics import collect_policy_metrics
+            policy_metrics = collect_policy_metrics(experiment_fleet.machines)
+        else:
+            policy_metrics = None
         return AblationResult(
             mode=self.mode,
             control=control,
@@ -435,6 +483,7 @@ class AblationStudy:
             control_profile=control_profiler.data,
             experiment_profile=experiment_profiler.data,
             chaos=chaos,
+            policy_metrics=policy_metrics,
         )
 
     def run(self, workers: Optional[int] = None,

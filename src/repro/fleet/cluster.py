@@ -226,6 +226,33 @@ class Fleet:
         for machine in self.machines:
             machine.deploy_hard_limoncello(config, controller_factory)
 
+    def deploy_policy(self, policy_spec,
+                      config: Optional[LimoncelloConfig] = None) -> None:
+        """Install per-socket daemons driven by a pluggable policy.
+
+        ``policy_spec`` is anything :func:`repro.policy.policy_from_spec`
+        accepts (a :class:`~repro.policy.Policy`, its serialized dict,
+        or canonical JSON). Every socket gets its *own* policy instance
+        wrapped in a :class:`~repro.policy.PolicyController`, bound to
+        the socket ident at construction — so learning policies draw
+        from per-socket seed streams that are independent of worker
+        count, batch size, and whether a tracer is attached. The config
+        defaults match :meth:`deploy_hard_limoncello` (epoch-period
+        sampling, three-epoch sustain window).
+        """
+        from repro.policy import PolicyController, policy_from_spec
+
+        config = config or LimoncelloConfig(
+            sample_period_ns=self.epoch_ns,
+            sustain_duration_ns=3 * self.epoch_ns)
+
+        def factory(ident: str) -> PolicyController:
+            return PolicyController(policy_from_spec(policy_spec),
+                                    config=config, ident=ident)
+
+        for machine in self.machines:
+            machine.deploy_hard_limoncello(config, factory)
+
     def deploy_soft_limoncello(self) -> None:
         """Mark the software prefetch insertions as rolled out fleet-wide."""
         for machine in self.machines:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import inspect
 import math
 import random
 from typing import List, Optional
@@ -77,9 +78,23 @@ class Machine:
 
     def deploy_hard_limoncello(self, config: Optional[LimoncelloConfig] = None,
                                controller_factory=None) -> None:
-        """Install a per-socket control daemon (idempotent)."""
+        """Install a per-socket control daemon (idempotent).
+
+        ``controller_factory`` may take zero arguments (the historical
+        contract) or one — the socket's ``"<machine>/<socket>"`` ident.
+        Policy controllers need the ident at construction time so
+        per-socket learning streams derive from it deterministically,
+        whether or not a tracer later attaches the same ident.
+        """
         if self.daemons:
             return
+        factory_arity = 0
+        if controller_factory is not None:
+            try:
+                factory_arity = len(
+                    inspect.signature(controller_factory).parameters)
+            except (TypeError, ValueError):
+                factory_arity = 0
         for socket in self.sockets:
             sampler = PerfBandwidthSampler(
                 socket, dropout_rate=self._telemetry_dropout, rng=self._rng)
@@ -87,12 +102,16 @@ class Machine:
             if self.chaos is not None:
                 sampler = self.chaos.wrap_sampler(sampler, socket.index)
                 actuator = self.chaos.wrap_actuator(actuator, socket)
-            controller = (controller_factory() if controller_factory
-                          else None)
+            ident = f"{self.name}/{socket.index}"
+            if controller_factory is None:
+                controller = None
+            elif factory_arity >= 1:
+                controller = controller_factory(ident)
+            else:
+                controller = controller_factory()
             self.daemons.append(LimoncelloDaemon(
                 sampler, actuator, config, controller=controller,
-                tracer=self.tracer,
-                ident=f"{self.name}/{socket.index}"))
+                tracer=self.tracer, ident=ident))
 
     def deploy_soft_limoncello(self) -> None:
         """Mark the tax-function prefetch insertions as rolled out."""

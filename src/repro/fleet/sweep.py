@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, fault_rng
@@ -53,6 +53,12 @@ _MAX_BACKGROUND_LOAD = 2.0
 _ARM_FIELDS = ("machine", "external_load", "down", "elapsed_ns",
                "stall_cycles", "llc_misses", "dram_demand_fills",
                "dram_wait_ns")
+
+#: Extra per-arm fields a prefetcher-restricted sweep adds (policy
+#: trainer probes). Emitted only when present, so plain-sweep payloads
+#: and digests are unchanged.
+_PREFETCH_FIELDS = ("hw_prefetches_issued", "useful_prefetches",
+                    "prefetch_covered")
 
 
 def background_load(study_seed: int, shard_index: int,
@@ -137,7 +143,9 @@ class MicroSweepResult:
             "machines": self.machines,
             "down": self.down,
             "arms": [
-                {name: arm[name] for name in _ARM_FIELDS}
+                {name: arm[name]
+                 for name in _ARM_FIELDS + _PREFETCH_FIELDS
+                 if name in arm}
                 for arm in self.arms
             ],
         }
@@ -174,6 +182,10 @@ class MicroSweepShardSpec:
     crash_rate: float
     shard_index: int
     batch_size: Optional[int] = None
+    #: Restrict the arm's hardware bank to these prefetchers (policy
+    #: trainer probes); ``None`` keeps the mode's stock bank. Rows gain
+    #: the :data:`_PREFETCH_FIELDS` counters when set.
+    prefetchers: Optional[Tuple[str, ...]] = None
 
 
 def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
@@ -187,9 +199,20 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
     """
     from repro.memsys.dram import ConstantExternalLoad
     from repro.memsys.hierarchy import MemoryHierarchy, run_many
-    from repro.memsys.prefetchers.bank import PrefetcherBank
+    from repro.memsys.prefetchers.bank import (PrefetcherBank,
+                                               default_prefetcher_bank)
     from repro.workloads.memo import memoized_fleet_mix
 
+    if spec.prefetchers is not None:
+        if spec.mode == "off":
+            raise ConfigError(
+                "a prefetcher-restricted sweep needs mode 'control' "
+                "(mode 'off' ablates the bank entirely)")
+        known = {p.name for p in default_prefetcher_bank()}
+        unknown = [name for name in spec.prefetchers if name not in known]
+        if unknown:
+            raise ConfigError(
+                f"unknown prefetchers {unknown!r}; known: {sorted(known)}")
     trace = memoized_fleet_mix(spec.trace_seed, spec.scale)
     rows: List[Dict] = []
     live_arms: List[MemoryHierarchy] = []
@@ -208,13 +231,23 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
             "dram_demand_fills": 0,
             "dram_wait_ns": 0.0,
         }
+        if spec.prefetchers is not None:
+            for name in _PREFETCH_FIELDS:
+                row[name] = 0
         rows.append(row)
         if crashed(spec.study_seed, spec.shard_index, machine,
                    spec.crash_rate):
             row["down"] = True
             down += 1
             continue
-        prefetchers = PrefetcherBank([]) if spec.mode == "off" else None
+        if spec.mode == "off":
+            prefetchers = PrefetcherBank([])
+        elif spec.prefetchers is not None:
+            wanted = set(spec.prefetchers)
+            prefetchers = PrefetcherBank(
+                [p for p in default_prefetcher_bank() if p.name in wanted])
+        else:
+            prefetchers = None
         arm = MemoryHierarchy(
             prefetchers=prefetchers,
             external_load=ConstantExternalLoad(load))
@@ -230,6 +263,10 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
             row["llc_misses"] = result.total.llc_misses
             row["dram_demand_fills"] = result.dram_demand_fills
             row["dram_wait_ns"] = result.total.dram_wait_ns
+            if spec.prefetchers is not None:
+                row["hw_prefetches_issued"] = result.hw_prefetches_issued
+                row["useful_prefetches"] = result.useful_prefetches
+                row["prefetch_covered"] = result.total.prefetch_covered
     return MicroSweepResult(mode=spec.mode, machines=spec.machines,
                             down=down, arms=rows)
 
@@ -253,6 +290,12 @@ class MicroFleetSweep:
             :func:`~repro.memsys.hierarchy.run_many`; ``None`` defers to
             ``$REPRO_BATCH``. Never affects results, only throughput —
             which is why it is excluded from the cache key.
+        prefetchers: Restrict every arm's hardware bank to these
+            prefetchers (by name) — the policy trainer's per-prefetcher
+            accuracy/coverage probes. Requires mode ``control``; arm
+            rows gain issued/useful/covered prefetch counters. Enters
+            cache and shard-task keys only when set, so plain-sweep keys
+            are unchanged.
     """
 
     def __init__(self, mode: str = "off", machines: int = 64,
@@ -260,10 +303,19 @@ class MicroFleetSweep:
                  crash_rate: float = 0.0,
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  batch_size: Optional[int] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 prefetchers: Optional[Tuple[str, ...]] = None) -> None:
         if mode not in SWEEP_MODES:
             raise ConfigError(
                 f"mode must be one of {SWEEP_MODES}, got {mode!r}")
+        if prefetchers is not None:
+            if mode == "off":
+                raise ConfigError(
+                    "a prefetcher-restricted sweep needs mode 'control' "
+                    "(mode 'off' ablates the bank entirely)")
+            prefetchers = tuple(prefetchers)
+            if not prefetchers:
+                raise ConfigError("prefetchers cannot be an empty tuple")
         if machines <= 0:
             raise ConfigError("need at least one machine")
         if scale <= 0:
@@ -285,6 +337,7 @@ class MicroFleetSweep:
         self.crash_rate = crash_rate
         self.shard_size = shard_size
         self.batch_size = batch_size
+        self.prefetchers = prefetchers
         #: Work-queue disposition of the last :meth:`run` (a
         #: :class:`~repro.fleet.queue.QueueStats`), or ``None``.
         self.queue_stats = None
@@ -303,7 +356,7 @@ class MicroFleetSweep:
                 mode=self.mode, machines=size, study_seed=self.seed,
                 trace_seed=trace_seed, scale=self.scale,
                 crash_rate=self.crash_rate, shard_index=index,
-                batch_size=self.batch_size)
+                batch_size=self.batch_size, prefetchers=self.prefetchers)
             for index, (size, trace_seed)
             in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
         ]
@@ -316,7 +369,7 @@ class MicroFleetSweep:
         the result — a cache entry written under ``REPRO_BATCH=0`` must
         hit when read back under ``REPRO_BATCH=64``, and does.
         """
-        return {
+        material = {
             "study": "micro-sweep",
             "mode": self.mode,
             "machines": self.machines,
@@ -325,6 +378,9 @@ class MicroFleetSweep:
             "crash_rate": self.crash_rate,
             "shard_size": self.shard_size,
         }
+        if self.prefetchers is not None:
+            material["prefetchers"] = list(self.prefetchers)
+        return material
 
     def shard_task_materials(self) -> List[Dict]:
         """Work-queue key material per shard (plan order).
@@ -338,8 +394,9 @@ class MicroFleetSweep:
         """
         from repro.fleet.queue import shard_task_material
 
-        return [
-            shard_task_material("micro-sweep", {
+        materials = []
+        for spec in self.shard_specs():
+            body = {
                 "mode": spec.mode,
                 "machines": spec.machines,
                 "study_seed": spec.study_seed,
@@ -348,9 +405,11 @@ class MicroFleetSweep:
                 "crash_rate": spec.crash_rate,
                 "shard_index": spec.shard_index,
                 "trace": ["fleetbench_mix", spec.trace_seed, spec.scale],
-            })
-            for spec in self.shard_specs()
-        ]
+            }
+            if spec.prefetchers is not None:
+                body["prefetchers"] = list(spec.prefetchers)
+            materials.append(shard_task_material("micro-sweep", body))
+        return materials
 
     # --- execution ---------------------------------------------------------------
 

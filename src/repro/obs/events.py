@@ -51,6 +51,8 @@ EVENT_TYPES: Dict[str, tuple] = {
     "cache-store": ("key",),
     # control plane (per-socket daemons)
     "controller-transition": ("ident", "state", "enabled"),
+    # a pluggable policy flipped the socket-level prefetcher state
+    "policy-decision": ("ident", "policy", "enabled"),
     "msr-write": ("ident", "enabled", "ok"),
     "failsafe-engaged": ("ident", "dark_since_ns"),
     "failsafe-released": ("ident",),

@@ -1,0 +1,128 @@
+"""Telemetry feature extraction for control policies.
+
+Every policy sees the same fixed feature schema (:data:`FEATURE_NAMES`),
+extracted per telemetry sample by :class:`FeatureExtractor`:
+
+* ``utilization`` — the raw bandwidth-utilization sample the hysteresis
+  controller already consumes;
+* ``util_mean`` — mean utilization over a trailing window (one sustain
+  duration by default), the smoothed signal the sustain timer
+  approximates;
+* ``util_slope`` — per-sample utilization trend over that window
+  (positive while a burst is building, negative as it drains);
+* ``duty_cycle`` — the fraction of samples so far with prefetchers
+  disabled, the controller's own recent behaviour fed back as context;
+* ``accuracy`` / ``coverage`` — per-prefetcher usefulness measured
+  offline from the cycle-accurate simulator (``memsys.stats``: useful /
+  issued prefetches, and prefetch-covered / (covered + LLC misses)).
+  The analytic fleet cannot observe these online, so trained policies
+  carry the offline measurements as static per-prefetcher features
+  (see :mod:`repro.policy.trainer`).
+
+Extraction is pure arithmetic over the sample stream — no RNG draws,
+no wall-clock reads — so feature vectors, and therefore every policy
+decision, are bit-identical across serial, sharded, and batched runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+#: The fixed feature schema, in canonical order. Decision-tree splits
+#: iterate features in this order, which is part of what makes training
+#: deterministic.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "utilization",
+    "util_mean",
+    "util_slope",
+    "duty_cycle",
+    "accuracy",
+    "coverage",
+)
+
+#: Bumped whenever a feature's meaning changes; serialized policies
+#: carry it so a policy trained under an older schema never silently
+#: misreads features.
+FEATURE_SCHEMA_VERSION = 1
+
+
+def feature_vector(utilization: float = 0.0, util_mean: float = 0.0,
+                   util_slope: float = 0.0, duty_cycle: float = 0.0,
+                   accuracy: float = 0.0,
+                   coverage: float = 0.0) -> Dict[str, float]:
+    """A complete feature dict in the canonical schema."""
+    return {
+        "utilization": utilization,
+        "util_mean": util_mean,
+        "util_slope": util_slope,
+        "duty_cycle": duty_cycle,
+        "accuracy": accuracy,
+        "coverage": coverage,
+    }
+
+
+class FeatureExtractor:
+    """Turns a utilization sample stream into policy feature vectors.
+
+    Args:
+        span_ns: Trailing window for the mean/slope features. Use the
+            controller's sustain duration so learned policies see the
+            same timescale the hysteresis design reasons about.
+    """
+
+    def __init__(self, span_ns: float) -> None:
+        if span_ns <= 0:
+            raise ValueError(f"window span must be positive, got {span_ns}")
+        self.span_ns = span_ns
+        self._window: Deque[Tuple[float, float]] = deque()
+        self._window_sum = 0.0
+        self._samples = 0
+        self._disabled_samples = 0
+
+    def reset(self) -> None:
+        """Drop volatile window state (machine restart). Cumulative
+        duty-cycle counters survive, like the daemon's own report."""
+        self._window.clear()
+        self._window_sum = 0.0
+
+    def note_state(self, prefetchers_enabled: bool) -> None:
+        """Record the applied prefetcher state for the duty-cycle
+        feature (call once per decided sample)."""
+        self._samples += 1
+        if not prefetchers_enabled:
+            self._disabled_samples += 1
+
+    def duty_cycle(self) -> float:
+        """Fraction of noted samples with prefetchers disabled."""
+        if self._samples == 0:
+            return 0.0
+        return self._disabled_samples / self._samples
+
+    def observe(self, time_ns: float, utilization: float
+                ) -> Dict[str, float]:
+        """Fold one sample in and return the feature vector for it.
+
+        Per-prefetcher ``accuracy``/``coverage`` default to 0.0 here;
+        policies carrying offline measurements overlay them per
+        prefetcher before deciding.
+        """
+        self._window.append((time_ns, utilization))
+        self._window_sum += utilization
+        horizon = time_ns - self.span_ns
+        while self._window and self._window[0][0] <= horizon:
+            _, old = self._window.popleft()
+            self._window_sum -= old
+        count = len(self._window)
+        mean = self._window_sum / count if count else utilization
+        if count >= 2:
+            first = self._window[0][1]
+            slope = (utilization - first) / (count - 1)
+        else:
+            slope = 0.0
+        return feature_vector(
+            utilization=utilization,
+            util_mean=mean,
+            util_slope=slope,
+            duty_cycle=self.duty_cycle(),
+        )

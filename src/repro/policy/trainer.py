@@ -1,0 +1,242 @@
+"""Offline decision-tree training from cached study results.
+
+``repro policy train`` distils the threshold-band oracle — plus
+throughput evidence for the ambiguous in-band region — into
+per-prefetcher :class:`~repro.policy.tree.DecisionTreePolicy` trees.
+Training consumes the same content-hashed machinery every other study
+uses, so retraining from warm caches is nearly free and bit-identical:
+
+1. A paired ``mode="off"`` :class:`~repro.fleet.ablation.AblationStudy`
+   supplies aligned (control: prefetchers on, experiment: prefetchers
+   off) machine-epoch observations through the study result cache.
+2. Per-prefetcher accuracy/coverage comes from single-prefetcher
+   :class:`~repro.fleet.sweep.MicroFleetSweep` probes (cycle-accurate
+   ``memsys.stats`` counters), each cached under its own key.
+3. Labels: out-of-band samples take the oracle label directly (above
+   the upper threshold ⇒ disable, below the lower ⇒ enable); in-band
+   samples disable a prefetcher only when the measured throughput gain
+   from ablation exceeds ``kappa`` × that prefetcher's accuracy ×
+   coverage — valuable prefetchers need stronger evidence to turn off.
+
+Everything is a pure function of the study parameters: identical
+parameters (re)train byte-identical policies with identical digests —
+the property the CI ``policy-gate`` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet.ablation import AblationResult, AblationStudy
+from repro.fleet.sweep import MicroFleetSweep
+from repro.policy.base import DEFAULT_PREFETCHERS, policy_from_dict
+from repro.policy.features import FeatureExtractor
+from repro.policy.tree import (DEFAULT_MAX_DEPTH, DEFAULT_MIN_SAMPLES_LEAF,
+                               DecisionTreePolicy, train_tree)
+from repro.serialization import atomic_write_text, canonical_json
+from repro.units import SECOND
+
+#: In-band disable evidence scale: a prefetcher with accuracy × coverage
+#: of v is disabled on an in-band sample only when the measured
+#: fractional throughput gain from ablation exceeds ``kappa * v``.
+DEFAULT_KAPPA = 0.05
+
+#: Machine-arms per single-prefetcher accuracy/coverage probe sweep.
+DEFAULT_PROBE_MACHINES = 8
+
+
+def default_training_config() -> LimoncelloConfig:
+    """The config a default fleet deployment would use (epoch-period
+    sampling, three-epoch sustain) — training features and labels see
+    the same timescale the deployed controller will."""
+    epoch_ns = 10 * SECOND
+    return LimoncelloConfig(sample_period_ns=epoch_ns,
+                            sustain_duration_ns=3 * epoch_ns)
+
+
+def prefetcher_stats(prefetchers: Sequence[str], seed: int,
+                     probe_machines: int = DEFAULT_PROBE_MACHINES,
+                     scale: float = 0.5,
+                     workers: Optional[int] = None,
+                     cache_dir: Optional[str] = None,
+                     checkpoint_dir: Optional[str] = None,
+                     ) -> Tuple[Dict[str, Dict[str, float]], Dict]:
+    """Per-prefetcher accuracy/coverage from single-prefetcher sweeps.
+
+    Runs one :class:`MicroFleetSweep` per prefetcher with only that
+    prefetcher enabled, and reduces its cycle-accurate counters:
+    ``accuracy`` = useful / issued prefetch lines, ``coverage`` =
+    prefetch-covered demand accesses / (covered + LLC misses). Returns
+    ``(stats, provenance)`` where provenance maps each prefetcher to
+    its sweep's cache-key material.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    provenance: Dict[str, Dict] = {}
+    for name in prefetchers:
+        sweep = MicroFleetSweep(mode="control", machines=probe_machines,
+                                seed=seed, scale=scale,
+                                prefetchers=(name,))
+        result = sweep.run(workers=workers, cache_dir=cache_dir,
+                           checkpoint_dir=checkpoint_dir)
+        issued = result.total("hw_prefetches_issued")
+        useful = result.total("useful_prefetches")
+        covered = result.total("prefetch_covered")
+        misses = result.total("llc_misses")
+        stats[name] = {
+            "accuracy": useful / issued if issued else 0.0,
+            "coverage": (covered / (covered + misses)
+                         if covered + misses else 0.0),
+        }
+        provenance[name] = sweep.cache_key_material()
+    return stats, provenance
+
+
+def machine_streams(result: AblationResult, shard_sizes: Sequence[int],
+                    epochs: int) -> List[List[Tuple[float, float]]]:
+    """Per-machine (control bandwidth-utilization, throughput-gain)
+    streams in epoch order, recovered from the paired flat
+    ``machine_points``.
+
+    A shard of M machines over E epochs appends its points epoch-major
+    (epoch 0 machines 0..M-1, then epoch 1, ...), and shards concatenate
+    in plan order — so the flat lists decompose exactly.
+    """
+    control = result.control.machine_points
+    experiment = result.experiment.machine_points
+    if len(control) != len(experiment):
+        raise ConfigError(
+            f"unpaired arms: {len(control)} control vs "
+            f"{len(experiment)} experiment points")
+    expected = sum(shard_sizes) * epochs
+    if len(control) != expected:
+        raise ConfigError(
+            f"{len(control)} machine points do not decompose into "
+            f"{list(shard_sizes)} machines x {epochs} epochs")
+    streams: List[List[Tuple[float, float]]] = []
+    offset = 0
+    for size in shard_sizes:
+        block_control = control[offset:offset + size * epochs]
+        block_experiment = experiment[offset:offset + size * epochs]
+        offset += size * epochs
+        for machine in range(size):
+            stream = []
+            for epoch in range(epochs):
+                _, bw_util, ctl_qps, _ = block_control[epoch * size + machine]
+                _, _, exp_qps, _ = block_experiment[epoch * size + machine]
+                gain = (exp_qps / ctl_qps - 1.0) if ctl_qps > 0 else 0.0
+                stream.append((bw_util, gain))
+            streams.append(stream)
+    return streams
+
+
+def training_rows(streams: Sequence[Sequence[Tuple[float, float]]],
+                  config: LimoncelloConfig,
+                  stats: Dict[str, Dict[str, float]],
+                  prefetchers: Sequence[str],
+                  kappa: float = DEFAULT_KAPPA,
+                  ) -> Tuple[List[Dict[str, float]],
+                             Dict[str, List[bool]]]:
+    """Feature rows plus per-prefetcher labels from paired streams.
+
+    Features are extracted exactly as the deployed
+    :class:`~repro.policy.base.PolicyController` extracts them (same
+    window span, same sample period), with each prefetcher's static
+    accuracy/coverage overlaid at label time.
+    """
+    rows: List[Dict[str, float]] = []
+    labels: Dict[str, List[bool]] = {name: [] for name in prefetchers}
+    upper = config.upper_threshold
+    lower = config.lower_threshold
+    period = config.sample_period_ns
+    for stream in streams:
+        extractor = FeatureExtractor(span_ns=config.sustain_duration_ns)
+        for index, (utilization, gain) in enumerate(stream):
+            features = extractor.observe(index * period, utilization)
+            rows.append(features)
+            for name in prefetchers:
+                value = (stats.get(name, {}).get("accuracy", 0.0)
+                         * stats.get(name, {}).get("coverage", 0.0))
+                if utilization > upper:
+                    enabled = False
+                elif utilization < lower:
+                    enabled = True
+                else:
+                    # In-band: disable only on throughput evidence that
+                    # clears this prefetcher's value bar.
+                    enabled = gain <= kappa * value
+                labels[name].append(enabled)
+            # The oracle label is also what the controller will actuate
+            # out of band; feed it back so the duty-cycle feature evolves
+            # as it will at deployment.
+            extractor.note_state(not utilization > upper)
+    return rows, labels
+
+
+def train_decision_tree_policy(
+        machines: int = 24, epochs: int = 40, warmup_epochs: int = 10,
+        seed: int = 11, config: Optional[LimoncelloConfig] = None,
+        prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
+        probe_machines: int = DEFAULT_PROBE_MACHINES,
+        probe_scale: float = 0.5, kappa: float = DEFAULT_KAPPA,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        min_samples_leaf: int = DEFAULT_MIN_SAMPLES_LEAF,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None) -> DecisionTreePolicy:
+    """Train per-prefetcher trees from cached study results.
+
+    A pure function of its parameters: the ablation and probe sweeps are
+    deterministic (and cached), CART growth is row-order independent,
+    and the result carries its training provenance — so retraining
+    yields a byte-identical policy with an identical digest.
+    """
+    config = config or default_training_config()
+    study_kwargs = dict(mode="off", machines=machines, epochs=epochs,
+                        warmup_epochs=warmup_epochs, seed=seed)
+    if shard_size is not None:
+        study_kwargs["shard_size"] = shard_size
+    study = AblationStudy(**study_kwargs)
+    result = study.run(workers=workers, cache_dir=cache_dir,
+                       checkpoint_dir=checkpoint_dir)
+    stats, probe_provenance = prefetcher_stats(
+        prefetchers, seed=seed, probe_machines=probe_machines,
+        scale=probe_scale, workers=workers, cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir)
+    streams = machine_streams(result, study.shard_plan().sizes, epochs)
+    rows, labels = training_rows(streams, config, stats, prefetchers,
+                                 kappa=kappa)
+    trees = {}
+    for name in prefetchers:
+        per_prefetcher = []
+        for row in rows:
+            overlaid = dict(row)
+            overlaid["accuracy"] = stats[name]["accuracy"]
+            overlaid["coverage"] = stats[name]["coverage"]
+            per_prefetcher.append(overlaid)
+        trees[name] = train_tree(per_prefetcher, labels[name],
+                                 max_depth=max_depth,
+                                 min_samples_leaf=min_samples_leaf)
+    return DecisionTreePolicy(
+        trees=trees, stats=stats, prefetchers=tuple(prefetchers),
+        trained_from={
+            "ablation": study.cache_key_material(),
+            "probes": probe_provenance,
+            "kappa": kappa,
+            "max_depth": max_depth,
+            "min_samples_leaf": min_samples_leaf,
+        })
+
+
+def save_policy(policy, path: str) -> None:
+    """Write a policy's canonical JSON form atomically."""
+    atomic_write_text(path, canonical_json(policy.to_dict()) + "\n")
+
+
+def load_policy(path: str):
+    """Read a policy back from :func:`save_policy` output."""
+    with open(path, encoding="utf-8") as handle:
+        return policy_from_dict(json.load(handle))

@@ -1,0 +1,210 @@
+"""Per-prefetcher decision trees (pure-python CART), trained offline.
+
+Puppeteer-style control: instead of one socket-level hysteresis toggle,
+each hardware prefetcher gets its own classifier mapping telemetry
+features to enable/disable. Trees are grown by vanilla CART with Gini
+impurity, made strictly deterministic:
+
+* class counts (not row order) drive impurity, so shuffled training
+  rows grow the identical tree;
+* candidate thresholds are midpoints of consecutive *sorted unique*
+  feature values;
+* features are scanned in :data:`~repro.policy.features.FEATURE_NAMES`
+  order and ties broken by (gain, feature order, lower threshold);
+* leaves predict the majority class, ties falling back to *enabled*
+  (the hardware-default state).
+
+Trees are stored as plain nested dicts — ``{"leaf": bool}`` or
+``{"feature", "threshold", "left", "right"}`` — so policy serialization
+is exactly canonical JSON and the policy digest is a content hash of
+the learned structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.policy.base import (DEFAULT_PREFETCHERS, POLICY_SCHEMA_VERSION,
+                               Policy, _coerce_prefetchers, register_policy)
+from repro.policy.features import FEATURE_NAMES, FEATURE_SCHEMA_VERSION
+
+#: Default growth limits — small on purpose: the control signal is a
+#: handful of thresholds, and small trees stay auditable.
+DEFAULT_MAX_DEPTH = 4
+DEFAULT_MIN_SAMPLES_LEAF = 8
+
+
+def _gini(positives: int, total: int) -> float:
+    """Gini impurity of a {True, False} class split, from counts only."""
+    if total == 0:
+        return 0.0
+    p = positives / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _majority(positives: int, total: int) -> bool:
+    """Majority class; an exact tie predicts enabled (hardware default)."""
+    return positives * 2 >= total
+
+
+def _best_split(rows: Sequence[Dict[str, float]], labels: Sequence[bool]
+                ) -> Optional[Tuple[str, float, float]]:
+    """The best (feature, threshold, gain) over all candidates, or
+    ``None`` when no split reduces impurity.
+
+    Candidates are scanned in FEATURE_NAMES order, thresholds ascending,
+    and a candidate replaces the incumbent only on *strictly* higher
+    gain — so the winner is unique and independent of row order.
+    """
+    total = len(rows)
+    positives = sum(labels)
+    parent = _gini(positives, total)
+    if parent == 0.0:
+        return None
+    best: Optional[Tuple[str, float, float]] = None
+    for feature in FEATURE_NAMES:
+        # Sort (value, label) pairs once; sweep the boundary between
+        # consecutive distinct values accumulating left-side counts.
+        order = sorted(zip((row[feature] for row in rows), labels))
+        left_n = 0
+        left_pos = 0
+        for i in range(total - 1):
+            value, label = order[i]
+            left_n += 1
+            left_pos += label
+            next_value = order[i + 1][0]
+            if value == next_value:
+                continue
+            threshold = (value + next_value) / 2.0
+            right_n = total - left_n
+            right_pos = positives - left_pos
+            weighted = (left_n * _gini(left_pos, left_n)
+                        + right_n * _gini(right_pos, right_n)) / total
+            gain = parent - weighted
+            if gain > 0.0 and (best is None or gain > best[2]):
+                best = (feature, threshold, gain)
+    return best
+
+
+def train_tree(rows: Sequence[Dict[str, float]], labels: Sequence[bool],
+               max_depth: int = DEFAULT_MAX_DEPTH,
+               min_samples_leaf: int = DEFAULT_MIN_SAMPLES_LEAF) -> dict:
+    """Grow one CART tree; returns the nested-dict node structure."""
+    if len(rows) != len(labels):
+        raise ConfigError(f"{len(rows)} rows vs {len(labels)} labels")
+    if not rows:
+        return {"leaf": True}
+
+    def grow(indices: List[int], depth: int) -> dict:
+        positives = sum(labels[i] for i in indices)
+        total = len(indices)
+        if depth >= max_depth or total < 2 * min_samples_leaf:
+            return {"leaf": _majority(positives, total)}
+        split = _best_split([rows[i] for i in indices],
+                            [labels[i] for i in indices])
+        if split is None:
+            return {"leaf": _majority(positives, total)}
+        feature, threshold, _gain = split
+        left = [i for i in indices if rows[i][feature] <= threshold]
+        right = [i for i in indices if rows[i][feature] > threshold]
+        if len(left) < min_samples_leaf or len(right) < min_samples_leaf:
+            return {"leaf": _majority(positives, total)}
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": grow(left, depth + 1),
+            "right": grow(right, depth + 1),
+        }
+
+    return grow(list(range(len(rows))), 0)
+
+
+def predict_tree(node: dict, features: Dict[str, float]) -> bool:
+    """Walk a trained tree for one feature vector."""
+    while "leaf" not in node:
+        if features[node["feature"]] <= node["threshold"]:
+            node = node["left"]
+        else:
+            node = node["right"]
+    return bool(node["leaf"])
+
+
+def tree_depth(node: dict) -> int:
+    """Depth of a trained tree (a lone leaf has depth 0)."""
+    if "leaf" in node:
+        return 0
+    return 1 + max(tree_depth(node["left"]), tree_depth(node["right"]))
+
+
+def tree_leaves(node: dict) -> int:
+    """Number of leaves in a trained tree."""
+    if "leaf" in node:
+        return 1
+    return tree_leaves(node["left"]) + tree_leaves(node["right"])
+
+
+@register_policy
+class DecisionTreePolicy(Policy):
+    """Per-prefetcher trained decision trees.
+
+    Each prefetcher's tree sees the shared telemetry features plus that
+    prefetcher's offline-measured ``accuracy``/``coverage`` (static
+    features baked in at training time — the analytic fleet cannot
+    observe them online, see :mod:`repro.policy.trainer`).
+    """
+
+    kind = "decision-tree"
+
+    def __init__(self, trees: Dict[str, dict],
+                 stats: Optional[Dict[str, Dict[str, float]]] = None,
+                 prefetchers=None,
+                 trained_from: Optional[dict] = None) -> None:
+        if prefetchers is None:
+            prefetchers = tuple(sorted(trees)) or DEFAULT_PREFETCHERS
+        self.prefetchers = _coerce_prefetchers(prefetchers)
+        missing = [p for p in self.prefetchers if p not in trees]
+        if missing:
+            raise ConfigError(f"no tree for prefetchers: {missing}")
+        self.trees = {name: trees[name] for name in self.prefetchers}
+        self.stats = {name: dict((stats or {}).get(name, {}))
+                      for name in self.prefetchers}
+        #: Provenance of the training data (sweep/study cache keys);
+        #: part of the serialized form, so retraining from different
+        #: data always changes the policy digest.
+        self.trained_from = trained_from
+
+    def decide(self, time_ns: float,
+               features: Dict[str, float]) -> Dict[str, bool]:
+        decisions = {}
+        for name in self.prefetchers:
+            stats = self.stats.get(name, {})
+            per_prefetcher = dict(features)
+            per_prefetcher["accuracy"] = stats.get("accuracy", 0.0)
+            per_prefetcher["coverage"] = stats.get("coverage", 0.0)
+            decisions[name] = predict_tree(self.trees[name], per_prefetcher)
+        return decisions
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema": POLICY_SCHEMA_VERSION,
+            "kind": self.kind,
+            "feature_schema": FEATURE_SCHEMA_VERSION,
+            "prefetchers": list(self.prefetchers),
+            "trees": self.trees,
+            "stats": self.stats,
+        }
+        if self.trained_from is not None:
+            payload["trained_from"] = self.trained_from
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecisionTreePolicy":
+        feature_schema = payload.get("feature_schema")
+        if feature_schema != FEATURE_SCHEMA_VERSION:
+            raise ConfigError(
+                f"policy trained under feature schema {feature_schema!r}; "
+                f"this build extracts schema {FEATURE_SCHEMA_VERSION}")
+        return cls(trees=payload["trees"], stats=payload.get("stats"),
+                   prefetchers=payload["prefetchers"],
+                   trained_from=payload.get("trained_from"))

@@ -346,6 +346,56 @@ def chaos_metrics_from_dict(data: Dict):
             f"malformed chaos metrics record: {error}") from error
 
 
+def policy_metrics_to_dict(metrics) -> Dict:
+    """A policy-study aggregate as a plain dict (lossless: every field
+    is a raw accumulator, so views like duty-cycle error recompute)."""
+    return {
+        "samples": metrics.samples,
+        "disabled_samples": metrics.disabled_samples,
+        "band_mismatches": metrics.band_mismatches,
+        "band_samples": metrics.band_samples,
+        "transitions": metrics.transitions,
+        "learn_updates": metrics.learn_updates,
+        "explorations": metrics.explorations,
+        "prefetcher_disabled": dict(
+            sorted(metrics.prefetcher_disabled.items())),
+    }
+
+
+def policy_metrics_from_dict(data: Dict):
+    """Inverse of :func:`policy_metrics_to_dict`."""
+    from repro.policy.metrics import PolicyMetrics
+
+    try:
+        return PolicyMetrics(
+            samples=int(data["samples"]),
+            disabled_samples=int(data["disabled_samples"]),
+            band_mismatches=int(data["band_mismatches"]),
+            band_samples=int(data["band_samples"]),
+            transitions=int(data["transitions"]),
+            learn_updates=int(data["learn_updates"]),
+            explorations=int(data["explorations"]),
+            prefetcher_disabled={str(name): int(count) for name, count
+                                 in data.get("prefetcher_disabled",
+                                             {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceError(
+            f"malformed policy metrics record: {error}") from error
+
+
+def policy_to_dict(policy) -> Dict:
+    """A control policy's canonical serialized form."""
+    return policy.to_dict()
+
+
+def policy_from_dict(data: Dict):
+    """Inverse of :func:`policy_to_dict` (dispatches on ``kind``)."""
+    from repro.policy import policy_from_dict as rebuild
+
+    return rebuild(data)
+
+
 def ablation_result_to_dict(result) -> Dict:
     """A paired ablation result as a plain dict (lossless: includes the
     raw samples needed to rebuild every view)."""
@@ -362,19 +412,24 @@ def ablation_result_to_dict(result) -> Dict:
     chaos = getattr(result, "chaos", None)
     if chaos is not None:
         data["chaos"] = chaos_metrics_to_dict(chaos)
+    policy_metrics = getattr(result, "policy_metrics", None)
+    if policy_metrics is not None:
+        data["policy_metrics"] = policy_metrics_to_dict(policy_metrics)
     return data
 
 
 def ablation_result_from_dict(data: Dict):
     """Inverse of :func:`ablation_result_to_dict`.
 
-    Payloads written before chaos studies existed simply lack the
-    ``chaos`` key and deserialize with ``chaos=None``.
+    Payloads written before chaos studies (or policy studies) existed
+    simply lack the ``chaos``/``policy_metrics`` keys and deserialize
+    with those fields ``None``.
     """
     from repro.fleet.ablation import AblationResult
 
     try:
         chaos = data.get("chaos")
+        policy_metrics = data.get("policy_metrics")
         return AblationResult(
             mode=data["mode"],
             control=fleet_metrics_from_dict(data["control"]),
@@ -383,6 +438,8 @@ def ablation_result_from_dict(data: Dict):
             experiment_profile=profile_data_from_dict(
                 data["experiment_profile"]),
             chaos=None if chaos is None else chaos_metrics_from_dict(chaos),
+            policy_metrics=(None if policy_metrics is None
+                            else policy_metrics_from_dict(policy_metrics)),
         )
     except (KeyError, TypeError) as error:
         raise TraceError(

@@ -1,0 +1,10 @@
+"""Suite-wide pytest setup.
+
+Importing :mod:`tests.hypothesis_profiles` registers the hypothesis
+example-budget profiles and loads the one named by
+``HYPOTHESIS_PROFILE`` (default: ``default``) before any test module
+is collected, so every ``@settings`` decorator resolves its budget
+against the active profile.
+"""
+
+import tests.hypothesis_profiles  # noqa: F401

@@ -1,0 +1,46 @@
+"""Hypothesis example-budget profiles for the test suite.
+
+Every property test pins an explicit ``max_examples`` tuned to keep
+the tier-1 wall clock bounded. Those pins are routed through
+:func:`scaled` so one environment variable can multiply every budget
+at once: the scheduled nightly CI job exports
+``HYPOTHESIS_PROFILE=nightly`` and gets 10x the examples on the exact
+same suite, while default runs keep the budgets (and the runtime) they
+always had. An unknown profile name fails loudly rather than silently
+running the default budget — a nightly job that typos the profile
+should not pass while testing ten times less than it claims.
+"""
+
+import os
+
+from hypothesis import settings
+
+# scale multiplies every pinned max_examples; the remaining keys are
+# hypothesis settings applied profile-wide.
+PROFILES = {
+    "default": {"scale": 1},
+    "ci": {"scale": 1},
+    # max_examples covers @given tests with no pinned budget; scale
+    # multiplies the pinned ones.
+    "nightly": {"scale": 10, "max_examples": 1000, "print_blob": True},
+}
+
+_ACTIVE = os.environ.get("HYPOTHESIS_PROFILE", "default")
+if _ACTIVE not in PROFILES:
+    raise RuntimeError(
+        f"unknown HYPOTHESIS_PROFILE {_ACTIVE!r} "
+        f"(known: {', '.join(sorted(PROFILES))})")
+
+for _name, _spec in PROFILES.items():
+    settings.register_profile(
+        _name, deadline=None,
+        **{key: value for key, value in _spec.items() if key != "scale"})
+
+settings.load_profile(_ACTIVE)
+
+_SCALE = PROFILES[_ACTIVE]["scale"]
+
+
+def scaled(max_examples):
+    """A pinned example budget multiplied by the active profile's scale."""
+    return max_examples * _SCALE

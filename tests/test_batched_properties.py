@@ -8,6 +8,7 @@ counterexample exists.
 """
 
 import pytest
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import AccessKind, MemoryAccess, Trace
@@ -77,14 +78,14 @@ def assert_fleet_agrees(records, loads, batch_size, split=None):
 class TestPropertyEquivalence:
     @given(records=records_strategy, loads=loads_strategy,
            batch_size=st.integers(min_value=1, max_value=8))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled(40), deadline=None)
     def test_random_fleets(self, records, loads, batch_size):
         assert_fleet_agrees(records, loads, batch_size)
 
     @given(records=records_strategy, loads=loads_strategy,
            batch_size=st.integers(min_value=1, max_value=8),
            split=st.integers(min_value=0, max_value=100))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=scaled(25), deadline=None)
     def test_warm_continuation(self, records, loads, batch_size, split):
         assert_fleet_agrees(records, loads, batch_size,
                             split=min(split, len(records)))
@@ -93,7 +94,7 @@ class TestPropertyEquivalence:
            loads=st.lists(st.floats(min_value=0.0, max_value=2.0,
                                     allow_nan=False, allow_infinity=False),
                           min_size=2, max_size=5))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=scaled(20), deadline=None)
     def test_env_default_batch(self, records, loads):
         """batch_size=None (the study-layer default) also agrees —
         under whatever REPRO_BATCH the environment pins."""

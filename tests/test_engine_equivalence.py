@@ -10,6 +10,7 @@ hypothesis-generated traces and compare everything.
 import os
 
 import pytest
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import AccessKind, MemoryAccess, Trace
@@ -246,17 +247,17 @@ records_strategy = st.lists(record_strategy, max_size=120)
 
 class TestPropertyEquivalence:
     @given(records=records_strategy)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled(60), deadline=None)
     def test_random_traces_prefetchers_on(self, records):
         assert_engines_agree(records)
 
     @given(records=records_strategy)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled(60), deadline=None)
     def test_random_traces_prefetchers_off(self, records):
         assert_engines_agree(records, prefetchers_enabled=False)
 
     @given(records=records_strategy,
            split=st.integers(min_value=0, max_value=120))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=scaled(30), deadline=None)
     def test_random_traces_split_runs(self, records, split):
         assert_engines_agree(records, split=min(split, len(records)))

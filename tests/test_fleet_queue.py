@@ -10,6 +10,7 @@ kill-and-resume tests are golden tests, not races.
 import json
 
 import pytest
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -320,7 +321,7 @@ class TestShardTaskKeyProperties:
     """The content-addressing contract: equal key material means equal
     key; any perturbation of the material means a different key."""
 
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     @given(_spec_materials)
     def test_equal_material_equal_key(self, spec):
         a = shard_task_material("ablation", dict(spec))
@@ -328,7 +329,7 @@ class TestShardTaskKeyProperties:
         b = shard_task_material("ablation", reordered)
         assert _PROBE.key_for(a) == _PROBE.key_for(b)
 
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     @given(_spec_materials, st.data())
     def test_any_field_perturbation_changes_key(self, spec, data):
         base_key = _PROBE.key_for(shard_task_material("ablation", spec))
@@ -341,7 +342,7 @@ class TestShardTaskKeyProperties:
             shard_task_material("ablation", perturbed))
         assert perturbed_key != base_key
 
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     @given(_spec_materials, _field_names)
     def test_added_field_changes_key(self, spec, extra):
         base_key = _PROBE.key_for(shard_task_material("ablation", spec))
@@ -350,7 +351,7 @@ class TestShardTaskKeyProperties:
         assert _PROBE.key_for(
             shard_task_material("ablation", grown)) != base_key
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=scaled(50), deadline=None)
     @given(_spec_materials)
     def test_study_kind_is_part_of_the_key(self, spec):
         assert (_PROBE.key_for(shard_task_material("ablation", spec))

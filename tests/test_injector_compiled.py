@@ -11,6 +11,7 @@ emission, sub-line-stride streams, and interleaved multi-site runs.
 import os
 import random
 
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import (
@@ -292,7 +293,7 @@ _descriptor_strategy = st.builds(
 class TestPropertyEquivalence:
     @given(trace=trace_strategy(), descriptor=_descriptor_strategy,
            emit_hints=st.booleans())
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=scaled(80), deadline=None)
     def test_random_traces(self, trace, descriptor, emit_hints):
         assert_paths_agree(_EnvPatch, trace, [descriptor],
                            emit_hints=emit_hints)

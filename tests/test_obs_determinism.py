@@ -6,6 +6,7 @@ deterministic ``run`` blocks digest equal. The wall-clock ``execution``
 overlay is the only part allowed to differ.
 """
 
+from tests.hypothesis_profiles import scaled
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -26,7 +27,7 @@ def _run_ablation(out_dir, workers, machines, seed, mode="hard"):
 
 
 class TestSerialEqualsSharded:
-    @settings(max_examples=5, deadline=None,
+    @settings(max_examples=scaled(5), deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])
     @given(machines=st.integers(min_value=4, max_value=9),
            seed=st.integers(min_value=0, max_value=2**31 - 1))

@@ -1,0 +1,144 @@
+"""Bandit exploration must be a private, stable, per-socket stream.
+
+Mirrors ``test_machine_seed``: the seed derives from a namespaced
+BLAKE2b hash (stable across processes and hash salts), and — the
+fleet-determinism invariant — exploration consumes *zero* draws from
+the machine RNG, so enabling or tuning the bandit can never perturb
+the simulated fleet's noise streams.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.fleet.machine import Machine, machine_seed
+from repro.fleet.platform import PLATFORM_1
+from repro.policy import (EpsilonGreedyBanditPolicy, PolicyController,
+                          feature_vector, policy_from_spec, policy_seed)
+from repro.units import SECOND
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+PRINT_SEED = (
+    "from repro.policy import EpsilonGreedyBanditPolicy, policy_seed\n"
+    "policy = EpsilonGreedyBanditPolicy(seed=7, epsilon=0.5)\n"
+    "policy.bind('m3/1')\n"
+    "print(policy_seed(7, 'm3/1'), policy._rng.random())\n"
+)
+
+
+def run_with_hash_seed(hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_DIR
+    out = subprocess.run(
+        [sys.executable, "-c", PRINT_SEED], env=env, capture_output=True,
+        text=True, check=True)
+    return out.stdout.strip()
+
+
+class TestPolicySeed:
+    def test_matches_blake2b_convention(self):
+        digest = hashlib.blake2b(b"limoncello-policy:7:m3/1",
+                                 digest_size=8).digest()
+        expected = int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+        assert policy_seed(7, "m3/1") == expected
+
+    def test_namespace_disjoint_from_machine_seed(self):
+        """A policy stream can never collide with a machine stream for
+        the same textual identity."""
+        assert policy_seed("m0") != machine_seed("m0")
+
+    def test_distinct_idents_distinct_streams(self):
+        seeds = {policy_seed(7, f"m0/{i}") for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_stable_across_hash_salts(self):
+        assert run_with_hash_seed("0") == run_with_hash_seed("4242")
+
+
+class TestBanditDeterminism:
+    def _decide_stream(self, seed=7, ident="m0/0", samples=40):
+        policy = EpsilonGreedyBanditPolicy(seed=seed, epsilon=0.5)
+        controller = PolicyController(policy, ident=ident)
+        utils = [((i * 37) % 100) / 100.0 for i in range(samples)]
+        return [controller.observe(i * SECOND, u).prefetchers_enabled
+                for i, u in enumerate(utils)]
+
+    def test_same_seed_same_ident_same_decisions(self):
+        assert self._decide_stream() == self._decide_stream()
+
+    def test_distinct_idents_explore_independently(self):
+        assert self._decide_stream(ident="m0/0") \
+            != self._decide_stream(ident="m0/1")
+
+    def test_epsilon_zero_never_explores(self):
+        policy = EpsilonGreedyBanditPolicy(seed=7, epsilon=0.0)
+        controller = PolicyController(policy)
+        for i in range(50):
+            controller.observe(i * SECOND, (i % 10) / 10.0)
+        assert policy.explorations == 0
+        assert controller.policy_metrics.explorations == 0
+
+    def test_exploration_counted_in_metrics(self):
+        policy = EpsilonGreedyBanditPolicy(seed=7, epsilon=1.0)
+        controller = PolicyController(policy)
+        for i in range(20):
+            controller.observe(i * SECOND, 0.5)
+        assert controller.policy_metrics.explorations == policy.explorations
+        assert policy.explorations > 0
+
+    def test_learning_updates_flow_through_controller(self):
+        policy = EpsilonGreedyBanditPolicy(seed=7, epsilon=0.2)
+        controller = PolicyController(policy)
+        for i in range(10):
+            controller.observe(i * SECOND, 0.9)
+        metrics = controller.policy_metrics
+        assert metrics.learn_updates == 10 * len(policy.prefetchers)
+
+    def test_reset_restarts_the_exploration_stream(self):
+        policy = EpsilonGreedyBanditPolicy(seed=7, epsilon=0.5)
+        policy.bind("m0/0")
+        features = feature_vector(utilization=0.5)
+        first = [policy.decide(i * SECOND, features) for i in range(10)]
+        policy.reset()
+        second = [policy.decide(i * SECOND, features) for i in range(10)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EpsilonGreedyBanditPolicy(epsilon=1.5)
+        with pytest.raises(ConfigError):
+            EpsilonGreedyBanditPolicy(buckets=0)
+
+
+class TestFleetRNGIndependence:
+    def test_bandit_consumes_zero_machine_rng_draws(self):
+        """Deploying a bandit (any epsilon) leaves the machine's own RNG
+        stream exactly where a stock deployment leaves it."""
+        config = LimoncelloConfig(sample_period_ns=SECOND,
+                                  sustain_duration_ns=3 * SECOND)
+
+        def run_machine(policy_spec):
+            machine = Machine("probe-7", PLATFORM_1, sockets=2)
+            if policy_spec is None:
+                machine.deploy_hard_limoncello(config)
+            else:
+                def factory(ident):
+                    return PolicyController(policy_from_spec(policy_spec),
+                                            config=config, ident=ident)
+                machine.deploy_hard_limoncello(config, factory)
+            for tick in range(12):
+                machine.step(tick * SECOND)
+            return machine._rng.getstate()
+
+        stock = run_machine(None)
+        greedy = run_machine(EpsilonGreedyBanditPolicy(seed=7, epsilon=0.0))
+        explorer = run_machine(EpsilonGreedyBanditPolicy(seed=7, epsilon=0.9))
+        assert stock == greedy == explorer

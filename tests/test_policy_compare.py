@@ -1,0 +1,106 @@
+"""Head-to-head policy comparison: determinism and the training gate.
+
+The report digest must be bit-identical across reruns and worker
+counts (the ``repro policy compare --compare-serial`` contract), and
+the offline-trained tree must match or beat the hysteresis baseline on
+band-oracle duty-cycle error — the claim the CI policy gate enforces
+on the benched configuration.
+"""
+
+import pytest
+
+from repro.core.config import LimoncelloConfig
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.policy import (EpsilonGreedyBanditPolicy, HysteresisPolicy,
+                          PolicyComparison, SingleThresholdPolicy,
+                          comparison_digest, policy_digest,
+                          train_decision_tree_policy)
+from repro.units import SECOND
+
+_CONFIG = LimoncelloConfig(sample_period_ns=10 * SECOND,
+                           sustain_duration_ns=30 * SECOND)
+
+_POLICIES = {
+    "hysteresis": HysteresisPolicy(_CONFIG),
+    "single-threshold": SingleThresholdPolicy(threshold=0.8),
+    "bandit": EpsilonGreedyBanditPolicy(seed=3, epsilon=0.1),
+}
+
+
+def _comparison(policies=None, **overrides):
+    kwargs = dict(machines=6, epochs=10, warmup_epochs=2, seed=7,
+                  config=_CONFIG)
+    kwargs.update(overrides)
+    return PolicyComparison(policies or _POLICIES, **kwargs)
+
+
+class TestComparisonDeterminism:
+    def test_rerun_digest_identical(self):
+        first = _comparison().run()
+        second = _comparison().run()
+        assert comparison_digest(first) == comparison_digest(second)
+
+    def test_workers_do_not_change_the_report(self):
+        serial = _comparison(shard_size=3).run(workers=1, cache_dir="",
+                                               checkpoint_dir="")
+        sharded = _comparison(shard_size=3).run(workers=2, cache_dir="",
+                                                checkpoint_dir="")
+        assert comparison_digest(serial) == comparison_digest(sharded)
+
+    def test_report_shape(self):
+        report = _comparison().run()
+        assert report["study"] == "policy-compare"
+        assert set(report["policies"]) == set(_POLICIES)
+        assert sorted(report["ranking"]) == sorted(_POLICIES)
+        for entry in report["policies"].values():
+            assert entry["samples"] > 0
+            assert 0.0 <= entry["duty_cycle_error"] <= 1.0
+            assert "policy_digest" in entry
+
+    def test_ranking_orders_by_duty_cycle_error(self):
+        report = _comparison().run()
+        errors = [report["policies"][name]["duty_cycle_error"]
+                  for name in report["ranking"]]
+        assert errors == sorted(errors)
+
+    def test_faulted_leg_reports_robustness(self):
+        plan = FaultPlan.parse("seed=3;machine-crash:rate=0.05")
+        report = _comparison(
+            policies={"hysteresis": HysteresisPolicy(_CONFIG)},
+            machines=4, epochs=8, fault_plan=plan).run()
+        faulted = report["policies"]["hysteresis"]["faulted"]
+        assert 0.0 <= faulted["availability"] <= 1.0
+        assert "duty_cycle_drift" in faulted
+        assert report["fault_plan"] == plan.spec()
+
+    def test_empty_policy_set_rejected(self):
+        with pytest.raises(ConfigError):
+            PolicyComparison({})
+
+
+class TestTrainedTreeGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        tree = train_decision_tree_policy(
+            machines=8, epochs=16, warmup_epochs=4, seed=11,
+            config=_CONFIG, probe_machines=2, probe_scale=0.25)
+        policies = dict(_POLICIES)
+        policies["decision-tree"] = tree
+        return _comparison(policies=policies, machines=8,
+                           epochs=16, warmup_epochs=4, seed=11).run()
+
+    def test_tree_matches_or_beats_hysteresis_duty_cycle_error(
+            self, report):
+        """The offline-distilled per-sample tree cannot do worse than
+        the sustain-delayed hysteresis baseline on the band oracle."""
+        tree_error = report["policies"]["decision-tree"]["duty_cycle_error"]
+        hyst_error = report["policies"]["hysteresis"]["duty_cycle_error"]
+        assert tree_error <= hyst_error
+
+    def test_training_is_reproducible(self, report):
+        retrained = train_decision_tree_policy(
+            machines=8, epochs=16, warmup_epochs=4, seed=11,
+            config=_CONFIG, probe_machines=2, probe_scale=0.25)
+        assert report["policies"]["decision-tree"]["policy_digest"] \
+            == policy_digest(retrained)

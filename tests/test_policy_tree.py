@@ -1,0 +1,134 @@
+"""CART training must be a pure function of the training *set*.
+
+Shuffled row order, duplicated scans, and retraining from the same
+cached sweeps must all grow byte-identical trees — the CI policy gate
+trains twice and diffs digests, and these tests pin the properties that
+make that gate meaningful.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policy import (DecisionTreePolicy, feature_vector, policy_digest,
+                          policy_from_dict, predict_tree, train_tree,
+                          tree_depth, tree_leaves)
+from repro.serialization import canonical_json
+
+
+def _rows(seed=4, count=200):
+    """A deterministic, learnably-structured training set."""
+    rng = random.Random(seed)
+    rows, labels = [], []
+    for _ in range(count):
+        util = rng.random()
+        rows.append(feature_vector(
+            utilization=util,
+            util_mean=min(1.0, util + rng.uniform(-0.05, 0.05)),
+            util_slope=rng.uniform(-0.1, 0.1),
+            duty_cycle=rng.random(),
+            accuracy=0.6, coverage=0.3))
+        labels.append(util <= 0.8)
+    return rows, labels
+
+
+class TestTrainTree:
+    def test_learns_the_generating_threshold(self):
+        rows, labels = _rows()
+        tree = train_tree(rows, labels)
+        assert tree_depth(tree) >= 1
+        assert predict_tree(tree, feature_vector(utilization=0.2)) is True
+        assert predict_tree(tree, feature_vector(utilization=0.95)) is False
+
+    def test_row_order_invariance(self):
+        """Shuffling the training rows must not change the tree."""
+        rows, labels = _rows()
+        baseline = train_tree(rows, labels)
+        for shuffle_seed in (1, 2, 3):
+            paired = list(zip(rows, labels))
+            random.Random(shuffle_seed).shuffle(paired)
+            shuffled_rows = [row for row, _ in paired]
+            shuffled_labels = [label for _, label in paired]
+            assert train_tree(shuffled_rows, shuffled_labels) == baseline
+
+    def test_pure_leaf_shortcut(self):
+        rows, labels = _rows()
+        tree = train_tree(rows, [True] * len(labels))
+        assert tree == {"leaf": True}
+
+    def test_min_samples_leaf_respected(self):
+        rows, labels = _rows(count=30)
+        tree = train_tree(rows, labels, min_samples_leaf=16)
+        assert tree_leaves(tree) == 1
+
+    def test_empty_training_set_defaults_enabled(self):
+        tree = train_tree([], [])
+        assert predict_tree(tree, feature_vector()) is True
+
+    def test_tie_prediction_is_enabled(self):
+        rows = [feature_vector(utilization=0.5)] * 4
+        labels = [True, True, False, False]
+        tree = train_tree(rows, labels)
+        assert predict_tree(tree, feature_vector(utilization=0.5)) is True
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            train_tree([feature_vector()], [])
+
+
+class TestDecisionTreePolicy:
+    def _policy(self):
+        rows, labels = _rows()
+        tree = train_tree(rows, labels)
+        return DecisionTreePolicy(
+            trees={"l2_stream": tree, "l1_stride": tree},
+            stats={"l2_stream": {"accuracy": 0.7, "coverage": 0.4},
+                   "l1_stride": {"accuracy": 0.2, "coverage": 0.1}},
+            prefetchers=("l2_stream", "l1_stride"))
+
+    def test_digest_stable_across_round_trip(self):
+        policy = self._policy()
+        clone = policy_from_dict(policy.to_dict())
+        assert policy_digest(clone) == policy_digest(policy)
+        assert canonical_json(clone.to_dict()) \
+            == canonical_json(policy.to_dict())
+
+    def test_decides_per_prefetcher(self):
+        policy = self._policy()
+        decisions = policy.decide(0.0, feature_vector(utilization=0.3))
+        assert set(decisions) == {"l2_stream", "l1_stride"}
+
+    def test_overlays_static_stats_not_input_features(self):
+        """The accuracy/coverage a tree sees are the policy's baked-in
+        per-prefetcher measurements, not whatever the caller passed."""
+        rows = [feature_vector(accuracy=a) for a in
+                [0.1] * 20 + [0.9] * 20]
+        labels = [False] * 20 + [True] * 20
+        tree = train_tree(rows, labels, min_samples_leaf=2)
+        policy = DecisionTreePolicy(
+            trees={"l2_stream": tree},
+            stats={"l2_stream": {"accuracy": 0.9, "coverage": 0.0}},
+            prefetchers=("l2_stream",))
+        # caller claims low accuracy; the baked-in 0.9 must win
+        decisions = policy.decide(0.0, feature_vector(accuracy=0.1))
+        assert decisions["l2_stream"] is True
+
+    def test_missing_tree_rejected(self):
+        with pytest.raises(ConfigError, match="no tree"):
+            DecisionTreePolicy(trees={"l2_stream": {"leaf": True}},
+                               prefetchers=("l2_stream", "l1_stride"))
+
+    def test_feature_schema_mismatch_rejected(self):
+        payload = self._policy().to_dict()
+        payload["feature_schema"] = 0
+        with pytest.raises(ConfigError, match="feature schema"):
+            policy_from_dict(payload)
+
+    def test_trained_from_provenance_changes_digest(self):
+        policy = self._policy()
+        tagged = DecisionTreePolicy(
+            trees=policy.trees, stats=policy.stats,
+            prefetchers=policy.prefetchers,
+            trained_from={"ablation": {"seed": 11}})
+        assert policy_digest(tagged) != policy_digest(policy)

@@ -8,6 +8,7 @@ agree at every step.
 
 from collections import OrderedDict
 
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.memsys import CacheConfig, SetAssociativeCache
@@ -60,7 +61,7 @@ operations = st.lists(
 
 
 @given(ops=operations)
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=scaled(300), deadline=None)
 def test_cache_matches_reference_model(ops):
     cache = SetAssociativeCache(CacheConfig(
         "t", size_bytes=SETS * WAYS * LINE, associativity=WAYS,

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the controller and Soft
 Limoncello invariants."""
 
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import AccessKind, MemoryAccess, Trace
@@ -21,7 +22,7 @@ utilizations = st.lists(
 class TestControllerProperties:
     @given(samples=utilizations,
            sustain=st.integers(min_value=0, max_value=10))
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_transitions_respect_sustain_duration(self, samples, sustain):
         """Two consecutive prefetcher flips are always separated by at
         least the sustain duration (the anti-thrash guarantee)."""
@@ -36,7 +37,7 @@ class TestControllerProperties:
             assert b - a >= sustain * SECOND
 
     @given(samples=utilizations)
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_state_always_consistent_with_prefetcher_flag(self, samples):
         controller = HardLimoncelloController()
         for tick, utilization in enumerate(samples):
@@ -48,7 +49,7 @@ class TestControllerProperties:
                     == decision.prefetchers_enabled)
 
     @given(samples=utilizations)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_never_disables_below_upper_threshold(self, samples):
         """If utilization never exceeds the upper threshold, prefetchers
         stay enabled forever."""
@@ -60,7 +61,7 @@ class TestControllerProperties:
         assert controller.transitions == 0
 
     @given(samples=utilizations)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_transition_count_matches_changed_flags(self, samples):
         controller = HardLimoncelloController(
             LimoncelloConfig(sustain_duration_ns=0.0))
@@ -71,7 +72,7 @@ class TestControllerProperties:
         assert controller.transitions == changes
 
     @given(samples=utilizations)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_intervals_partition_time(self, samples):
         controller = HardLimoncelloController(
             LimoncelloConfig(sustain_duration_ns=0.0))
@@ -103,7 +104,7 @@ class TestInjectorProperties:
         ])
 
     @given(lines=line_counts, params=descriptor_params)
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_demand_records_always_preserved(self, lines, params):
         distance, degree, gate = params
         descriptor = PrefetchDescriptor(
@@ -114,7 +115,7 @@ class TestInjectorProperties:
         assert list(out.demand_only()) == list(self.stream(lines))
 
     @given(lines=line_counts, params=descriptor_params)
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_clamped_prefetches_stay_inside_the_stream(self, lines, params):
         distance, degree, gate = params
         descriptor = PrefetchDescriptor(
@@ -129,7 +130,7 @@ class TestInjectorProperties:
                 assert record.address + record.size <= end
 
     @given(lines=line_counts, params=descriptor_params)
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_gate_semantics_exact(self, lines, params):
         distance, degree, gate = params
         descriptor = PrefetchDescriptor(
@@ -145,7 +146,7 @@ class TestInjectorProperties:
             assert stats.streams_instrumented == 1
 
     @given(lines=line_counts, params=descriptor_params)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_prefetch_never_targets_already_demanded_offsets_behind(
             self, lines, params):
         """Prefetches always aim ahead of the position they are issued

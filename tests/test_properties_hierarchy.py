@@ -1,5 +1,6 @@
 """Property-based tests for MemoryHierarchy timing invariants."""
 
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import AccessKind, MemoryAccess, Trace
@@ -22,7 +23,7 @@ records = st.lists(
 
 class TestTimingInvariants:
     @given(trace_records=records)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_elapsed_equals_cycles_times_period(self, trace_records):
         """For single-line records, wall time is exactly total cycles
         (compute + stall) times the clock period."""
@@ -33,7 +34,7 @@ class TestTimingInvariants:
         assert abs(result.elapsed_ns - expected) <= 1e-6 * max(1, expected)
 
     @given(trace_records=records)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_clock_is_monotone_across_runs(self, trace_records):
         hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
         before = hierarchy.now_ns
@@ -41,7 +42,7 @@ class TestTimingInvariants:
         assert hierarchy.now_ns >= before
 
     @given(trace_records=records)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_no_prefetchers_means_demand_only_traffic(self, trace_records):
         trace = Trace(trace_records).demand_only()
         hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
@@ -51,7 +52,7 @@ class TestTimingInvariants:
         assert result.hw_prefetches_issued == 0
 
     @given(trace_records=records)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_instruction_accounting_matches_trace(self, trace_records):
         trace = Trace(trace_records)
         hierarchy = MemoryHierarchy(prefetchers=PrefetcherBank([]))
@@ -59,7 +60,7 @@ class TestTimingInvariants:
         assert result.total.instructions == trace.instruction_count
 
     @given(trace_records=records)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled(60), deadline=None)
     def test_prefetching_never_increases_demand_fills(self, trace_records):
         """Hardware prefetching can add prefetch traffic, but the demand
         misses it covers must disappear from demand traffic: demand fills
@@ -70,7 +71,7 @@ class TestTimingInvariants:
         assert on.dram_demand_fills <= off.dram_demand_fills
 
     @given(trace_records=records)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled(60), deadline=None)
     def test_covered_plus_misses_bounded_by_demand_lines(self,
                                                          trace_records):
         trace = Trace(trace_records).demand_only()
@@ -80,7 +81,7 @@ class TestTimingInvariants:
                 <= demand_line_touches)
 
     @given(trace_records=records)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled(60), deadline=None)
     def test_runs_are_deterministic(self, trace_records):
         trace = Trace(trace_records)
         a = MemoryHierarchy().run(trace)

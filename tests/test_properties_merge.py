@@ -12,6 +12,7 @@ comparisons here use a tight relative tolerance.
 import copy
 
 import pytest
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -55,13 +56,13 @@ def assert_metrics_equal(a: FleetMetrics, b: FleetMetrics) -> None:
 
 
 class TestFleetMetricsMerge:
-    @settings(max_examples=60)
+    @settings(max_examples=scaled(60))
     @given(metrics_strategy, metrics_strategy, metrics_strategy)
     def test_associative(self, a, b, c):
         assert_metrics_equal(merged(merged(a, b), c),
                              merged(a, merged(b, c)))
 
-    @settings(max_examples=60)
+    @settings(max_examples=scaled(60))
     @given(metrics_strategy, metrics_strategy)
     def test_summaries_order_independent(self, a, b):
         """Percentile views cannot depend on which shard merged first."""
@@ -79,13 +80,13 @@ class TestFleetMetricsMerge:
         assert ab.normalized_throughput == pytest.approx(
             ba.normalized_throughput, rel=1e-9, abs=1e-9)
 
-    @settings(max_examples=30)
+    @settings(max_examples=scaled(30))
     @given(metrics_strategy)
     def test_empty_is_identity(self, a):
         assert_metrics_equal(merged(a, FleetMetrics()), a)
         assert_metrics_equal(merged(FleetMetrics(), a), a)
 
-    @settings(max_examples=30)
+    @settings(max_examples=scaled(30))
     @given(metrics_strategy, metrics_strategy)
     def test_counts_add(self, a, b):
         both = merged(a, b)
@@ -135,18 +136,18 @@ def assert_profiles_equal(a: ProfileData, b: ProfileData) -> None:
 
 
 class TestProfileDataMerge:
-    @settings(max_examples=60)
+    @settings(max_examples=scaled(60))
     @given(profile_strategy(), profile_strategy(), profile_strategy())
     def test_associative(self, a, b, c):
         assert_profiles_equal(merged(merged(a, b), c),
                               merged(a, merged(b, c)))
 
-    @settings(max_examples=60)
+    @settings(max_examples=scaled(60))
     @given(profile_strategy(), profile_strategy())
     def test_order_independent(self, a, b):
         assert_profiles_equal(merged(a, b), merged(b, a))
 
-    @settings(max_examples=30)
+    @settings(max_examples=scaled(30))
     @given(profile_strategy())
     def test_empty_is_identity(self, a):
         assert_profiles_equal(merged(a, ProfileData()), a)

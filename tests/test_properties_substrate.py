@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the substrate data structures."""
 
 import numpy as np
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.memsys import CacheConfig, DRAMConfig, DRAMModel, SetAssociativeCache
@@ -13,7 +14,7 @@ lines = st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 64)
 
 class TestCacheProperties:
     @given(addresses=st.lists(lines, max_size=300))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_occupancy_never_exceeds_capacity(self, addresses):
         cache = SetAssociativeCache(CacheConfig(
             "t", size_bytes=8 * 1024, associativity=4,
@@ -24,7 +25,7 @@ class TestCacheProperties:
             assert cache.occupancy <= capacity
 
     @given(addresses=st.lists(lines, max_size=200))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_installed_line_immediately_hits(self, addresses):
         cache = SetAssociativeCache(CacheConfig(
             "t", size_bytes=8 * 1024, associativity=4,
@@ -34,7 +35,7 @@ class TestCacheProperties:
             assert cache.lookup(address)
 
     @given(addresses=st.lists(lines, min_size=1, max_size=200))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_hits_plus_misses_equals_demand_lookups(self, addresses):
         cache = SetAssociativeCache(CacheConfig(
             "t", size_bytes=4 * 1024, associativity=2,
@@ -46,7 +47,7 @@ class TestCacheProperties:
 
     @given(addresses=st.lists(lines, max_size=100),
            evictions=st.lists(lines, max_size=100))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_invalidate_really_removes(self, addresses, evictions):
         cache = SetAssociativeCache(CacheConfig(
             "t", size_bytes=64 * 1024, associativity=8,
@@ -63,7 +64,7 @@ class TestWindowProperties:
         st.tuples(st.floats(min_value=0, max_value=1e6),
                   st.floats(min_value=0, max_value=1e3)),
         max_size=100))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_total_matches_bruteforce(self, points):
         points = sorted(points)
         span = 1000.0
@@ -81,7 +82,7 @@ class TestPercentileProperties:
                                 allow_nan=False), min_size=1, max_size=200)
 
     @given(values=values, q=st.floats(min_value=0, max_value=100))
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_bounded_by_min_max(self, values, q):
         result = percentile(values, q)
         assert min(values) <= result <= max(values)
@@ -89,13 +90,13 @@ class TestPercentileProperties:
     @given(values=values,
            qs=st.tuples(st.floats(min_value=0, max_value=100),
                         st.floats(min_value=0, max_value=100)))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_monotone_in_q(self, values, qs):
         low_q, high_q = sorted(qs)
         assert percentile(values, low_q) <= percentile(values, high_q)
 
     @given(values=values, q=st.floats(min_value=0, max_value=100))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_matches_numpy(self, values, q):
         assert percentile(values, q) == np.float64(
             np.percentile(values, q)) or abs(
@@ -106,7 +107,7 @@ class TestPercentileProperties:
 class TestDRAMProperties:
     @given(u1=st.floats(min_value=0, max_value=2),
            u2=st.floats(min_value=0, max_value=2))
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=scaled(150), deadline=None)
     def test_latency_monotone(self, u1, u2):
         dram = DRAMModel(DRAMConfig())
         low, high = sorted((u1, u2))
@@ -114,7 +115,7 @@ class TestDRAMProperties:
                 <= dram.latency_at_utilization(high) + 1e-9)
 
     @given(requests=st.lists(st.booleans(), max_size=100))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_fill_accounting_conserved(self, requests):
         dram = DRAMModel(DRAMConfig())
         for index, is_prefetch in enumerate(requests):
@@ -130,7 +131,7 @@ class TestMSRProperties:
                          max_size=30)
 
     @given(toggles=registers)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_enable_disable_algebra(self, toggles):
         """Any interleaving of per-prefetcher disables followed by
         enable_all returns to the reset state."""
@@ -160,7 +161,7 @@ def make_stats(values):
 
 class TestStatsProperties:
     @given(a=stats_values, b=stats_values)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_merge_adds_fields(self, a, b):
         merged = make_stats(a)
         merged.merge(make_stats(b))
@@ -170,7 +171,7 @@ class TestStatsProperties:
         assert abs(merged.cycles - expected) <= 1e-9 * max(1.0, expected)
 
     @given(a=stats_values)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled(100), deadline=None)
     def test_mpki_definition(self, a):
         stats = make_stats(a)
         if stats.instructions:

@@ -14,6 +14,7 @@ sequences.
 import random
 
 import pytest
+from tests.hypothesis_profiles import scaled
 from hypothesis import given, settings, strategies as st
 
 from repro.access import (
@@ -390,7 +391,7 @@ def apply_ops(builder, ops):
 
 class TestPropertyEquivalence:
     @given(ops=st.lists(_OP, max_size=25))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=scaled(80), deadline=None)
     def test_random_append_sequences(self, ops):
         columnar = apply_ops(TraceBuilder(), ops)
         record = apply_ops(RecordTraceBuilder(), ops)
