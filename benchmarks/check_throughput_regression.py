@@ -37,7 +37,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 BASELINES_DIR = BENCH_DIR / "baselines"
 KNOWN_BENCHMARKS = ("sim_throughput", "trace_pipeline", "batched_engine",
                     "resume_overhead", "adaptive_sampling",
-                    "policy_compare")
+                    "policy_compare", "scenarios")
 METRIC = "speedup"
 DEFAULT_TOLERANCE = 0.20
 

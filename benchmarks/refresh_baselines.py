@@ -27,6 +27,7 @@ BENCHMARK_SCRIPTS = {
     "resume_overhead": BENCH_DIR / "bench_resume_overhead.py",
     "adaptive_sampling": BENCH_DIR / "bench_adaptive_sampling.py",
     "policy_compare": BENCH_DIR / "bench_policy_compare.py",
+    "scenarios": BENCH_DIR / "bench_scenarios.py",
 }
 
 

@@ -264,7 +264,8 @@ def run_sweep(args) -> int:
     checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
     kwargs = dict(mode=args.mode, machines=args.machines, seed=args.seed,
                   scale=args.scale, crash_rate=args.crash_rate,
-                  shard_size=shard_size, fault_plan=fault_plan)
+                  shard_size=shard_size, fault_plan=fault_plan,
+                  workload=getattr(args, "trace", None))
     sweep = MicroFleetSweep(batch_size=args.batch_size, **kwargs)
     result = sweep.run(workers=args.workers, cache_dir=args.cache_dir,
                        checkpoint_dir=checkpoint_dir)
@@ -750,5 +751,167 @@ def run_policy_compare(args) -> int:
         if not match:
             raise ReproError(
                 f"sharded comparison diverged from serial run: "
+                f"{digest} != {serial_digest}")
+    return 0
+
+
+def run_scenario_callgraph(args) -> int:
+    """``repro scenario callgraph``: the RPC call-graph SLO study."""
+    from repro.scenarios import (CallGraphScenario, DEFAULT_SERVICES,
+                                 callgraph_digest)
+
+    fault_plan = _resolve_fault_plan(args)
+    checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
+    kwargs = dict(services=args.services or DEFAULT_SERVICES,
+                  requests=args.requests, seed=args.seed, mode=args.mode,
+                  rpc_overhead_ns=args.rpc_overhead_ns,
+                  crash_rate=args.crash_rate, fault_plan=fault_plan)
+    scenario = CallGraphScenario(batch_size=args.batch_size, **kwargs)
+    result = scenario.run(workers=args.workers, cache_dir=args.cache_dir,
+                          checkpoint_dir=checkpoint_dir,
+                          obs_dir=getattr(args, "obs_dir", None))
+
+    print(f"call graph: {len(scenario.services)} services, "
+          f"{scenario.machines} replicas ({result.down} down), "
+          f"{scenario.requests} requests, mode={scenario.mode}")
+    rows = []
+    for service in scenario.services:
+        summary = result.service_summary(service.name)
+        fanout = "+".join(f"{child}*{calls}"
+                          for child, calls in service.calls) or "-"
+        if summary is None:
+            rows.append((service.name, service.kind,
+                         str(service.replicas), fanout, "down", "down",
+                         "down"))
+        else:
+            rows.append((service.name, service.kind,
+                         str(service.replicas), fanout,
+                         f"{summary.p50:.0f}", f"{summary.p90:.0f}",
+                         f"{summary.p99:.0f}"))
+    _table(("service", "kind", "replicas", "fan-out", "p50 ns", "p90 ns",
+            "p99 ns"), rows)
+    slo = scenario.slo_summary(result)
+    print(f"\nend-to-end SLO at {scenario.root!r}: "
+          f"p50={slo.p50:.0f} ns  p90={slo.p90:.0f} ns  "
+          f"p99={slo.p99:.0f} ns  (peak {slo.peak:.0f} ns over "
+          f"{slo.count} requests)")
+    if fault_plan is not None:
+        print(f"\nfault plan: {fault_plan.spec()}")
+    digest = callgraph_digest(result)
+    print(f"\nresult digest: {digest}")
+    _print_queue_stats(scenario.queue_stats, resolved_ckpt)
+
+    if args.compare_serial:
+        # Batching off, one worker, cache and journal disabled: the
+        # oracle leg.
+        serial = CallGraphScenario(batch_size=0, **kwargs).run(
+            workers=1, cache_dir="", checkpoint_dir="")
+        serial_digest = callgraph_digest(serial)
+        match = digest == serial_digest
+        print(f"serial-equivalence check: "
+              f"{'OK' if match else 'MISMATCH'} (digest {digest[:16]}…)")
+        if not match:
+            raise ReproError(
+                f"batched result diverged from serial scalar run: "
+                f"{digest} != {serial_digest}")
+    return 0
+
+
+def _noisy_policy(args):
+    """The ``repro scenario noisy`` policy from its CLI flags."""
+    if args.policy_file:
+        from repro.policy import load_policy
+        return load_policy(args.policy_file)
+    if args.policy == "hysteresis":
+        from repro.core import LimoncelloConfig
+        from repro.policy import HysteresisPolicy
+        return HysteresisPolicy(config=LimoncelloConfig(
+            lower_threshold=args.lower, upper_threshold=args.upper,
+            sustain_duration_ns=args.sustain_ns,
+            sample_period_ns=args.sustain_ns))
+    if args.policy == "single-threshold":
+        from repro.policy import SingleThresholdPolicy
+        return SingleThresholdPolicy(threshold=args.upper)
+    if args.policy == "bandit":
+        from repro.policy import EpsilonGreedyBanditPolicy
+        return EpsilonGreedyBanditPolicy(seed=args.seed)
+    raise ReproError(
+        "--mode policy needs --policy NAME or --policy-file FILE")
+
+
+def run_scenario_noisy(args) -> int:
+    """``repro scenario noisy``: the multi-tenant interference study."""
+    from repro.fleet import DEFAULT_SHARD_SIZE
+    from repro.scenarios import (DEFAULT_TENANTS, NoisyNeighborScenario,
+                                 noisy_digest)
+
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    fault_plan = _resolve_fault_plan(args)
+    checkpoint_dir, resolved_ckpt = _resolve_checkpoint(args)
+    policy = _noisy_policy(args) if args.mode == "policy" else None
+    if policy is None and (args.policy or args.policy_file):
+        raise ReproError("--policy/--policy-file need --mode policy")
+    kwargs = dict(tenants=args.tenants or DEFAULT_TENANTS,
+                  machines=args.machines, epochs=args.epochs,
+                  seed=args.seed, mode=args.mode, policy=policy,
+                  upper=args.upper, lower=args.lower,
+                  sustain_ns=args.sustain_ns, crash_rate=args.crash_rate,
+                  shard_size=shard_size, fault_plan=fault_plan)
+    scenario = NoisyNeighborScenario(**kwargs)
+    result = scenario.run(workers=args.workers, cache_dir=args.cache_dir,
+                          checkpoint_dir=checkpoint_dir,
+                          obs_dir=getattr(args, "obs_dir", None))
+
+    print(f"noisy neighbors: {len(scenario.tenants)} tenants on "
+          f"{result.machines} machines ({result.down} down), "
+          f"{scenario.epochs} epochs, mode={scenario.mode}")
+    shares = result.bandwidth_shares()
+    rows = []
+    for tenant in scenario.tenants:
+        summary = result.tenant_summary(tenant.name)
+        throttle = (f"{tenant.throttle:.2f}"
+                    if tenant.throttle != 1.0 else "-")
+        if summary is None:
+            rows.append((tenant.name, tenant.kind, throttle,
+                         f"{shares[tenant.name]:.1%}", "down", "down",
+                         "down"))
+        else:
+            rows.append((tenant.name, tenant.kind, throttle,
+                         f"{shares[tenant.name]:.1%}",
+                         f"{summary.p50:.2f}", f"{summary.p90:.2f}",
+                         f"{summary.p99:.2f}"))
+    _table(("tenant", "kind", "throttle", "bw share", "p50 ns/acc",
+            "p90 ns/acc", "p99 ns/acc"), rows)
+    print(f"\nprefetchers-disabled duty cycle: "
+          f"{result.duty_cycle_disabled():.2%}  "
+          f"(controller flips: {result.transitions()})")
+    if fault_plan is not None:
+        print(f"\nfault plan: {fault_plan.spec()}")
+    digest = noisy_digest(result)
+    print(f"\nresult digest: {digest}")
+    _print_queue_stats(scenario.queue_stats, resolved_ckpt)
+
+    if args.baseline:
+        baseline = scenario.baseline_twin().run(
+            workers=args.workers, cache_dir=args.cache_dir)
+        comparison = scenario.compare_to_baseline(result, baseline)
+        print("\nversus always-enabled twin (negative = faster):")
+        _table(("tenant", "p50", "p90", "p99", "mean"), [
+            (name, _pct(change["p50"]), _pct(change["p90"]),
+             _pct(change["p99"]), _pct(change["mean"]))
+            for name, change in comparison.items()])
+
+    if args.compare_serial:
+        serial = NoisyNeighborScenario(**kwargs).run(
+            workers=1, cache_dir="", checkpoint_dir="")
+        serial_digest = noisy_digest(serial)
+        match = digest == serial_digest
+        print(f"serial-equivalence check: "
+              f"{'OK' if match else 'MISMATCH'} (digest {digest[:16]}…)")
+        if not match:
+            raise ReproError(
+                f"sharded result diverged from serial run: "
                 f"{digest} != {serial_digest}")
     return 0

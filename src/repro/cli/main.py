@@ -148,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--shard-size", type=int, default=None,
                        help="max machines per shard (default 32)")
     sweep.add_argument(
+        "--trace", choices=("fleetbench", "scenario"),
+        default="fleetbench",
+        help="shared trace every arm replays: the fleetbench-style mix "
+             "(default) or the scenario subsystem's two-tenant "
+             "noisy-neighbor interleave")
+    sweep.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help="arms per lockstep batch (default: $REPRO_BATCH or 32; "
              "0 runs every arm on the scalar engine); results are "
@@ -312,6 +318,109 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_plan_flag(compare)
     _add_obs_flag(compare)
     compare.set_defaults(run=commands.run_policy_compare)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="microservice call-graph and noisy-neighbor "
+                         "scenario studies with P50/P90/P99 SLO metrics")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    callgraph = scenario_sub.add_parser(
+        "callgraph", help="SLOFetch-style RPC call graph: per-service "
+                          "and end-to-end request-latency percentiles")
+    callgraph.add_argument(
+        "--services", type=str, default=None, metavar="SPEC",
+        help="semicolon-separated services, each "
+             "name:kind:replicas:lines[>child*calls+...] (root first; "
+             "kinds: stream, random, chase, mixed); default: a "
+             "five-service frontend/auth/cache/storage topology")
+    callgraph.add_argument("--requests", type=int, default=32,
+                           help="arrival-stream length (every service "
+                                "handles each request)")
+    callgraph.add_argument("--seed", type=int, default=21)
+    callgraph.add_argument("--mode", choices=("off", "control"),
+                           default="off",
+                           help="'off' ablates every hardware prefetcher "
+                                "(replicas lockstep-batch); 'control' "
+                                "keeps the default bank (scalar)")
+    callgraph.add_argument("--rpc-overhead-ns", type=float, default=500.0,
+                           help="fixed per-call network/serialization "
+                                "cost on every fan-out edge")
+    callgraph.add_argument("--crash-rate", type=float, default=0.0,
+                           help="chaos: fraction of replicas marked down "
+                                "for the whole replay")
+    callgraph.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="arms per lockstep batch (default: $REPRO_BATCH or 32; "
+             "0 forces the scalar engine); results are identical at "
+             "any value")
+    callgraph.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run serially with batching off and fail unless the "
+             "result is bit-identical (engine + sharding determinism "
+             "check)")
+    _add_execution_flags(callgraph)
+    _add_checkpoint_flags(callgraph)
+    _add_fault_plan_flag(callgraph)
+    _add_obs_flag(callgraph)
+    callgraph.set_defaults(run=commands.run_scenario_callgraph)
+
+    noisy = scenario_sub.add_parser(
+        "noisy", help="multi-tenant noisy-neighbor interference with "
+                      "per-tenant attribution and QoS throttles")
+    noisy.add_argument(
+        "--tenants", type=str, default=None, metavar="SPEC",
+        help="comma-separated tenants, each name:kind:lines[:throttle] "
+             "(kinds: stream, random, chase, mixed; throttle in (0,1] "
+             "scales offered volume); default: "
+             "latency:stream:24,batch:random:96")
+    noisy.add_argument("--machines", type=int, default=8)
+    noisy.add_argument("--epochs", type=int, default=24,
+                       help="control epochs per machine (one telemetry "
+                            "sample and actuation each)")
+    noisy.add_argument("--seed", type=int, default=23)
+    noisy.add_argument("--mode",
+                       choices=("enabled", "disabled", "hard", "policy"),
+                       default="hard",
+                       help="fixed prefetcher state, the stock "
+                            "hysteresis controller, or a pluggable "
+                            "policy (--policy / --policy-file)")
+    noisy.add_argument(
+        "--policy", type=str, default="", metavar="NAME",
+        choices=("", "hysteresis", "single-threshold", "bandit"),
+        help="with --mode policy: build this policy with the scenario's "
+             "thresholds (hysteresis, single-threshold, bandit)")
+    noisy.add_argument(
+        "--policy-file", type=str, default="", metavar="FILE",
+        help="with --mode policy: load a trained policy JSON (e.g. from "
+             "'repro policy train --out')")
+    noisy.add_argument("--upper", type=float, default=0.8,
+                       help="controller upper threshold, fraction of "
+                            "DRAM saturation")
+    noisy.add_argument("--lower", type=float, default=0.6,
+                       help="controller lower threshold")
+    noisy.add_argument("--sustain-ns", type=float, default=30_000.0,
+                       help="controller sustain duration, ns (trace "
+                            "scale — the paper's seconds-scale sustain "
+                            "never expires inside a microsecond replay)")
+    noisy.add_argument("--crash-rate", type=float, default=0.0,
+                       help="chaos: fraction of machines marked down")
+    noisy.add_argument("--shard-size", type=int, default=None,
+                       help="max machines per shard (default 32); never "
+                            "affects results")
+    noisy.add_argument(
+        "--baseline", action="store_true",
+        help="also run the paired always-enabled twin over identical "
+             "traffic and report per-tenant relative changes")
+    noisy.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run serially and fail unless the result is "
+             "bit-identical (sharding determinism check)")
+    _add_execution_flags(noisy)
+    _add_checkpoint_flags(noisy)
+    _add_fault_plan_flag(noisy)
+    _add_obs_flag(noisy)
+    noisy.set_defaults(run=commands.run_scenario_noisy)
 
     report = subparsers.add_parser(
         "report", help="run the headline experiments, emit a markdown "

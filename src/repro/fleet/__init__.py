@@ -64,6 +64,7 @@ from repro.fleet.sweep import (
     MicroFleetSweep,
     MicroSweepResult,
     MicroSweepShardSpec,
+    SWEEP_WORKLOADS,
     sweep_digest,
 )
 from repro.fleet.ablation import (
@@ -101,6 +102,7 @@ __all__ = [
     "MicroFleetSweep",
     "MicroSweepResult",
     "MicroSweepShardSpec",
+    "SWEEP_WORKLOADS",
     "sweep_digest",
     "PlatformSpec",
     "PLATFORM_1",

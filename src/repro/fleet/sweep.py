@@ -44,6 +44,11 @@ from repro.serialization import canonical_json
 #: aggressive bank enabled (scalar engine, the paired baseline).
 SWEEP_MODES = ("off", "control")
 
+#: Shared-trace workloads the sweep can replay: the fleetbench-style
+#: mixed trace (default) or the scenario subsystem's two-tenant
+#: co-location interleave (the noisy-neighbor bridge).
+SWEEP_WORKLOADS = ("fleetbench", "scenario")
+
 #: Upper bound of the per-machine background-load draw, bytes/ns. Spans
 #: idle co-tenants up to roughly two thirds of the DRAM saturation
 #: bandwidth, the paper's busy-fleet regime.
@@ -186,6 +191,10 @@ class MicroSweepShardSpec:
     #: trainer probes); ``None`` keeps the mode's stock bank. Rows gain
     #: the :data:`_PREFETCH_FIELDS` counters when set.
     prefetchers: Optional[Tuple[str, ...]] = None
+    #: Shared-trace workload; ``None`` means the default fleetbench mix
+    #: (kept ``None`` rather than ``"fleetbench"`` so plain-sweep shard
+    #: keys are unchanged).
+    workload: Optional[str] = None
 
 
 def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
@@ -201,7 +210,7 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
     from repro.memsys.hierarchy import MemoryHierarchy, run_many
     from repro.memsys.prefetchers.bank import (PrefetcherBank,
                                                default_prefetcher_bank)
-    from repro.workloads.memo import memoized_fleet_mix
+    from repro.workloads.memo import memoized_fleet_mix, memoized_scenario_mix
 
     if spec.prefetchers is not None:
         if spec.mode == "off":
@@ -213,7 +222,10 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
         if unknown:
             raise ConfigError(
                 f"unknown prefetchers {unknown!r}; known: {sorted(known)}")
-    trace = memoized_fleet_mix(spec.trace_seed, spec.scale)
+    if spec.workload == "scenario":
+        trace = memoized_scenario_mix(spec.trace_seed, spec.scale)
+    else:
+        trace = memoized_fleet_mix(spec.trace_seed, spec.scale)
     rows: List[Dict] = []
     live_arms: List[MemoryHierarchy] = []
     live_rows: List[Dict] = []
@@ -296,6 +308,11 @@ class MicroFleetSweep:
             rows gain issued/useful/covered prefetch counters. Enters
             cache and shard-task keys only when set, so plain-sweep keys
             are unchanged.
+        workload: Which shared trace the arms replay — ``fleetbench``
+            (default) or ``scenario`` (the noisy-neighbor tenant
+            interleave from :mod:`repro.scenarios`). Enters cache and
+            shard-task keys only when non-default, so existing keys are
+            unchanged.
     """
 
     def __init__(self, mode: str = "off", machines: int = 64,
@@ -304,10 +321,17 @@ class MicroFleetSweep:
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  batch_size: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 prefetchers: Optional[Tuple[str, ...]] = None) -> None:
+                 prefetchers: Optional[Tuple[str, ...]] = None,
+                 workload: Optional[str] = None) -> None:
         if mode not in SWEEP_MODES:
             raise ConfigError(
                 f"mode must be one of {SWEEP_MODES}, got {mode!r}")
+        if workload is not None and workload not in SWEEP_WORKLOADS:
+            raise ConfigError(
+                f"workload must be one of {SWEEP_WORKLOADS}, "
+                f"got {workload!r}")
+        if workload == "fleetbench":
+            workload = None  # the default; keep keys unchanged
         if prefetchers is not None:
             if mode == "off":
                 raise ConfigError(
@@ -338,6 +362,7 @@ class MicroFleetSweep:
         self.shard_size = shard_size
         self.batch_size = batch_size
         self.prefetchers = prefetchers
+        self.workload = workload
         #: Work-queue disposition of the last :meth:`run` (a
         #: :class:`~repro.fleet.queue.QueueStats`), or ``None``.
         self.queue_stats = None
@@ -356,7 +381,8 @@ class MicroFleetSweep:
                 mode=self.mode, machines=size, study_seed=self.seed,
                 trace_seed=trace_seed, scale=self.scale,
                 crash_rate=self.crash_rate, shard_index=index,
-                batch_size=self.batch_size, prefetchers=self.prefetchers)
+                batch_size=self.batch_size, prefetchers=self.prefetchers,
+                workload=self.workload)
             for index, (size, trace_seed)
             in enumerate(zip(plan.sizes, plan.seeds(self.seed)))
         ]
@@ -380,6 +406,8 @@ class MicroFleetSweep:
         }
         if self.prefetchers is not None:
             material["prefetchers"] = list(self.prefetchers)
+        if self.workload is not None:
+            material["workload"] = self.workload
         return material
 
     def shard_task_materials(self) -> List[Dict]:
@@ -404,7 +432,9 @@ class MicroFleetSweep:
                 "scale": spec.scale,
                 "crash_rate": spec.crash_rate,
                 "shard_index": spec.shard_index,
-                "trace": ["fleetbench_mix", spec.trace_seed, spec.scale],
+                "trace": ["scenario_mix" if spec.workload == "scenario"
+                          else "fleetbench_mix",
+                          spec.trace_seed, spec.scale],
             }
             if spec.prefetchers is not None:
                 body["prefetchers"] = list(spec.prefetchers)

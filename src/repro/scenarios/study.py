@@ -1,0 +1,119 @@
+"""Shared execution plumbing for scenario studies.
+
+Both scenario classes expose the same surface the fleet studies do —
+``STUDY``, ``shard_specs()``, ``shard_task_materials()``,
+``cache_key_material()``, and dict-serializable shard results — so one
+runner threads them through the whole-study result cache, the
+checkpointed work queue, and an optional observability session. Shard
+events are emitted study-level in plan order at merge time, which keeps
+the event log (like the result) bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+
+def run_scenario_study(study, worker, from_payload,
+                       workers: Optional[int] = None,
+                       cache_dir: Optional[str] = None,
+                       checkpoint_dir: Optional[str] = None,
+                       resume: bool = True,
+                       obs_dir: Optional[str] = None,
+                       shard_meta: Optional[Callable] = None) -> Tuple:
+    """Run a scenario study's shards; returns ``(result, queue_stats)``.
+
+    Args:
+        study: The scenario (duck-typed: ``STUDY``, ``shard_specs``,
+            ``shard_task_materials``, ``cache_key_material``).
+        worker: Pure shard worker (the pool entry point).
+        from_payload: Rebuilds a shard result from its dict payload.
+        workers / cache_dir / checkpoint_dir / resume: The standard
+            sharded-study contract (see :meth:`MicroFleetSweep.run
+            <repro.fleet.sweep.MicroFleetSweep.run>`).
+        obs_dir: Observability run directory (``None`` reads
+            ``$REPRO_OBS_DIR``; unset disables it).
+        shard_meta: ``spec -> {"machines", "seed", "epochs"}`` for the
+            plan-order ``shard-start`` / ``shard-finish`` events.
+
+    ``queue_stats`` is ``None`` on a whole-study cache hit.
+    """
+    from repro.fleet.parallel import resolve_workers
+    from repro.fleet.queue import run_checkpointed, shard_checkpoint
+    from repro.fleet.result_cache import study_cache
+    from repro.obs.session import ObsSession, resolve_obs_dir
+
+    workers = resolve_workers(workers)
+    obs_dir = resolve_obs_dir(obs_dir)
+    session = (ObsSession(obs_dir, study.STUDY, workers=workers)
+               if obs_dir is not None else None)
+    if session is not None:
+        session.event("study-start", study=study.STUDY)
+    cache = study_cache(cache_dir)
+    checkpoint = shard_checkpoint(checkpoint_dir)
+    material = study.cache_key_material()
+
+    result = None
+    stats = None
+    if cache is not None:
+        payload = cache.load(material)
+        if payload is not None:
+            try:
+                result = from_payload(payload)
+            except (KeyError, TypeError):
+                result = None  # stale/foreign payload: recompute
+        if session is not None:
+            session.cache_probe(result is not None,
+                                cache.key_for(material))
+
+    if result is None:
+        specs = study.shard_specs()
+        materials = study.shard_task_materials()
+
+        def execute():
+            return run_checkpointed(
+                worker, specs, materials, workers,
+                checkpoint=checkpoint,
+                to_payload=lambda shard: shard.to_dict(),
+                from_payload=from_payload,
+                resume=resume)
+
+        if session is not None:
+            with session.phase("execute"):
+                shards, stats = execute()
+            if checkpoint is not None:
+                session.queue_stats(stats)
+                restored = set(stats.restored_indexes)
+                for spec in specs:
+                    session.event(
+                        "shard-restored"
+                        if spec.shard_index in restored
+                        else "shard-checkpoint",
+                        index=spec.shard_index)
+            if shard_meta is not None:
+                for spec in specs:
+                    meta: Dict = shard_meta(spec)
+                    session.event("shard-start", index=spec.shard_index,
+                                  machines=meta["machines"],
+                                  seed=meta["seed"])
+                    session.event("shard-finish", index=spec.shard_index,
+                                  epochs=meta["epochs"])
+            with session.phase("merge"):
+                result = shards[0]
+                for index, shard in enumerate(shards[1:], start=1):
+                    session.event("merge-step", index=index)
+                    result.merge(shard)
+        else:
+            shards, stats = execute()
+            result = shards[0]
+            for shard in shards[1:]:
+                result.merge(shard)
+        if cache is not None:
+            cache.store(material, result.to_dict())
+            if session is not None:
+                session.event("cache-store", key=cache.key_for(material))
+
+    if session is not None:
+        session.event("study-finish", study=study.STUDY)
+        session.finalize(material)
+    return result, stats

@@ -1,0 +1,163 @@
+"""Request-level workload emission for the scenario subsystem.
+
+Microservice call graphs and tenant antagonists are built from a small
+set of *request shapes* — short bursts of memory traffic modelling one
+RPC's worth of work — emitted straight through the columnar
+:func:`~repro.access.builder.trace_builder` bulk emitters
+(``append_stream`` / ``append_addresses``), so scenario traces are born
+column-backed like every other generator's.
+
+Determinism mirrors :func:`repro.faults.plan.fault_rng`: every random
+draw comes from a BLAKE2b-namespaced stream keyed by the scenario seed
+and the entity (service, tenant, request, epoch) it belongs to — never
+from shared RNG state — so traces are identical across worker counts,
+shard sizes, and batch sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE_BYTES
+
+#: Request-shape vocabulary. ``stream`` is the prefetch-friendly RPC
+#: data plane (sequential payload scans); ``random`` models metadata /
+#: hash-map lookups (independent uniform loads); ``chase`` models
+#: dependent pointer walks (the prefetch-hostile worst case); ``mixed``
+#: interleaves a stream burst with random lookups, the common
+#: service shape.
+WORKLOAD_KINDS = ("stream", "random", "chase", "mixed")
+
+_PC_STREAM = 0x6000_0010
+_PC_RANDOM = 0x6000_0110
+_PC_CHASE = 0x6000_0210
+
+#: Working-set region a request's random/chase lookups land in. Far
+#: larger than the LLC so uncached lookups are demand DRAM accesses.
+_LOOKUP_REGION_BYTES = 64 * 1024 * 1024
+
+
+def scenario_seed(*parts) -> int:
+    """Stable 63-bit seed for one scenario entity.
+
+    BLAKE2b over ``"limoncello-scenario:" + part:part:...`` in the same
+    style as :func:`repro.fleet.machine.machine_seed` and
+    :func:`repro.faults.plan.fault_seed` — independent of
+    ``PYTHONHASHSEED``, process, and platform.
+    """
+    text = "limoncello-scenario:" + ":".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def scenario_rng(*parts) -> random.Random:
+    """A fresh RNG seeded from the namespaced scenario stream."""
+    return random.Random(scenario_seed(*parts))
+
+
+def check_kind(kind: str) -> str:
+    """Validate a workload-kind name (returns it unchanged)."""
+    if kind not in WORKLOAD_KINDS:
+        raise ConfigError(
+            f"unknown workload kind {kind!r}; known: {WORKLOAD_KINDS}")
+    return kind
+
+
+def emit_request(builder, kind: str, rng: random.Random, space,
+                 lines: int, function: str,
+                 gap_cycles: int = 4) -> None:
+    """Emit one request's worth of traffic (``lines`` line-touches).
+
+    Every record carries ``function``, so per-request (call-graph) or
+    per-tenant (co-location) attribution falls out of the simulator's
+    per-function statistics with no bookkeeping of our own.
+    """
+    check_kind(kind)
+    if lines <= 0:
+        raise ConfigError(f"request lines must be positive, got {lines}")
+    if kind == "stream":
+        base = space.allocate(lines * CACHE_LINE_BYTES)
+        builder.append_stream(base, lines, pc=_PC_STREAM,
+                              function=function, gap_cycles=gap_cycles)
+    elif kind == "random":
+        _emit_lookups(builder, rng, space, lines, pc=_PC_RANDOM,
+                      size=8, function=function, gap_cycles=gap_cycles)
+    elif kind == "chase":
+        # A dependent walk: one load per hop, larger gaps (the core is
+        # stuck waiting on the previous hop before computing the next).
+        _emit_lookups(builder, rng, space, lines, pc=_PC_CHASE,
+                      size=8, function=function,
+                      gap_cycles=gap_cycles * 2)
+    else:  # mixed
+        burst = max(1, lines // 2)
+        base = space.allocate(burst * CACHE_LINE_BYTES)
+        builder.append_stream(base, burst, pc=_PC_STREAM,
+                              function=function, gap_cycles=gap_cycles)
+        remainder = lines - burst
+        if remainder > 0:
+            _emit_lookups(builder, rng, space, remainder, pc=_PC_RANDOM,
+                          size=8, function=function,
+                          gap_cycles=gap_cycles)
+
+
+def _emit_lookups(builder, rng: random.Random, space, count: int,
+                  pc: int, size: int, function: str,
+                  gap_cycles: int) -> None:
+    base = space.allocate(_LOOKUP_REGION_BYTES)
+    num_lines = _LOOKUP_REGION_BYTES // CACHE_LINE_BYTES
+    builder.append_addresses(
+        [base + rng.randrange(num_lines) * CACHE_LINE_BYTES
+         for _ in range(count)],
+        size=size, pc=pc, function=function, gap_cycles=gap_cycles)
+
+
+def scenario_mix_trace(seed: int, scale: float = 1.0):
+    """The default tenant mix as one interleaved, column-backed trace.
+
+    The bridge from the scenario subsystem into the trace-driven
+    micro-fleet sweep: the :data:`~repro.scenarios.tenancy.DEFAULT_TENANTS`
+    co-location (a streaming latency tenant against a random-lookup batch
+    antagonist) emitted round by round and round-robin interleaved, the
+    same lowering :func:`~repro.scenarios.tenancy.run_noisy_shard` uses
+    per epoch. ``scale`` multiplies the round count. Deterministic for
+    ``(seed, scale)``; memoize via
+    :func:`repro.workloads.memo.memoized_scenario_mix`.
+    """
+    # Imported lazily: tenancy imports this module at load time.
+    from repro.access import AddressSpace, interleave, trace_builder
+    from repro.scenarios.tenancy import (DEFAULT_TENANTS, _INTERLEAVE_CHUNK,
+                                         parse_tenants)
+
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    tenants = parse_tenants(DEFAULT_TENANTS)
+    rounds = max(1, int(8 * scale))
+    space = AddressSpace()
+    traces = []
+    for tenant in tenants:
+        builder = trace_builder()
+        for index in range(rounds):
+            emit_request(builder, tenant.kind,
+                         scenario_rng(seed, "mix", tenant.name, index),
+                         space, tenant.effective_lines,
+                         function=tenant.name)
+        traces.append(builder.build())
+    return interleave(traces, chunk=_INTERLEAVE_CHUNK)
+
+
+def request_label(index: int) -> str:
+    """The per-request function label (``req0042``) used for per-request
+    latency attribution inside one service's concatenated trace."""
+    return f"req{index:04d}"
+
+
+def parse_kind_field(text: str, what: str) -> Tuple[str, str]:
+    """Split a ``name:kind...`` spec head, validating both parts."""
+    name, _, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ConfigError(f"{what} spec {text!r} is missing a name")
+    return name, rest

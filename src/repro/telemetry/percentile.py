@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
@@ -14,8 +15,12 @@ def format_relative_change(change: float, precision: int = 1) -> str:
     Infinite changes (a statistic appearing against a zero baseline, see
     :meth:`PercentileSummary.relative_change`) render as ``+inf``/``-inf``
     rather than the unreadable ``+inf%`` that ``format(inf, '+.1%')``
-    produces.
+    produces. An undefined change (either operand was NaN) renders as a
+    bare ``nan`` rather than the pseudo-signed ``+nan%`` of
+    ``format(nan, '+.1%')``.
     """
+    if math.isnan(change):
+        return "nan"
     if change == float("inf"):
         return "+inf"
     if change == float("-inf"):
@@ -83,11 +88,17 @@ class PercentileSummary:
         with a nonzero new value is an unbounded change and is reported as
         signed infinity (previously it was silently reported as 0.0,
         masking e.g. a latency stat appearing where the baseline had
-        none); zero-to-zero is genuinely "no change" and stays 0.0. Use
-        :func:`format_relative_change` to render these values.
+        none); zero-to-zero is genuinely "no change" and stays 0.0. A NaN
+        in either operand makes the change undefined and is reported as
+        NaN — notably, a NaN statistic against a zero baseline used to
+        fall through ``new > 0.0`` (False for NaN) and masquerade as
+        ``-inf``. Use :func:`format_relative_change` to render these
+        values.
         """
         def change(new: float, old: float) -> float:
             """Fractional change of one statistic."""
+            if math.isnan(new) or math.isnan(old):
+                return float("nan")
             if old == 0.0:
                 if new == 0.0:
                     return 0.0

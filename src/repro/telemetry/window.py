@@ -22,8 +22,22 @@ class SlidingWindow:
     """Sum/mean of observations within a trailing time window.
 
     Observations are (time, value) pairs appended in non-decreasing time
-    order; anything older than ``span_ns`` relative to the latest
-    observation (or an explicit ``now``) is evicted lazily.
+    order; stale points are evicted lazily relative to the latest
+    observation (or an explicit ``now``).
+
+    **Boundary semantics.** The window is half-open on the old side:
+    at time ``t`` it covers ``(t - span_ns, t]``, so a point exactly
+    ``span_ns`` old is *out* (see :meth:`_evict`'s ``<= horizon`` test).
+    This deliberately mirrors the Hard Limoncello controller's sustain
+    timer, which treats a threshold crossing that has lasted *exactly*
+    ``sustain_duration_ns`` as sustained (``elapsed >= duration`` in
+    ``HardLimoncelloController._maybe_expire``): in both, an interval of
+    exactly S "has elapsed". The DRAM model's two inlined copies of the
+    eviction loop (demand and software-prefetch paths in
+    ``repro.memsys.hierarchy``) and the batched lockstep engine encode
+    the same ``<=`` — changing any one of them would break the
+    bit-identity invariant between engines, so the boundary is pinned by
+    tests at exactly-``span_ns`` age.
 
     The running sum uses Kahan (compensated) summation: a daemon that
     ticks once per simulated second for a fleet-year performs ~3e7
@@ -80,6 +94,9 @@ class SlidingWindow:
         self._evict(time_ns)
 
     def _evict(self, now: float) -> None:
+        # Half-open (now - span, now]: a point exactly span_ns old falls
+        # on the horizon and is evicted. Keep in lockstep with the
+        # inlined copies in repro.memsys.hierarchy / repro.memsys.batched.
         horizon = now - self.span_ns
         while self._points and self._points[0][0] <= horizon:
             _, value = self._points.popleft()

@@ -12,11 +12,35 @@ Like the tax generators, these emit through
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional
 
 from repro.access import AccessKind, AddressSpace, Trace, trace_builder
 from repro.units import CACHE_LINE_BYTES
+
+
+def workload_seed(name: str) -> int:
+    """Stable 63-bit default-RNG seed for a workload generator.
+
+    BLAKE2b over a namespaced generator name, in the same style as
+    :func:`repro.fleet.machine.machine_seed`. Every generator in this
+    module used to default to ``random.Random(0)``, so distinct
+    workloads emitted *correlated* address streams whenever a caller
+    omitted ``rng`` — a pointer chase and a hash-map probe would land on
+    the same "random" lines. Namespacing by generator name keeps each
+    default stream deterministic while decorrelating the generators.
+    """
+    digest = hashlib.blake2b(
+        f"limoncello-workload:{name}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def _default_rng(rng: Optional[random.Random],
+                 generator: str) -> random.Random:
+    """The caller's RNG, or a fresh per-generator namespaced default."""
+    return rng if rng is not None else random.Random(workload_seed(generator))
+
 
 _PC_CHASE = 0x5000_0010
 _PC_RANDOM = 0x5000_0110
@@ -41,7 +65,7 @@ def pointer_chase_trace(space: AddressSpace, working_set_bytes: int,
         raise ValueError("working set must hold at least one line")
     if hops <= 0:
         raise ValueError(f"hops must be positive, got {hops}")
-    rng = rng or random.Random(0)
+    rng = _default_rng(rng, "pointer_chase")
     base = space.allocate(working_set_bytes)
     num_lines = working_set_bytes // CACHE_LINE_BYTES
     builder = trace_builder()
@@ -57,6 +81,10 @@ def random_access_trace(space: AddressSpace, working_set_bytes: int,
                         gap_cycles: int = 2,
                         function: str = "random_access") -> Trace:
     """Independent uniform random loads (no dependence between them)."""
+    # Resolve the default *here*, not in the delegate: an omitted rng
+    # must follow this generator's own namespaced stream rather than
+    # silently inheriting pointer_chase's.
+    rng = _default_rng(rng, "random_access")
     return pointer_chase_trace(space, working_set_bytes, accesses, rng,
                                gap_cycles=gap_cycles, function=function)
 
@@ -73,7 +101,7 @@ def btree_lookup_trace(space: AddressSpace, keys: int,
     """
     if keys <= 0 or depth <= 0:
         raise ValueError("keys and depth must be positive")
-    rng = rng or random.Random(0)
+    rng = _default_rng(rng, "btree_lookup")
     level_regions: List[int] = []
     level_sizes: List[int] = []
     region = 4 * 1024
@@ -110,7 +138,7 @@ def misc_streaming_trace(space: AddressSpace, bursts: int,
     """
     if bursts <= 0:
         raise ValueError(f"bursts must be positive, got {bursts}")
-    rng = rng or random.Random(0)
+    rng = _default_rng(rng, "misc_streaming")
     builder = trace_builder()
     for burst in range(bursts):
         lines = rng.randrange(16, 64)
@@ -134,7 +162,7 @@ def hashmap_probe_trace(space: AddressSpace, probes: int,
     """
     if probes <= 0:
         raise ValueError(f"probes must be positive, got {probes}")
-    rng = rng or random.Random(0)
+    rng = _default_rng(rng, "hashmap_probe")
     base = space.allocate(table_bytes)
     num_lines = table_bytes // CACHE_LINE_BYTES
     buckets: List[int] = []

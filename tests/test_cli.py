@@ -170,3 +170,53 @@ class TestAdaptiveCommand:
     def test_adaptive_rejects_bad_arms(self):
         with pytest.raises(ReproError):
             main(["ablation", "--adaptive", "--arms", "off"])
+
+
+class TestScenarioCommands:
+    CALLGRAPH = ["scenario", "callgraph",
+                 "--services", "edge:mixed:2:8>leaf*2;leaf:random:1:6",
+                 "--requests", "6"]
+    NOISY = ["scenario", "noisy", "--machines", "3", "--epochs", "4",
+             "--tenants", "lat:stream:6,bat:random:10",
+             "--sustain-ns", "20000"]
+
+    def test_callgraph_reports_slo(self, capsys):
+        assert main(self.CALLGRAPH + ["--compare-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end SLO at 'edge'" in out
+        assert "p99" in out
+        assert "result digest:" in out
+        assert "serial-equivalence check: OK" in out
+
+    def test_noisy_reports_tenants_and_duty_cycle(self, capsys):
+        assert main(self.NOISY + ["--baseline", "--compare-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "lat" in out and "bat" in out
+        assert "bw share" in out
+        assert "prefetchers-disabled duty cycle:" in out
+        assert "versus always-enabled twin" in out
+        assert "serial-equivalence check: OK" in out
+
+    def test_noisy_policy_mode(self, capsys):
+        assert main(self.NOISY + ["--mode", "policy",
+                                  "--policy", "hysteresis"]) == 0
+        assert "mode=policy" in capsys.readouterr().out
+
+    def test_noisy_policy_needs_policy_mode(self):
+        with pytest.raises(ReproError):
+            main(self.NOISY + ["--policy", "bandit"])
+        with pytest.raises(ReproError):
+            main(self.NOISY + ["--mode", "policy"])
+
+    def test_callgraph_checkpoint_disposition(self, tmp_path, capsys):
+        assert main(self.CALLGRAPH
+                    + ["--checkpoint-dir", str(tmp_path)]) == 0
+        assert "0/2 shards restored, 2 computed" in capsys.readouterr().out
+        assert main(self.CALLGRAPH + ["--checkpoint-dir", str(tmp_path),
+                                      "--resume"]) == 0
+        assert "2/2 shards restored, 0 computed" in capsys.readouterr().out
+
+    def test_sweep_scenario_trace(self, capsys):
+        assert main(["sweep", "--machines", "2", "--scale", "0.25",
+                     "--trace", "scenario", "--compare-serial"]) == 0
+        assert "serial-equivalence check: OK" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Tests for repro.telemetry.percentile."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -83,3 +85,36 @@ class TestFormatRelativeChange:
     def test_infinite(self):
         assert format_relative_change(float("inf")) == "+inf"
         assert format_relative_change(float("-inf")) == "-inf"
+
+
+class TestNaNHandling:
+    def test_format_nan_renders_bare_nan(self):
+        # format(nan, '+.1%') yields the pseudo-signed "+nan%"; the
+        # renderer must emit a bare "nan" instead.
+        assert format_relative_change(float("nan")) == "nan"
+
+    def test_nan_statistic_against_zero_baseline_is_nan(self):
+        # Regression: nan > 0.0 is False, so a NaN statistic over a zero
+        # baseline used to fall through to the -inf branch.
+        baseline = PercentileSummary.of([0.0])
+        other = PercentileSummary(count=1, mean=float("nan"),
+                                  p50=float("nan"), p90=float("nan"),
+                                  p99=float("nan"), peak=float("nan"))
+        change = other.relative_change(baseline)
+        assert all(math.isnan(value) for value in change.values())
+
+    def test_nan_baseline_is_nan(self):
+        baseline = PercentileSummary(count=1, mean=float("nan"),
+                                     p50=float("nan"), p90=float("nan"),
+                                     p99=float("nan"), peak=float("nan"))
+        other = PercentileSummary.of([3.0])
+        change = other.relative_change(baseline)
+        assert all(math.isnan(value) for value in change.values())
+
+    def test_nan_never_reported_as_infinite(self):
+        baseline = PercentileSummary.of([0.0])
+        other = PercentileSummary(count=1, mean=float("nan"), p50=0.0,
+                                  p90=0.0, p99=0.0, peak=0.0)
+        change = other.relative_change(baseline)
+        assert math.isnan(change["mean"])
+        assert change["p50"] == 0.0

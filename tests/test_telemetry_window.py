@@ -82,3 +82,57 @@ class TestSlidingWindow:
         assert len(window) == 0
         assert window.total() == 0.0
         assert window.rate() == 0.0
+
+
+class TestBoundarySemantics:
+    """The window is half-open ``(t - span, t]``: a point exactly
+    ``span_ns`` old is out — aligned with the controller's inclusive
+    sustain expiry (exactly-S has elapsed) and pinned because the DRAM
+    model's inlined eviction loops and the batched engine encode the
+    same ``<=`` comparison."""
+
+    def test_point_exactly_span_old_is_evicted_on_add(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(5.0, 3.0)
+        window.add(15.0, 1.0)  # first point is now exactly span_ns old
+        assert window.total() == 1.0
+        assert len(window) == 1
+
+    def test_point_exactly_span_old_is_evicted_on_advance(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(5.0, 3.0)
+        window.advance(15.0)
+        assert window.total() == 0.0
+        assert len(window) == 0
+
+    def test_point_just_inside_span_is_retained(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(5.0, 3.0)
+        window.advance(15.0 - 1e-9)
+        assert window.total() == 3.0
+        assert len(window) == 1
+
+    def test_total_with_now_applies_same_boundary(self):
+        window = SlidingWindow(span_ns=10.0)
+        window.add(0.0, 5.0)
+        assert window.total(now=10.0 - 1e-9) == 5.0
+        assert window.total(now=10.0) == 0.0
+
+    def test_matches_controller_sustain_boundary(self):
+        # The controller flips state when a crossing has lasted
+        # *exactly* sustain_duration_ns; the window must agree that an
+        # interval of exactly S has elapsed (the point is gone).
+        from repro.core import LimoncelloConfig
+        from repro.core.controller import HardLimoncelloController
+
+        config = LimoncelloConfig()
+        sustain = config.sustain_duration_ns
+        controller = HardLimoncelloController(config)
+        controller.observe(0.0, 0.99)            # enter OVERLOADED at t=0
+        decision = controller.observe(float(sustain), 0.99)
+        assert decision.prefetchers_enabled is False  # exactly-S flips
+
+        window = SlidingWindow(span_ns=float(sustain))
+        window.add(0.0, 1.0)
+        window.advance(float(sustain))
+        assert len(window) == 0                  # exactly-S evicts

@@ -58,3 +58,52 @@ class TestDeterminism:
         a = fleetbench_trace(random.Random(1), AddressSpace(), scale=0.4)
         b = fleetbench_trace(random.Random(2), AddressSpace(), scale=0.4)
         assert a != b
+
+
+class TestDefaultRngDecorrelation:
+    """Regression: every irregular generator used to default to
+    ``random.Random(0)``, so two *different* generators produced
+    identical uniform draws — correlated address streams whenever a
+    caller omitted ``rng``. Defaults are now namespaced per generator
+    via BLAKE2b (``workload_seed``)."""
+
+    def _offsets(self, trace, limit=64):
+        # Compare line offsets relative to the first address: the two
+        # generators allocate from separate address spaces, so raw
+        # addresses could differ even with correlated draws.
+        addresses = [record.address for record in trace][:limit]
+        return [address - addresses[0] for address in addresses]
+
+    def test_workload_seed_is_stable_and_namespaced(self):
+        from repro.workloads.irregular import workload_seed
+
+        assert workload_seed("pointer_chase") == workload_seed("pointer_chase")
+        names = ["pointer_chase", "random_access", "btree_lookup",
+                 "misc_streaming", "hashmap_probe"]
+        seeds = [workload_seed(name) for name in names]
+        assert len(set(seeds)) == len(seeds)
+        assert all(0 <= seed < 2 ** 63 for seed in seeds)
+
+    def test_default_streams_are_decorrelated(self):
+        from repro.workloads.irregular import (hashmap_probe_trace,
+                                               pointer_chase_trace)
+
+        chase = pointer_chase_trace(AddressSpace(), 1 << 22, 64)
+        probe = hashmap_probe_trace(AddressSpace(), 32, table_bytes=1 << 22)
+        assert self._offsets(chase) != self._offsets(probe)
+
+    def test_random_access_default_differs_from_pointer_chase(self):
+        # random_access_trace delegates to pointer_chase_trace; an
+        # omitted rng must still follow its *own* namespaced stream.
+        from repro.workloads.irregular import (pointer_chase_trace,
+                                               random_access_trace)
+
+        chase = pointer_chase_trace(AddressSpace(), 1 << 22, 64)
+        random_access = random_access_trace(AddressSpace(), 1 << 22, 64)
+        assert self._offsets(chase) != self._offsets(random_access)
+
+    def test_defaults_stay_deterministic(self):
+        from repro.workloads.irregular import btree_lookup_trace
+
+        assert btree_lookup_trace(AddressSpace(), 16) == \
+            btree_lookup_trace(AddressSpace(), 16)
