@@ -36,8 +36,8 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
 BASELINES_DIR = BENCH_DIR / "baselines"
 KNOWN_BENCHMARKS = ("sim_throughput", "trace_pipeline", "batched_engine",
-                    "resume_overhead", "adaptive_sampling",
-                    "policy_compare", "scenarios")
+                    "batched_enabled", "resume_overhead",
+                    "adaptive_sampling", "policy_compare", "scenarios")
 METRIC = "speedup"
 DEFAULT_TOLERANCE = 0.20
 

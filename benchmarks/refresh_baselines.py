@@ -24,6 +24,7 @@ BENCHMARK_SCRIPTS = {
     "sim_throughput": BENCH_DIR / "bench_sim_throughput.py",
     "trace_pipeline": BENCH_DIR / "bench_trace_pipeline.py",
     "batched_engine": BENCH_DIR / "bench_batched_engine.py",
+    "batched_enabled": BENCH_DIR / "bench_batched_enabled.py",
     "resume_overhead": BENCH_DIR / "bench_resume_overhead.py",
     "adaptive_sampling": BENCH_DIR / "bench_adaptive_sampling.py",
     "policy_compare": BENCH_DIR / "bench_policy_compare.py",

@@ -56,6 +56,36 @@ def _print_queue_stats(stats, resolved_dir) -> None:
           f"{stats.computed} computed (journal: {resolved_dir})")
 
 
+def _print_engine_occupancy(result) -> None:
+    """One-line batched-engine disposition after a trace-driven study.
+
+    Silent on results restored from a cache or checkpoint payload (no
+    engine ran, so there is nothing to report).
+    """
+    occupancy = getattr(result, "occupancy", None)
+    if occupancy is None:
+        return
+    stats = occupancy.to_dict()
+    total = stats["batched_arms"] + stats["scalar_arms"]
+    if total == 0:
+        return
+    line = (f"engine: {stats['batched_arms']}/{total} arm-runs batched "
+            f"({stats['groups']} lockstep groups)")
+    if stats["scalar_arms"]:
+        reasons = ", ".join(f"{reason}={count}" for reason, count
+                            in stats["fallback_reasons"].items())
+        line += f"; {stats['scalar_arms']} scalar: {reasons}"
+    print(line)
+
+
+def _resolve_engine_batch(args):
+    """The effective lockstep batch size from ``--engine``/``--batch-size``."""
+    from repro.fleet.parallel import resolve_engine
+
+    return resolve_engine(getattr(args, "engine", None),
+                          getattr(args, "batch_size", None))
+
+
 def _resolve_fault_plan(args):
     """The study's fault plan: ``--fault-plan``, else $REPRO_FAULT_PLAN,
     else None (fault-free)."""
@@ -195,6 +225,16 @@ def run_ablation(args) -> int:
     """``repro ablation``: a paired fleet ablation study."""
     from repro.fleet import DEFAULT_SHARD_SIZE, AblationStudy
 
+    engine = getattr(args, "engine", None)
+    if engine and engine != "auto":
+        # The ablation study itself is analytic; the engine choice maps
+        # onto $REPRO_BATCH so every trace-driven companion this process
+        # runs (calibration, micro-sweep bridges) honours it.
+        import os
+
+        from repro.fleet.parallel import BATCH_ENV_VAR, resolve_engine
+
+        os.environ[BATCH_ENV_VAR] = str(resolve_engine(engine, None))
     shard_size = getattr(args, "shard_size", None)
     if shard_size is None:
         shard_size = DEFAULT_SHARD_SIZE
@@ -266,7 +306,8 @@ def run_sweep(args) -> int:
                   scale=args.scale, crash_rate=args.crash_rate,
                   shard_size=shard_size, fault_plan=fault_plan,
                   workload=getattr(args, "trace", None))
-    sweep = MicroFleetSweep(batch_size=args.batch_size, **kwargs)
+    sweep = MicroFleetSweep(batch_size=_resolve_engine_batch(args),
+                            **kwargs)
     result = sweep.run(workers=args.workers, cache_dir=args.cache_dir,
                        checkpoint_dir=checkpoint_dir)
 
@@ -283,6 +324,7 @@ def run_sweep(args) -> int:
     ]
     if live:
         _table(("sweep metric", "value"), rows)
+    _print_engine_occupancy(result)
     digest = sweep_digest(result)
     print(f"\nresult digest: {digest}")
     _print_queue_stats(sweep.queue_stats, resolved_ckpt)
@@ -766,7 +808,8 @@ def run_scenario_callgraph(args) -> int:
                   requests=args.requests, seed=args.seed, mode=args.mode,
                   rpc_overhead_ns=args.rpc_overhead_ns,
                   crash_rate=args.crash_rate, fault_plan=fault_plan)
-    scenario = CallGraphScenario(batch_size=args.batch_size, **kwargs)
+    scenario = CallGraphScenario(batch_size=_resolve_engine_batch(args),
+                                 **kwargs)
     result = scenario.run(workers=args.workers, cache_dir=args.cache_dir,
                           checkpoint_dir=checkpoint_dir,
                           obs_dir=getattr(args, "obs_dir", None))
@@ -797,6 +840,7 @@ def run_scenario_callgraph(args) -> int:
           f"{slo.count} requests)")
     if fault_plan is not None:
         print(f"\nfault plan: {fault_plan.spec()}")
+    _print_engine_occupancy(result)
     digest = callgraph_digest(result)
     print(f"\nresult digest: {digest}")
     _print_queue_stats(scenario.queue_stats, resolved_ckpt)
@@ -859,7 +903,8 @@ def run_scenario_noisy(args) -> int:
                   upper=args.upper, lower=args.lower,
                   sustain_ns=args.sustain_ns, crash_rate=args.crash_rate,
                   shard_size=shard_size, fault_plan=fault_plan)
-    scenario = NoisyNeighborScenario(**kwargs)
+    scenario = NoisyNeighborScenario(batch_size=_resolve_engine_batch(args),
+                                     **kwargs)
     result = scenario.run(workers=args.workers, cache_dir=args.cache_dir,
                           checkpoint_dir=checkpoint_dir,
                           obs_dir=getattr(args, "obs_dir", None))
@@ -889,6 +934,7 @@ def run_scenario_noisy(args) -> int:
           f"(controller flips: {result.transitions()})")
     if fault_plan is not None:
         print(f"\nfault plan: {fault_plan.spec()}")
+    _print_engine_occupancy(result)
     digest = noisy_digest(result)
     print(f"\nresult digest: {digest}")
     _print_queue_stats(scenario.queue_stats, resolved_ckpt)
@@ -904,7 +950,9 @@ def run_scenario_noisy(args) -> int:
             for name, change in comparison.items()])
 
     if args.compare_serial:
-        serial = NoisyNeighborScenario(**kwargs).run(
+        # Batching off, one worker, cache and journal disabled: the
+        # oracle leg.
+        serial = NoisyNeighborScenario(batch_size=0, **kwargs).run(
             workers=1, cache_dir="", checkpoint_dir="")
         serial_digest = noisy_digest(serial)
         match = digest == serial_digest
@@ -912,6 +960,6 @@ def run_scenario_noisy(args) -> int:
               f"{'OK' if match else 'MISMATCH'} (digest {digest[:16]}…)")
         if not match:
             raise ReproError(
-                f"sharded result diverged from serial run: "
+                f"batched result diverged from serial scalar run: "
                 f"{digest} != {serial_digest}")
     return 0

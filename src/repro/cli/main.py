@@ -45,6 +45,19 @@ def _add_obs_flag(subparser: argparse.ArgumentParser) -> None:
              "observability); inspect with 'repro report <run-dir>'")
 
 
+def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
+    """The shared engine-selection flag for trace-driven subcommands."""
+    from repro.fleet.parallel import ENGINE_CHOICES
+
+    subparser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="memsys engine: 'auto' (default) follows --batch-size / "
+             "$REPRO_BATCH, 'batched' forces the lockstep engine on, "
+             "'scalar' forces it off; contradicting an explicit "
+             "--batch-size is an error, and results are identical "
+             "either way")
+
+
 def _add_fault_plan_flag(subparser: argparse.ArgumentParser) -> None:
     """The shared fault-injection flag for the fleet-study subcommands."""
     subparser.add_argument(
@@ -125,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-rounds", type=int, default=None, metavar="N",
         help="with --adaptive: rounds before any arm may stop "
              "(default 2)")
+    _add_engine_flag(ablation)
     _add_execution_flags(ablation)
     _add_checkpoint_flags(ablation)
     _add_fault_plan_flag(ablation)
@@ -135,9 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="trace-driven micro-fleet sweep through the "
                       "batched lockstep engine")
     sweep.add_argument("--mode", choices=("off", "control"), default="off",
-                       help="'off' ablates every hardware prefetcher "
-                            "(lockstep-batched); 'control' keeps the "
-                            "default bank (scalar baseline)")
+                       help="'off' ablates every hardware prefetcher; "
+                            "'control' keeps the default bank (both "
+                            "lockstep-batch)")
     sweep.add_argument("--machines", type=int, default=64)
     sweep.add_argument("--seed", type=int, default=17)
     sweep.add_argument("--scale", type=float, default=1.0,
@@ -163,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run serially with batching off and fail unless the "
              "result is bit-identical (engine + sharding determinism "
              "check)")
+    _add_engine_flag(sweep)
     _add_execution_flags(sweep)
     _add_checkpoint_flags(sweep)
     _add_fault_plan_flag(sweep)
@@ -340,9 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     callgraph.add_argument("--seed", type=int, default=21)
     callgraph.add_argument("--mode", choices=("off", "control"),
                            default="off",
-                           help="'off' ablates every hardware prefetcher "
-                                "(replicas lockstep-batch); 'control' "
-                                "keeps the default bank (scalar)")
+                           help="'off' ablates every hardware prefetcher; "
+                                "'control' keeps the default bank "
+                                "(replicas lockstep-batch in both)")
     callgraph.add_argument("--rpc-overhead-ns", type=float, default=500.0,
                            help="fixed per-call network/serialization "
                                 "cost on every fan-out edge")
@@ -359,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run serially with batching off and fail unless the "
              "result is bit-identical (engine + sharding determinism "
              "check)")
+    _add_engine_flag(callgraph)
     _add_execution_flags(callgraph)
     _add_checkpoint_flags(callgraph)
     _add_fault_plan_flag(callgraph)
@@ -409,13 +425,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max machines per shard (default 32); never "
                             "affects results")
     noisy.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="machines per lockstep batch within each epoch (default: "
+             "$REPRO_BATCH or 32; 0 forces the scalar engine); results "
+             "are identical at any value")
+    noisy.add_argument(
         "--baseline", action="store_true",
         help="also run the paired always-enabled twin over identical "
              "traffic and report per-tenant relative changes")
     noisy.add_argument(
         "--compare-serial", action="store_true",
-        help="also run serially and fail unless the result is "
-             "bit-identical (sharding determinism check)")
+        help="also run serially with batching off and fail unless the "
+             "result is bit-identical (engine + sharding determinism "
+             "check)")
+    _add_engine_flag(noisy)
     _add_execution_flags(noisy)
     _add_checkpoint_flags(noisy)
     _add_fault_plan_flag(noisy)

@@ -389,9 +389,9 @@ class AblationStudy:
         Builds a :class:`~repro.fleet.sweep.MicroFleetSweep` over the
         same machine population, seed, shard plan, and (machine-crash)
         chaos exposure: mode ``control`` maps to the sweep's control arm
-        (prefetchers on, scalar engine), every ablated mode maps to
-        ``off`` (prefetchers disabled — the fleet shape the batched
-        lockstep engine accelerates). The sweep replays real traces
+        (prefetchers on), every ablated mode maps to ``off``
+        (prefetchers disabled) — both shapes batch through the lockstep
+        engine. The sweep replays real traces
         through full hierarchies where the ablation evolves its analytic
         fleet, so the pair brackets the same experiment from both
         modelling directions.

@@ -7,11 +7,16 @@ shared fleetbench-style mixed trace through a full
 :class:`~repro.memsys.hierarchy.MemoryHierarchy`, differing only in its
 background bandwidth pressure (a per-machine
 :class:`~repro.memsys.dram.ConstantExternalLoad` drawn from a stable
-BLAKE2b stream). That shape — hundreds of arms, one trace, prefetchers
-ablated — is exactly what the batched lockstep engine
-(:mod:`repro.memsys.batched`) accelerates, and the sweep runs every
-shard through :func:`~repro.memsys.hierarchy.run_many` so eligible arms
-batch automatically.
+BLAKE2b stream). That shape — hundreds of arms, one trace — is exactly
+what the batched lockstep engine (:mod:`repro.memsys.batched`)
+accelerates, and the sweep runs every shard through
+:func:`~repro.memsys.hierarchy.run_many` so eligible arms batch
+automatically. Both modes batch: ``off`` arms share empty-bank groups,
+``control`` arms group by prefetcher-bank configuration and training
+fingerprint (see ``DESIGN.md`` §11). Each shard also records a
+:class:`~repro.memsys.batched.BatchOccupancy` — how many arms actually
+batched, how many fell back to scalar and why — surfaced through
+``repro sweep`` reports.
 
 Determinism mirrors the other fleet studies:
 
@@ -39,9 +44,10 @@ from repro.fleet.parallel import resolve_workers
 from repro.fleet.shard import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 from repro.serialization import canonical_json
 
-#: Sweep arm configurations: ``off`` ablates every hardware prefetcher
-#: (the lockstep-eligible fleet shape); ``control`` leaves the default
-#: aggressive bank enabled (scalar engine, the paired baseline).
+#: Sweep arm configurations: ``off`` ablates every hardware prefetcher;
+#: ``control`` leaves the default aggressive bank enabled (the paired
+#: baseline). Both batch through the lockstep engine — control arms
+#: group by bank configuration and training fingerprint.
 SWEEP_MODES = ("off", "control")
 
 #: Shared-trace workloads the sweep can replay: the fleetbench-style
@@ -106,6 +112,13 @@ class MicroSweepResult:
     machines: int = 0
     down: int = 0
     arms: List[Dict] = field(default_factory=list)
+    #: Engine-occupancy telemetry for this result's shards (a
+    #: :class:`~repro.memsys.batched.BatchOccupancy`), or ``None`` when
+    #: restored from a cache/checkpoint payload. Deliberately excluded
+    #: from :meth:`to_dict` so digests — the equivalence proof — cover
+    #: results only, never how they were computed.
+    occupancy: Optional[object] = field(default=None, compare=False,
+                                        repr=False)
 
     def merge(self, other: "MicroSweepResult") -> "MicroSweepResult":
         """Fold the next shard's rows in (in place; plan order)."""
@@ -115,6 +128,12 @@ class MicroSweepResult:
         self.machines += other.machines
         self.down += other.down
         self.arms.extend(other.arms)
+        theirs = getattr(other, "occupancy", None)
+        if theirs is not None:
+            if self.occupancy is None:
+                self.occupancy = theirs
+            else:
+                self.occupancy.merge(theirs)
         return self
 
     # --- aggregates ------------------------------------------------------------
@@ -206,6 +225,7 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
     ones), and discarded; only their result rows survive, so the engine
     runs with ``export_state=False``.
     """
+    from repro.memsys.batched import BatchOccupancy
     from repro.memsys.dram import ConstantExternalLoad
     from repro.memsys.hierarchy import MemoryHierarchy, run_many
     from repro.memsys.prefetchers.bank import (PrefetcherBank,
@@ -266,9 +286,10 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
         live_arms.append(arm)
         live_rows.append(row)
 
+    occupancy = BatchOccupancy()
     if live_arms:
         results = run_many(live_arms, trace, batch_size=spec.batch_size,
-                           export_state=False)
+                           export_state=False, occupancy=occupancy)
         for row, result in zip(live_rows, results):
             row["elapsed_ns"] = result.elapsed_ns
             row["stall_cycles"] = result.total.stall_cycles
@@ -280,16 +301,17 @@ def run_sweep_shard(spec: MicroSweepShardSpec) -> MicroSweepResult:
                 row["useful_prefetches"] = result.useful_prefetches
                 row["prefetch_covered"] = result.total.prefetch_covered
     return MicroSweepResult(mode=spec.mode, machines=spec.machines,
-                            down=down, arms=rows)
+                            down=down, arms=rows, occupancy=occupancy)
 
 
 class MicroFleetSweep:
     """A trace-driven sweep over a fleet of independent machine-arms.
 
     Args:
-        mode: ``off`` (prefetchers ablated; arms batch through the
-            lockstep engine) or ``control`` (default bank enabled; arms
-            run scalar). Same-seed off/control pairs are a paired
+        mode: ``off`` (prefetchers ablated) or ``control`` (default
+            bank enabled). Both batch through the lockstep engine —
+            control arms group by bank configuration and training
+            fingerprint. Same-seed off/control pairs are a paired
             experiment over identical traffic.
         machines: Total machine-arm population.
         seed: Master study seed; shard trace seeds and every per-arm

@@ -8,8 +8,9 @@ full per-record cost once per arm. This engine pays it once per *batch*,
 by exploiting the structural fact that makes fleet arms cheap to batch:
 
 **cache behavior is arm-invariant inside a batch.** Arms share the
-trace, the cache geometry, and a fully disabled prefetcher bank, so
-every probe's hit level, every LRU update, every eviction, and every
+trace, the cache geometry, the prefetcher configuration and training
+state, and the enabled mask, so every probe's hit level, every LRU
+update, every eviction, every prefetcher proposal, and every
 in-flight-table membership change is identical across arms — timing
 never feeds back into cache state. Only the *float* state diverges:
 each arm has its own clock, its own bandwidth window (points land at
@@ -43,23 +44,44 @@ makes this hold:
   conditional additions use ``x + 0.0 == x`` masks, exactly the
   identities the scalar engine already relies on.
 
+**Enabled prefetchers batch too.** ``observe(line, pc, was_hit)`` and
+``accept_hint(start, length)`` are pure deterministic functions of
+arm-uniform inputs, so a bank whose (enabled, lockstep-safe)
+prefetchers start from identical training state evolves identically on
+every arm. The batch clones the reference arm's enabled prefetchers
+(:meth:`~repro.memsys.prefetchers.bank.PrefetcherBank.clone_enabled_for_lockstep`),
+trains the clones once, issues their proposals through the same
+vectorized DRAM path as software prefetches, and at export every arm
+adopts the clones' training plus a shared counter delta. The only
+uniformity breaker on this path is the scalar engine's in-flight prune
+(it compares per-arm clocks): crossing the threshold mid-batch raises
+:class:`LockstepBailout`, and — because a batch touches no arm state
+before export — :func:`~repro.memsys.hierarchy.run_many` just reruns
+that chunk on the scalar engine.
+
 Batching eligibility has two layers. :func:`lockstep_eligible` is
-per-arm: the prefetcher-bank snapshot must be empty (every hardware
-prefetcher disabled — the dominant ablation arm), the external DRAM
-load absent or a :class:`~repro.memsys.dram.ConstantExternalLoad`, and
-no tracer attached. :func:`state_fingerprint` then groups eligible arms
-by starting cache/in-flight/recent-miss state (cold arms all share one
+per-arm: every *enabled* hardware prefetcher must be lockstep-safe
+(:attr:`~repro.memsys.prefetchers.base.HardwarePrefetcher.lockstep_safe`),
+the external DRAM load absent or a
+:class:`~repro.memsys.dram.ConstantExternalLoad`, and no tracer
+attached. :func:`state_fingerprint` then groups eligible arms by
+starting cache/in-flight/recent-miss state *and* bank state (enabled
+mask + per-prefetcher training fingerprints; cold arms all share one
 fingerprint), because uniformity is an invariant only when it holds at
-entry. Arms that fail either test — an MSR write re-enabled a
-prefetcher, a callable load profile, a divergent warm state — simply
-run the scalar engine inside the same
-:func:`~repro.memsys.hierarchy.run_many` call.
+entry. Control-mode arms whose daemons toggled MSRs between trace
+slices regroup dynamically: each :func:`~repro.memsys.hierarchy.run_many`
+call re-fingerprints, so arms that diverged fall into smaller lockstep
+sub-batches instead of all the way to scalar. Arms that fail either
+test — a custom prefetcher without the lockstep protocol, a callable
+load profile, a divergent warm state — simply run the scalar engine
+inside the same call, and :class:`BatchOccupancy` reports who ran
+where and why.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 try:
     import numpy as _np
@@ -77,28 +99,90 @@ HAVE_NUMPY = _np is not None
 _WINDOW_CAP = 1024
 
 
-def lockstep_eligible(hierarchy) -> bool:
-    """Whether ``hierarchy`` can run in a lockstep batch.
+class LockstepBailout(Exception):
+    """A batch hit the one operation lockstep cannot vectorize.
 
-    Requires: NumPy present, no enabled hardware prefetchers (the bank
-    snapshot — kept fresh through MSR-write watchers — must be empty),
-    external DRAM load absent or constant, and no tracer attached.
+    The scalar engine's in-flight prune compares per-arm clocks, so it
+    would let cache behavior diverge inside a batch. A
+    :class:`_LockstepBatch` mutates no arm state before export, so the
+    caller (:func:`~repro.memsys.hierarchy.run_many`) simply reruns the
+    chunk through the scalar engine — bit-identity preserved, only
+    throughput lost.
+    """
+
+
+class BatchOccupancy:
+    """Where a :func:`~repro.memsys.hierarchy.run_many` call ran its arms.
+
+    Silent scalar fallback used to be invisible; this summary counts
+    arms that lockstep-batched, arms that ran scalar, how many lockstep
+    groups formed, and — per fallback reason — why scalar arms fell
+    back. Merging is additive, so shard summaries fold into a study
+    total in any order.
+    """
+
+    __slots__ = ("batched_arms", "scalar_arms", "groups", "reasons")
+
+    def __init__(self) -> None:
+        self.batched_arms = 0
+        self.scalar_arms = 0
+        self.groups = 0
+        self.reasons: Dict[str, int] = {}
+
+    def record_batched(self, arms: int, groups: int = 0) -> None:
+        self.batched_arms += arms
+        self.groups += groups
+
+    def record_scalar(self, arms: int, reason: str) -> None:
+        self.scalar_arms += arms
+        self.reasons[reason] = self.reasons.get(reason, 0) + arms
+
+    def merge(self, other: "BatchOccupancy") -> "BatchOccupancy":
+        self.batched_arms += other.batched_arms
+        self.scalar_arms += other.scalar_arms
+        self.groups += other.groups
+        for reason, arms in other.reasons.items():
+            self.reasons[reason] = self.reasons.get(reason, 0) + arms
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "batched_arms": self.batched_arms,
+            "scalar_arms": self.scalar_arms,
+            "groups": self.groups,
+            "fallback_reasons": {reason: self.reasons[reason]
+                                 for reason in sorted(self.reasons)},
+        }
+
+
+def lockstep_fallback_reason(hierarchy) -> Optional[str]:
+    """Why ``hierarchy`` cannot join a lockstep batch (``None`` = it can).
+
+    Checks: NumPy present, no tracer attached, every *enabled* hardware
+    prefetcher lockstep-safe (the enabled snapshot is kept fresh through
+    MSR-write watchers), and external DRAM load absent or constant.
     """
     if not HAVE_NUMPY:
-        return False
+        return "no-numpy"
     if hierarchy.obs is not None and hierarchy.obs:
-        return False
-    if hierarchy.prefetchers.enabled_prefetchers():
-        return False
+        return "tracer"
+    if not hierarchy.prefetchers.lockstep_safe():
+        return "unsafe-prefetcher"
     external = hierarchy.dram._external_load
     if external is not None and not isinstance(external, ConstantExternalLoad):
-        return False
-    return True
+        return "external-load"
+    return None
+
+
+def lockstep_eligible(hierarchy) -> bool:
+    """Whether ``hierarchy`` can run in a lockstep batch."""
+    return lockstep_fallback_reason(hierarchy) is None
 
 
 def config_signature(hierarchy) -> Tuple:
     """Grouping key: arms batch together only when every timing- and
-    geometry-relevant config value matches."""
+    geometry-relevant config value — including the prefetcher bank's
+    composition and parameters — matches."""
     config = hierarchy.config
     dram = config.dram
 
@@ -113,6 +197,7 @@ def config_signature(hierarchy) -> Tuple:
         (dram.saturation_bandwidth, dram.unloaded_latency_ns,
          dram.queue_gain, dram.queue_exponent, dram.max_utilization,
          dram.overload_gain, dram.window_ns),
+        hierarchy.prefetchers.config_signature(),
     )
 
 
@@ -120,12 +205,15 @@ def state_fingerprint(hierarchy) -> Tuple:
     """Hashable summary of the arm state that steers cache evolution.
 
     Arms whose fingerprints match start from identical cache contents
-    (lines, LRU order, prefetch provenance), in-flight line sets, and
-    recent-miss histories — so, being timing-independent, their cache
-    evolution stays identical for the whole run. Cold arms all
-    fingerprint to the same (cheap, empty) value. Clocks, windows, and
-    counters are deliberately excluded: they are per-arm floats/deltas
-    that never influence a probe's outcome.
+    (lines, LRU order, prefetch provenance), in-flight line sets,
+    recent-miss histories, and prefetcher-bank state (enabled mask plus
+    per-prefetcher training) — so, being timing-independent, their
+    cache evolution stays identical for the whole run. Cold arms all
+    fingerprint to the same (cheap, empty) value. Clocks, windows,
+    counters, and in-flight *arrival times* are deliberately excluded:
+    they are per-arm floats/deltas that never influence a probe's
+    outcome — which is also what lets a batch stamp one shared
+    post-run fingerprint onto every arm.
     """
 
     def level_fp(cache):
@@ -138,7 +226,37 @@ def state_fingerprint(hierarchy) -> Tuple:
     return (level_fp(hierarchy.l1), level_fp(hierarchy.l2),
             level_fp(hierarchy.llc),
             tuple(sorted(hierarchy._in_flight)),
-            tuple(hierarchy._recent_miss_lines))
+            tuple(hierarchy._recent_miss_lines),
+            hierarchy.prefetchers.state_fingerprint())
+
+
+def cached_config_signature(hierarchy) -> Tuple:
+    """The arm's :func:`config_signature`, cached for its lifetime.
+
+    Geometry, DRAM curve, and bank composition are immutable after
+    construction, so the cache never invalidates.
+    """
+    signature = hierarchy._config_sig_cache
+    if signature is None:
+        signature = hierarchy._config_sig_cache = config_signature(hierarchy)
+    return signature
+
+
+def cached_state_fingerprint(hierarchy) -> Tuple:
+    """The arm's :func:`state_fingerprint`, cached between state changes.
+
+    The hierarchy invalidates on every scalar ``run()``/``reset()`` and
+    — through the prefetchers' enabled-watcher hooks, which MSR writes
+    and ``set_hardware_prefetchers`` both fire — on every enabled-mask
+    flip; a lockstep batch stamps the shared post-run fingerprint
+    instead of invalidating. Repeated ``run_many`` grouping (the
+    control-mode scenario loop calls it every epoch) therefore stops
+    recomputing fingerprints for arms whose state a batch just wrote.
+    """
+    fingerprint = hierarchy._state_fp_cache
+    if fingerprint is None:
+        fingerprint = hierarchy._state_fp_cache = state_fingerprint(hierarchy)
+    return fingerprint
 
 
 def software_prefetch_lines(compiled) -> int:
@@ -301,6 +419,18 @@ class _LockstepBatch:
         # exactly the scalar engine's in-loop shadow).
         self.recent: List[int] = list(reference._recent_miss_lines)
 
+        # Enabled-prefetcher clones: bank training is arm-uniform (a
+        # fingerprint precondition), so the batch trains one clone set
+        # and every arm adopts the result at export. Clones start with
+        # zeroed counters — their post-run counter signatures *are* the
+        # batch deltas.
+        self.bank_clones = reference.prefetchers.clone_enabled_for_lockstep()
+        # The scalar engine's in-flight prune keys on per-arm clocks, so
+        # crossing its threshold mid-batch aborts lockstep (the caller
+        # reruns the chunk scalar). Read through the class so tests that
+        # monkeypatch the threshold reach both engines.
+        self.prune_threshold = type(reference)._IN_FLIGHT_PRUNE_THRESHOLD
+
         self.slots: List[_FunctionSlot] = []
 
     # --- the DRAM window --------------------------------------------------
@@ -415,6 +545,14 @@ class _LockstepBatch:
         now = self.now
         arms = self.arms
         dram_fill = self._dram_fill
+        bank_clones = self.bank_clones
+        prune_threshold = self.prune_threshold
+        # Scalar hint dispatch iterates enabled prefetchers that expose
+        # accept_hint; the clones are exactly those (always enabled).
+        hint_handlers = [
+            handler for handler in
+            (getattr(clone, "accept_hint", None) for clone in bank_clones)
+            if handler is not None]
 
         fnames = compiled.functions
         slots = self.slots
@@ -486,10 +624,23 @@ class _LockstepBatch:
                         if state.prefetched and not state.referenced:
                             self.l1_pref_hits += 1
                         state.referenced = True
+                        hit = True
                         # Hit: zero stall on every arm — the scalar
                         # engine skips the accumulation (x + 0.0 == x).
                     else:
                         self.l1_misses += 1
+                        hit = False
+                    if bank_clones:
+                        # Train the clones exactly where the scalar loop
+                        # trains the bank: after the L1 probe, before the
+                        # miss is serviced. Proposals issue after the
+                        # stall lands (the scalar op order).
+                        hw_lines = []
+                        for prefetcher in bank_clones:
+                            hw_lines.extend(prefetcher.observe(line, pc, hit))
+                    else:
+                        hw_lines = None
+                    if not hit:
                         s_l1m += 1
                         tag = line >> l2_shift
                         cache_set = l2_sets_get(
@@ -618,6 +769,69 @@ class _LockstepBatch:
                             self.l1_sized += 1
                         now += stall
                         s_stall += stall / cycle_ns
+                    if hw_lines:
+                        # Inlined _issue_prefetch_at, hardware path:
+                        # in-flight dedup, prune (per-arm clocks — the
+                        # one thing lockstep cannot do, so bail out),
+                        # presence in any level, then a DRAM prefetch
+                        # fill and prefetched installs into LLC and L2.
+                        # Hardware issues move no time and no stats.
+                        for hw_line in hw_lines:
+                            if hw_line >= 0 and hw_line not in in_flight:
+                                if len(in_flight) > prune_threshold:
+                                    raise LockstepBailout
+                                tag = hw_line >> l1_shift
+                                cache_set = l1_sets_get(
+                                    tag & l1_mask if l1_mask is not None
+                                    else tag % l1_nsets)
+                                present = cache_set is not None \
+                                    and hw_line in cache_set
+                                if not present:
+                                    tag = hw_line >> l2_shift
+                                    l2_index = tag & l2_mask \
+                                        if l2_mask is not None \
+                                        else tag % l2_nsets
+                                    cache_set = l2_sets_get(l2_index)
+                                    present = cache_set is not None \
+                                        and hw_line in cache_set
+                                if not present:
+                                    tag = hw_line >> llc_shift
+                                    llc_index = tag & llc_mask \
+                                        if llc_mask is not None \
+                                        else tag % llc_nsets
+                                    cache_set = llc_sets_get(llc_index)
+                                    present = cache_set is not None \
+                                        and hw_line in cache_set
+                                if not present:
+                                    latency = dram_fill()
+                                    self.p_fills += 1
+                                    in_flight[hw_line] = now + latency
+                                    # Install into LLC, tagged prefetched.
+                                    cache_set = llc_sets_get(llc_index)
+                                    if cache_set is None:
+                                        cache_set = llc_sets[llc_index] \
+                                            = OrderedDict()
+                                    if len(cache_set) >= llc_assoc:
+                                        _, victim = cache_set.popitem(False)
+                                        self.llc_sized -= 1
+                                        if victim.prefetched \
+                                                and not victim.referenced:
+                                            self.llc_wasted += 1
+                                    cache_set[hw_line] = line_state(True)
+                                    self.llc_sized += 1
+                                    # Install into L2, tagged prefetched.
+                                    cache_set = l2_sets_get(l2_index)
+                                    if cache_set is None:
+                                        cache_set = l2_sets[l2_index] \
+                                            = OrderedDict()
+                                    if len(cache_set) >= l2_assoc:
+                                        _, victim = cache_set.popitem(False)
+                                        self.l2_sized -= 1
+                                        if victim.prefetched \
+                                                and not victim.referenced:
+                                            self.l2_wasted += 1
+                                    cache_set[hw_line] = line_state(True)
+                                    self.l2_sized += 1
                     if not extra:
                         break
                     extra -= 1
@@ -630,10 +844,13 @@ class _LockstepBatch:
                 now += sw_cost_ns
                 while True:
                     if line not in in_flight:
-                        # The scalar engine's prune (table > 2**18) is
-                        # unreachable here: run_many bounds the table's
-                        # worst-case size before choosing lockstep, so
-                        # membership stays uniform across arms.
+                        # run_many bounds the table's software-prefetch
+                        # growth statically, but hardware issues can
+                        # still push it past the scalar engine's prune
+                        # threshold — and the prune keys on per-arm
+                        # clocks, so lockstep aborts instead.
+                        if len(in_flight) > prune_threshold:
+                            raise LockstepBailout
                         tag = line >> l1_shift
                         cache_set = l1_sets_get(
                             tag & l1_mask if l1_mask is not None
@@ -687,13 +904,14 @@ class _LockstepBatch:
                     extra -= 1
                     line += line_bytes
 
-            else:  # STREAM_HINT: one instruction; with every hardware
-                # prefetcher disabled (the eligibility precondition),
-                # accept_hint is a no-op, so only time and stats move.
+            else:  # STREAM_HINT: one instruction handing the stream
+                # extent to the enabled engines — here, to the clones.
                 s_instr += 1
                 s_comp += sw_cost_cycles
                 s_swpf += 1
                 now += sw_cost_ns
+                for handler in hint_handlers:
+                    handler(addr, size)
 
         if slot is not None:
             slot.instr = s_instr
@@ -710,6 +928,10 @@ class _LockstepBatch:
 
     def results(self) -> List[RunResult]:
         wasted = self.l1_wasted + self.l2_wasted + self.llc_wasted
+        # Clones started with zeroed counters, so their issue totals are
+        # the run's deltas — the same quantity the scalar engine reports
+        # as total_issued-after minus total_issued-before.
+        hw_issued = sum(clone.issued for clone in self.bank_clones)
         out = []
         for arm in range(self.arms):
             result = RunResult()
@@ -722,7 +944,7 @@ class _LockstepBatch:
             result.dram_prefetch_fills = self.p_fills
             result.dram_demand_bytes = self.d_fills * CACHE_LINE_BYTES
             result.dram_prefetch_bytes = self.p_fills * CACHE_LINE_BYTES
-            result.hw_prefetches_issued = 0
+            result.hw_prefetches_issued = hw_issued
             result.useful_prefetches = self.useful
             result.wasted_prefetches = wasted
             out.append(result)
@@ -732,14 +954,21 @@ class _LockstepBatch:
         """Write batch state back onto the hierarchy objects.
 
         Counters, the clock, the DRAM window, the in-flight table, and
-        the recent-miss history are always exported (cheap). Cache
-        *contents* are deep-copied back per arm only when
-        ``export_state`` is true — a sweep that discards its arms after
-        reading results can skip the copies, in which case the caches
-        come back flushed (counters intact). The last arm is donated the
-        batch's working dicts outright (they alias nothing once every
-        other arm holds a copy), which makes a batch of one — the CI
-        equivalence matrix's ``batch_size=1`` leg — export for free.
+        the recent-miss history are always exported (cheap); so are the
+        prefetcher counter deltas (each arm's enabled prefetchers absorb
+        the clones' counter signatures). Cache *contents* and prefetcher
+        *training* are copied back per arm only when ``export_state`` is
+        true — a sweep that discards its arms after reading results can
+        skip the copies, in which case the caches come back flushed and
+        the training reset (counters intact), the same post-run shape a
+        scalar arm has after ``reset()``-style disposal. The last arm is
+        donated the batch's working cache dicts outright (they alias
+        nothing once every other arm holds a copy), which makes a batch
+        of one — the CI equivalence matrix's ``batch_size=1`` leg —
+        export for free. Finally the shared post-run state fingerprint
+        (computed once: it is arm-invariant by construction) is stamped
+        onto every arm's cache, so the next ``run_many`` regroups these
+        arms without re-walking their caches.
         """
         counter_deltas = (
             ("l1", self.l1_hits, self.l1_misses, self.l1_pref_hits,
@@ -784,6 +1013,20 @@ class _LockstepBatch:
             h._in_flight = {line: float(arrivals[arm])
                             for line, arrivals in self.in_flight.items()}
             h._recent_miss_lines = deque(self.recent, maxlen=8)
+            for target, clone in zip(h.prefetchers.enabled_prefetchers(),
+                                     self.bank_clones):
+                target.apply_counter_delta(clone.counter_signature())
+                if export_state:
+                    target.adopt_training(clone)
+                else:
+                    target.reset()
+        if export_state:
+            shared_fp = state_fingerprint(self.hierarchies[last])
+            for h in self.hierarchies:
+                h._state_fp_cache = shared_fp
+        else:
+            for h in self.hierarchies:
+                h._state_fp_cache = None
 
 
 def run_lockstep(hierarchies, compiled,
@@ -798,6 +1041,10 @@ def run_lockstep(hierarchies, compiled,
     :func:`software_prefetch_lines`). Returns per-arm results in input
     order; every result and every arm's post-run state is bit-identical
     to the scalar compiled engine's.
+
+    Raises :class:`LockstepBailout` — with every arm untouched — if the
+    in-flight table crosses the scalar prune threshold mid-run (hardware
+    issue volume has no static bound); rerun the chunk scalar.
     """
     batch = _LockstepBatch(list(hierarchies))
     batch.execute(compiled)

@@ -89,6 +89,17 @@ class MemoryHierarchy:
         #: one costs a single ``sim-run`` event per trace replay and
         #: leaving it ``None`` costs one attribute test.
         self.obs = None
+        #: Lockstep grouping caches (:mod:`repro.memsys.batched`). The
+        #: config signature is immutable for the hierarchy's lifetime;
+        #: the state fingerprint is invalidated by scalar runs, resets,
+        #: and enabled-mask flips (via the prefetchers' enabled-watcher
+        #: hooks, which MSR writes also fire) and re-stamped wholesale
+        #: by batch export.
+        self._config_sig_cache = None
+        self._state_fp_cache = None
+        for prefetcher in self.prefetchers:
+            prefetcher._enabled_watchers.append(
+                self._invalidate_state_fingerprint)
 
     # --- public controls -------------------------------------------------------
 
@@ -105,6 +116,10 @@ class MemoryHierarchy:
         self.dram.reset_window()
         self._in_flight.clear()
         self._recent_miss_lines.clear()
+        self._state_fp_cache = None
+
+    def _invalidate_state_fingerprint(self) -> None:
+        self._state_fp_cache = None
 
     # --- execution ---------------------------------------------------------------
 
@@ -126,6 +141,9 @@ class MemoryHierarchy:
                     f"cannot start at {start_ns}ns; clock is at {self.now_ns}ns")
             self.now_ns = start_ns
 
+        # A scalar run mutates cache/prefetcher/in-flight state directly;
+        # the lockstep grouping fingerprint must be recomputed after it.
+        self._state_fp_cache = None
         result = RunResult()
         begin_ns = self.now_ns
         dram_demand0 = self.dram.demand_fills
@@ -812,20 +830,25 @@ class MemoryHierarchy:
 
 def run_many(hierarchies: Sequence[MemoryHierarchy], trace: Trace,
              batch_size: Optional[int] = None,
-             export_state: bool = True) -> List[RunResult]:
+             export_state: bool = True,
+             occupancy=None) -> List[RunResult]:
     """Run ``trace`` through many independent hierarchies, batching where
     it is provably safe.
 
     The fleet's dominant shape — hundreds of machine-arms replaying one
     shared trace — goes through the NumPy lockstep engine
-    (:mod:`repro.memsys.batched`): arms that qualify (prefetchers all
-    disabled, constant or absent external load, no tracer) are grouped by
-    config signature, chunked into batches of ``batch_size``, and
-    executed simultaneously. Arms that do not qualify — or everything,
-    when batching is off — run through :meth:`MemoryHierarchy.run`
-    unchanged. Either way, every arm's result and post-run state is
-    bit-identical to a scalar ``run(trace)``; results come back in input
-    order.
+    (:mod:`repro.memsys.batched`): arms that qualify (every *enabled*
+    hardware prefetcher lockstep-safe, constant or absent external load,
+    no tracer) are grouped by config signature *and* state fingerprint,
+    chunked into batches of ``batch_size``, and executed simultaneously.
+    Grouping happens afresh on every call, which is what lets
+    control-mode fleets — daemons toggling MSRs between trace slices —
+    regroup into smaller lockstep sub-batches as their enabled masks and
+    training diverge, instead of falling all the way to scalar. Arms
+    that do not qualify — or everything, when batching is off — run
+    through :meth:`MemoryHierarchy.run` unchanged. Either way, every
+    arm's result and post-run state is bit-identical to a scalar
+    ``run(trace)``; results come back in input order.
 
     Args:
         hierarchies: The arms; mutated in place exactly as ``run`` would.
@@ -837,9 +860,13 @@ def run_many(hierarchies: Sequence[MemoryHierarchy], trace: Trace,
             disables batching (the reference interpreter *is* the
             oracle chain's far end).
         export_state: When False, skip rebuilding batched arms' cache
-            contents after the run — the arms come back with counters,
-            clock, and window intact but caches flushed. Use only when
-            the arms are discarded afterwards.
+            contents and prefetcher training after the run — the arms
+            come back with counters, clock, and window intact but caches
+            flushed and training reset. Use only when the arms are
+            discarded afterwards.
+        occupancy: Optional :class:`~repro.memsys.batched.BatchOccupancy`
+            accumulating where each arm ran (lockstep vs scalar) and the
+            per-reason scalar-fallback counts for this call.
     """
     from repro.fleet.parallel import resolve_batch_size
     from repro.fleet.shard import plan_batches
@@ -847,43 +874,71 @@ def run_many(hierarchies: Sequence[MemoryHierarchy], trace: Trace,
 
     hierarchies = list(hierarchies)
     resolved = resolve_batch_size(batch_size)
-    use_lockstep = (resolved > 0 and batched.HAVE_NUMPY
-                    and isinstance(trace, Trace)
-                    and not _slow_engine_requested())
+
+    def note_scalar(count: int, reason: str) -> None:
+        if occupancy is not None and count:
+            occupancy.record_scalar(count, reason)
 
     results: List[Optional[RunResult]] = [None] * len(hierarchies)
-    scalar_arms = list(range(len(hierarchies)))
-    if use_lockstep:
+    scalar_arms: List[int] = []
+    if resolved <= 0:
+        scalar_arms = list(range(len(hierarchies)))
+        note_scalar(len(scalar_arms), "batching-off")
+    elif _slow_engine_requested():
+        scalar_arms = list(range(len(hierarchies)))
+        note_scalar(len(scalar_arms), "slow-engine")
+    elif not isinstance(trace, Trace):
+        scalar_arms = list(range(len(hierarchies)))
+        note_scalar(len(scalar_arms), "uncompiled-trace")
+    elif not batched.HAVE_NUMPY:
+        scalar_arms = list(range(len(hierarchies)))
+        note_scalar(len(scalar_arms), "no-numpy")
+    else:
         compiled = trace.compile()
         sw_lines = batched.software_prefetch_lines(compiled)
         groups: Dict[tuple, List[int]] = {}
-        scalar_arms = []
         for arm, hierarchy in enumerate(hierarchies):
-            if batched.lockstep_eligible(hierarchy):
+            reason = batched.lockstep_fallback_reason(hierarchy)
+            if reason is None:
                 # Arms batch together only when both the config and the
-                # starting cache/in-flight/recent state match — state
-                # uniformity is what makes lockstep evolution exact.
-                key = (batched.config_signature(hierarchy),
-                       batched.state_fingerprint(hierarchy))
+                # starting cache/in-flight/recent/prefetcher state match
+                # — state uniformity is what makes lockstep evolution
+                # exact. The fingerprints are cached on the arm: a batch
+                # stamps the shared post-run value, so epoch-loop
+                # callers regroup without re-walking every cache.
+                key = (batched.cached_config_signature(hierarchy),
+                       batched.cached_state_fingerprint(hierarchy))
                 groups.setdefault(key, []).append(arm)
             else:
                 scalar_arms.append(arm)
+                note_scalar(1, reason)
         for arms in groups.values():
-            # The lockstep engine's uniformity invariant needs the
-            # scalar engine's in-flight prune to be unreachable (the
-            # prune compares per-arm clocks, so firing it would let
-            # cache behavior diverge inside a batch). A trace
-            # pathological enough to cross the threshold runs scalar.
+            # Static half of the prune guard: a trace whose software
+            # prefetches alone could cross the scalar engine's in-flight
+            # threshold (the prune compares per-arm clocks, so firing it
+            # would let cache behavior diverge inside a batch) never
+            # enters lockstep. Hardware issue volume has no static
+            # bound; the batch itself bails out dynamically instead.
             in_flight = len(hierarchies[arms[0]]._in_flight)
             if (in_flight + sw_lines
                     > MemoryHierarchy._IN_FLIGHT_PRUNE_THRESHOLD):
                 scalar_arms.extend(arms)
+                note_scalar(len(arms), "prune-bound")
                 continue
             for start, stop in plan_batches(len(arms), resolved):
                 chunk = arms[start:stop]
-                batch_results = batched.run_lockstep(
-                    [hierarchies[arm] for arm in chunk], compiled,
-                    export_state=export_state)
+                try:
+                    batch_results = batched.run_lockstep(
+                        [hierarchies[arm] for arm in chunk], compiled,
+                        export_state=export_state)
+                except batched.LockstepBailout:
+                    # The batch touched no arm state before export, so
+                    # the chunk reruns scalar, bit-identically.
+                    scalar_arms.extend(chunk)
+                    note_scalar(len(chunk), "prune-bailout")
+                    continue
+                if occupancy is not None:
+                    occupancy.record_batched(len(chunk), 1)
                 for arm, result in zip(chunk, batch_results):
                     results[arm] = result
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.msr.platform_defs import PlatformMSRMap
@@ -83,6 +83,50 @@ class PrefetcherBank:
     def total_issued(self) -> int:
         """Prefetch lines proposed across the bank's lifetime."""
         return sum(p.issued for p in self._prefetchers.values())
+
+    # --- lockstep protocol -----------------------------------------------------
+
+    def lockstep_safe(self) -> bool:
+        """Whether every *enabled* prefetcher supports lockstep cloning.
+
+        Disabled prefetchers are inert during a run (no training, no
+        proposals), so they never gate batching; an empty or fully
+        disabled bank is vacuously safe.
+        """
+        return all(p.lockstep_safe for p in self.enabled_prefetchers())
+
+    def config_signature(self) -> Tuple:
+        """Immutable bank configuration, bank order — grouping key input.
+
+        Covers *every* member (the composition is fixed at construction,
+        so this is cacheable for the hierarchy's lifetime); which members
+        are enabled is runtime state and lives in
+        :meth:`state_fingerprint` instead.
+        """
+        return tuple(p.lockstep_params() if p.lockstep_safe else
+                     (type(p).__name__, p.name)
+                     for p in self._prefetchers.values())
+
+    def state_fingerprint(self) -> Tuple:
+        """Hashable summary of the bank state that steers proposals.
+
+        The enabled mask (bank order) plus each *enabled* prefetcher's
+        training fingerprint. Disabled prefetchers' stale training is
+        excluded: it cannot influence the run, and each arm keeps its
+        own copy untouched at export.
+        """
+        return (tuple(p.enabled for p in self._prefetchers.values()),
+                tuple(p.training_fingerprint()
+                      for p in self.enabled_prefetchers()))
+
+    def clone_enabled_for_lockstep(self) -> List[HardwarePrefetcher]:
+        """Fresh clones of the enabled prefetchers, bank order.
+
+        Clones carry copied training state, zeroed counters, and no
+        watchers — the batch evolves them once and every arm adopts the
+        result.
+        """
+        return [p.clone_for_lockstep() for p in self.enabled_prefetchers()]
 
     def reset(self) -> None:
         """Drop all training/tracking state (counters survive)."""

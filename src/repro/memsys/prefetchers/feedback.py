@@ -20,7 +20,7 @@ systems like Limoncello have less to clean up.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List
+from typing import List, Tuple
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
 
@@ -109,3 +109,57 @@ class FeedbackThrottledPrefetcher(HardwarePrefetcher):
         self._window_proposed = 0
         self._window_useful = 0
         self.gated = False
+
+    # --- lockstep protocol ----------------------------------------------------
+    # Every hook recurses into ``inner``: the supervised prefetcher lives
+    # outside any bank, so the wrapper is its only lockstep conduit. The
+    # wrapper is only lockstep-safe when its inner model is.
+
+    @property
+    def lockstep_safe(self) -> bool:  # type: ignore[override]
+        return self.inner.lockstep_safe
+
+    def lockstep_params(self) -> Tuple:
+        if not self.inner.lockstep_safe:
+            raise NotImplementedError(
+                f"inner prefetcher {self.inner.name!r} is not lockstep-safe")
+        return (type(self).__name__, self.name, self.window,
+                self.gate_below, self.ungate_above, self._tracker_entries,
+                self.inner.lockstep_params())
+
+    def training_fingerprint(self) -> Tuple:
+        return (self.gated, self._window_proposed, self._window_useful,
+                tuple(self._tracked), self.inner.training_fingerprint())
+
+    def clone_for_lockstep(self) -> "FeedbackThrottledPrefetcher":
+        if not self.inner.lockstep_safe:
+            raise NotImplementedError(
+                f"inner prefetcher {self.inner.name!r} is not lockstep-safe")
+        clone = type(self)(
+            inner=self.inner.clone_for_lockstep(), name=self.name,
+            window=self.window, gate_below=self.gate_below,
+            ungate_above=self.ungate_above,
+            tracker_entries=self._tracker_entries)
+        clone.gated = self.gated
+        clone._tracked = OrderedDict(self._tracked)
+        clone._window_proposed = self._window_proposed
+        clone._window_useful = self._window_useful
+        return clone
+
+    def adopt_training(self, source: "FeedbackThrottledPrefetcher") -> None:
+        self.gated = source.gated
+        self._tracked = OrderedDict(source._tracked)
+        self._window_proposed = source._window_proposed
+        self._window_useful = source._window_useful
+        self.inner.adopt_training(source.inner)
+
+    def counter_signature(self) -> Tuple[int, ...]:
+        return ((self.issued, self.gate_events, self.ungate_events,
+                 self.suppressed) + self.inner.counter_signature())
+
+    def apply_counter_delta(self, delta: Tuple[int, ...]) -> None:
+        self.issued += delta[0]
+        self.gate_events += delta[1]
+        self.ungate_events += delta[2]
+        self.suppressed += delta[3]
+        self.inner.apply_counter_delta(delta[4:])

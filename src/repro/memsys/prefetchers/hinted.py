@@ -15,7 +15,7 @@ overshoots the object, and paces itself against the demand stream.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
 from repro.units import CACHE_LINE_BYTES, line_address
@@ -50,6 +50,8 @@ class HintedRegionPrefetcher(HardwarePrefetcher):
         max_regions: Concurrent hinted regions (hardware table size);
             the oldest region is dropped on overflow.
     """
+
+    lockstep_safe = True
 
     def __init__(self, name: str = "hinted_stream", degree: int = 4,
                  lead_lines: int = 16, max_regions: int = 16) -> None:
@@ -112,3 +114,39 @@ class HintedRegionPrefetcher(HardwarePrefetcher):
     def reset(self) -> None:
         """Drop all training/tracking state (counters survive)."""
         self._regions.clear()
+
+    # --- lockstep protocol ----------------------------------------------------
+
+    def lockstep_params(self) -> Tuple:
+        return (type(self).__name__, self.name, self.degree,
+                self.lead_lines, self.max_regions)
+
+    def training_fingerprint(self) -> Tuple:
+        # Insertion order included: overflow drops the oldest region.
+        return tuple((key, r.start, r.end, r.issued_until)
+                     for key, r in self._regions.items())
+
+    def clone_for_lockstep(self) -> "HintedRegionPrefetcher":
+        clone = type(self)(name=self.name, degree=self.degree,
+                           lead_lines=self.lead_lines,
+                           max_regions=self.max_regions)
+        clone.adopt_training(self)
+        return clone
+
+    def adopt_training(self, source: "HintedRegionPrefetcher") -> None:
+        regions: Dict[int, _HintedRegion] = {}
+        for key, region in source._regions.items():
+            fresh = _HintedRegion.__new__(_HintedRegion)
+            fresh.start = region.start
+            fresh.end = region.end
+            fresh.issued_until = region.issued_until
+            regions[key] = fresh
+        self._regions = regions
+
+    def counter_signature(self) -> Tuple[int, ...]:
+        return (self.issued, self.hints_accepted, self.hints_dropped)
+
+    def apply_counter_delta(self, delta: Tuple[int, ...]) -> None:
+        self.issued += delta[0]
+        self.hints_accepted += delta[1]
+        self.hints_dropped += delta[2]

@@ -10,7 +10,7 @@ stays silent while any spatially local pattern activates immediately.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
 from repro.units import CACHE_LINE_BYTES
@@ -45,6 +45,14 @@ class _PageFilter:
         """Forget all remembered pages."""
         self._pages.clear()
 
+    def fingerprint(self) -> Tuple[int, ...]:
+        """The remembered pages in LRU order (eviction reads it)."""
+        return tuple(self._pages)
+
+    def copy_from(self, source: "_PageFilter") -> None:
+        """Replace contents with a copy of ``source``'s, order included."""
+        self._pages = OrderedDict(source._pages)
+
 
 class NextLinePrefetcher(HardwarePrefetcher):
     """On a demand miss to a warm page, fetch the following ``degree`` lines.
@@ -54,6 +62,8 @@ class NextLinePrefetcher(HardwarePrefetcher):
     warm, so any revisited region pays ``degree`` lines of traffic per miss
     whether or not the data is ever used.
     """
+
+    lockstep_safe = True
 
     def __init__(self, name: str = "l1_next_line", degree: int = 1,
                  on_miss_only: bool = True,
@@ -80,6 +90,30 @@ class NextLinePrefetcher(HardwarePrefetcher):
         if self._filter is not None:
             self._filter.clear()
 
+    # --- lockstep protocol ----------------------------------------------------
+
+    def lockstep_params(self) -> Tuple:
+        capacity = self._filter._capacity if self._filter is not None else None
+        return (type(self).__name__, self.name, self.degree,
+                self.on_miss_only, capacity)
+
+    def training_fingerprint(self) -> Tuple:
+        if self._filter is None:
+            return ()
+        return self._filter.fingerprint()
+
+    def clone_for_lockstep(self) -> "NextLinePrefetcher":
+        capacity = self._filter._capacity if self._filter is not None else None
+        clone = type(self)(name=self.name, degree=self.degree,
+                           on_miss_only=self.on_miss_only,
+                           page_filter_entries=capacity)
+        clone.adopt_training(self)
+        return clone
+
+    def adopt_training(self, source: "NextLinePrefetcher") -> None:
+        if self._filter is not None and source._filter is not None:
+            self._filter.copy_from(source._filter)
+
 
 class AdjacentLinePrefetcher(HardwarePrefetcher):
     """Fetch the buddy line of the 128-byte pair on a miss to a warm page.
@@ -88,6 +122,8 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
     platforms: useful on sequential data, a 2x traffic amplifier on
     revisited-but-random regions.
     """
+
+    lockstep_safe = True
 
     def __init__(self, name: str = "l2_adjacent_line",
                  page_filter_entries: Optional[int] = 8192) -> None:
@@ -108,3 +144,24 @@ class AdjacentLinePrefetcher(HardwarePrefetcher):
         """Drop all training/tracking state (counters survive)."""
         if self._filter is not None:
             self._filter.clear()
+
+    # --- lockstep protocol ----------------------------------------------------
+
+    def lockstep_params(self) -> Tuple:
+        capacity = self._filter._capacity if self._filter is not None else None
+        return (type(self).__name__, self.name, capacity)
+
+    def training_fingerprint(self) -> Tuple:
+        if self._filter is None:
+            return ()
+        return self._filter.fingerprint()
+
+    def clone_for_lockstep(self) -> "AdjacentLinePrefetcher":
+        capacity = self._filter._capacity if self._filter is not None else None
+        clone = type(self)(name=self.name, page_filter_entries=capacity)
+        clone.adopt_training(self)
+        return clone
+
+    def adopt_training(self, source: "AdjacentLinePrefetcher") -> None:
+        if self._filter is not None and source._filter is not None:
+            self._filter.copy_from(source._filter)

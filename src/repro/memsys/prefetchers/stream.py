@@ -17,7 +17,7 @@ paper's story and are faithfully reproduced:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List
+from typing import List, Tuple
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
 from repro.units import CACHE_LINE_BYTES
@@ -40,6 +40,8 @@ class _StreamEntry:
 
 class StreamPrefetcher(HardwarePrefetcher):
     """Detects sequential runs per page and streams ahead of them."""
+
+    lockstep_safe = True
 
     def __init__(self, name: str = "l2_stream", table_size: int = 32,
                  train_threshold: int = 3, distance: int = 16,
@@ -118,3 +120,36 @@ class StreamPrefetcher(HardwarePrefetcher):
     def tracked_streams(self) -> int:
         """Streams currently being tracked."""
         return len(self._table)
+
+    # --- lockstep protocol ----------------------------------------------------
+
+    def lockstep_params(self) -> Tuple:
+        return (type(self).__name__, self.name, self.table_size,
+                self.train_threshold, self.distance, self.degree,
+                self.max_jump_lines)
+
+    def training_fingerprint(self) -> Tuple:
+        # Iteration order is the table's LRU order — victim selection
+        # reads it, so it is part of the state.
+        return tuple(
+            (page, e.last_line, e.direction, e.count, e.issued_until)
+            for page, e in self._table.items())
+
+    def clone_for_lockstep(self) -> "StreamPrefetcher":
+        clone = type(self)(
+            name=self.name, table_size=self.table_size,
+            train_threshold=self.train_threshold, distance=self.distance,
+            degree=self.degree, max_jump_lines=self.max_jump_lines)
+        clone.adopt_training(self)
+        return clone
+
+    def adopt_training(self, source: "StreamPrefetcher") -> None:
+        table: "OrderedDict[int, _StreamEntry]" = OrderedDict()
+        for page, entry in source._table.items():
+            fresh = _StreamEntry.__new__(_StreamEntry)
+            fresh.last_line = entry.last_line
+            fresh.direction = entry.direction
+            fresh.count = entry.count
+            fresh.issued_until = entry.issued_until
+            table[page] = fresh
+        self._table = table

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List
+from typing import List, Tuple
 
 from repro.memsys.prefetchers.base import HardwarePrefetcher
 from repro.units import line_address
@@ -28,6 +28,8 @@ class StridePrefetcher(HardwarePrefetcher):
     confident, so hardware gets no coverage there while software — which
     knows the length up front — can prefetch from the first iteration.
     """
+
+    lockstep_safe = True
 
     def __init__(self, name: str = "l1_stride", table_size: int = 256,
                  confidence_threshold: int = 2, distance: int = 4,
@@ -76,3 +78,32 @@ class StridePrefetcher(HardwarePrefetcher):
     def tracked_pcs(self) -> int:
         """Load PCs currently being tracked."""
         return len(self._table)
+
+    # --- lockstep protocol ----------------------------------------------------
+
+    def lockstep_params(self) -> Tuple:
+        return (type(self).__name__, self.name, self.table_size,
+                self.confidence_threshold, self.distance, self.degree)
+
+    def training_fingerprint(self) -> Tuple:
+        # LRU order included: victim selection reads it.
+        return tuple((pc, e.last_line, e.stride, e.confidence)
+                     for pc, e in self._table.items())
+
+    def clone_for_lockstep(self) -> "StridePrefetcher":
+        clone = type(self)(
+            name=self.name, table_size=self.table_size,
+            confidence_threshold=self.confidence_threshold,
+            distance=self.distance, degree=self.degree)
+        clone.adopt_training(self)
+        return clone
+
+    def adopt_training(self, source: "StridePrefetcher") -> None:
+        table: "OrderedDict[int, _StrideEntry]" = OrderedDict()
+        for pc, entry in source._table.items():
+            fresh = _StrideEntry.__new__(_StrideEntry)
+            fresh.last_line = entry.last_line
+            fresh.stride = entry.stride
+            fresh.confidence = entry.confidence
+            table[pc] = fresh
+        self._table = table

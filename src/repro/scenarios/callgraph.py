@@ -12,8 +12,12 @@ Execution is trace-driven: each service's requests are lowered into one
 concatenated columnar trace — request ``i``'s records labelled
 ``req000i`` — and every replica replays it through a full
 :class:`~repro.memsys.hierarchy.MemoryHierarchy` via
-:func:`~repro.memsys.hierarchy.run_many`, so mode ``off`` arms batch
-through the lockstep engine exactly like the micro-fleet sweep.
+:func:`~repro.memsys.hierarchy.run_many`, so arms batch through the
+lockstep engine exactly like the micro-fleet sweep — ``off`` arms in
+empty-bank groups, ``control`` arms grouped by prefetcher-bank
+configuration and training fingerprint. Each shard records a
+:class:`~repro.memsys.batched.BatchOccupancy` surfaced through the
+``repro scenario`` report.
 Per-request per-replica latency falls out of the simulator's
 per-function statistics; end-to-end request latency is assembled over
 the DAG (request ``i`` routes to replica ``i % live``) and reported as
@@ -41,8 +45,8 @@ from repro.serialization import canonical_json
 from repro.telemetry import PercentileSummary
 
 #: Arm configurations, mirroring the sweep: ``off`` ablates every
-#: hardware prefetcher (lockstep-batched), ``control`` keeps the
-#: default aggressive bank (scalar baseline).
+#: hardware prefetcher, ``control`` keeps the default aggressive bank.
+#: Both batch through the lockstep engine.
 CALLGRAPH_MODES = ("off", "control")
 
 #: Upper bound of the per-replica background-load draw, bytes/ns.
@@ -156,6 +160,12 @@ class CallGraphResult:
     replicas: int = 0
     down: int = 0
     rows: List[Dict] = field(default_factory=list)
+    #: Engine-occupancy telemetry (a
+    #: :class:`~repro.memsys.batched.BatchOccupancy`), or ``None`` when
+    #: restored from a cache/checkpoint payload. Excluded from
+    #: :meth:`to_dict` so digests cover results, not execution strategy.
+    occupancy: Optional[object] = field(default=None, compare=False,
+                                        repr=False)
 
     def merge(self, other: "CallGraphResult") -> "CallGraphResult":
         """Fold the next shard's rows in (in place; plan order)."""
@@ -166,6 +176,12 @@ class CallGraphResult:
         self.replicas += other.replicas
         self.down += other.down
         self.rows.extend(other.rows)
+        theirs = getattr(other, "occupancy", None)
+        if theirs is not None:
+            if self.occupancy is None:
+                self.occupancy = theirs
+            else:
+                self.occupancy.merge(theirs)
         return self
 
     # --- lookups ---------------------------------------------------------------
@@ -234,10 +250,11 @@ def run_callgraph_shard(spec: CallGraphShardSpec) -> CallGraphResult:
     Pure function of the spec — the process-pool worker entry point.
     The request stream is lowered once into a concatenated columnar
     trace; replicas (differing only in constant background load) replay
-    it through :func:`~repro.memsys.hierarchy.run_many`, so mode ``off``
-    arms batch through the lockstep engine.
+    it through :func:`~repro.memsys.hierarchy.run_many`, so arms in both
+    modes batch through the lockstep engine.
     """
     from repro.access import AddressSpace, trace_builder
+    from repro.memsys.batched import BatchOccupancy
     from repro.memsys.dram import ConstantExternalLoad
     from repro.memsys.hierarchy import MemoryHierarchy, run_many
     from repro.memsys.prefetchers.bank import PrefetcherBank
@@ -283,10 +300,11 @@ def run_callgraph_shard(spec: CallGraphShardSpec) -> CallGraphResult:
         live_arms.append(arm)
         live_rows.append(row)
 
+    occupancy = BatchOccupancy()
     if live_arms:
         cycle_ns = live_arms[0].config.cycle_ns
         results = run_many(live_arms, trace, batch_size=spec.batch_size,
-                           export_state=False)
+                           export_state=False, occupancy=occupancy)
         for row, result in zip(live_rows, results):
             row["elapsed_ns"] = result.elapsed_ns
             row["llc_misses"] = result.total.llc_misses
@@ -296,7 +314,8 @@ def run_callgraph_shard(spec: CallGraphShardSpec) -> CallGraphResult:
                 result.function(request_label(index)).cycles * cycle_ns
                 for index in range(spec.requests)]
     return CallGraphResult(mode=spec.mode, requests=spec.requests,
-                           replicas=spec.replicas, down=down, rows=rows)
+                           replicas=spec.replicas, down=down, rows=rows,
+                           occupancy=occupancy)
 
 
 class CallGraphScenario:
@@ -309,9 +328,10 @@ class CallGraphScenario:
         requests: Arrival-stream length (every service handles each).
         seed: Master study seed; every request, load, and crash draw
             derives from it via the scenario stream.
-        mode: ``off`` (prefetchers ablated; replicas lockstep-batch) or
-            ``control`` (default bank; scalar). Same-seed pairs are a
-            paired experiment over identical request streams.
+        mode: ``off`` (prefetchers ablated) or ``control`` (default
+            bank). Replicas lockstep-batch in both modes. Same-seed
+            pairs are a paired experiment over identical request
+            streams.
         rpc_overhead_ns: Fixed per-call network/serialization cost added
             on every fan-out edge during end-to-end assembly.
         crash_rate: Fraction of replicas a chaos run marks down for the

@@ -11,6 +11,16 @@ exactly the paper's tension: the disable helps the prefetch-hostile
 tenant (less pollution, shorter queues) and hurts the streaming tenant
 (its covered accesses become demand misses).
 
+Every machine in a shard replays the *same* epoch trace (the shared
+fleet-wide slice the paper's daemons observe), so the epoch loop runs
+all live machines through :func:`~repro.memsys.hierarchy.run_many` in
+lockstep: at each epoch boundary arms regroup by prefetcher-bank
+enabled mask and training fingerprint, so machines whose controllers
+currently agree batch together while disagreeing machines split into
+sub-batches — the control-mode batching shape of ``DESIGN.md`` §11.
+Machines differ only in their constant background load (a float array
+lane) and their controller trajectory, never in cache-visible traffic.
+
 Attribution needs no extra bookkeeping: the simulator's per-function
 statistics, keyed by tenant label, yield per-tenant per-epoch latency
 (P50/P90/P99 over epochs x machines), per-tenant demand bytes (LLC
@@ -20,11 +30,13 @@ counter, a property test pins it), and the socket's disable duty cycle.
 QoS knobs: each tenant has a ``throttle`` in (0, 1] scaling its offered
 volume — the "what if we throttled the antagonist instead" lever.
 
-Determinism mirrors the other studies: every draw comes from
+Determinism mirrors the other studies: tenant traces come from
 :func:`~repro.scenarios.workload.scenario_seed` streams keyed by the
-study seed and global machine index (never shard-local state), shards
-merge by concatenation in plan order, and the result is bit-identical
-across worker counts, shard sizes, and engines.
+study seed, tenant name, and epoch (machine-independent, which is what
+makes the trace shareable), per-machine draws (load, crashes) key off
+the *global* machine index, shards merge by concatenation in plan
+order, and the result is bit-identical across worker counts, shard
+sizes, and engines.
 """
 
 from __future__ import annotations
@@ -152,6 +164,12 @@ class NoisyNeighborResult:
     machines: int = 0
     down: int = 0
     rows: List[Dict] = field(default_factory=list)
+    #: Engine-occupancy telemetry (a
+    #: :class:`~repro.memsys.batched.BatchOccupancy`), or ``None`` when
+    #: restored from a cache/checkpoint payload. Excluded from
+    #: :meth:`to_dict` so digests cover results, not execution strategy.
+    occupancy: Optional[object] = field(default=None, compare=False,
+                                        repr=False)
 
     def merge(self, other: "NoisyNeighborResult") -> "NoisyNeighborResult":
         """Fold the next shard's rows in (in place; plan order)."""
@@ -162,6 +180,12 @@ class NoisyNeighborResult:
         self.machines += other.machines
         self.down += other.down
         self.rows.extend(other.rows)
+        theirs = getattr(other, "occupancy", None)
+        if theirs is not None:
+            if self.occupancy is None:
+                self.occupancy = theirs
+            else:
+                self.occupancy.merge(theirs)
         return self
 
     # --- per-tenant attribution --------------------------------------------------
@@ -261,23 +285,31 @@ class NoisyShardSpec:
     shard_index: int
     #: Serialized :mod:`repro.policy` policy (mode ``policy`` only).
     policy: Optional[str] = None
+    #: Lockstep batch size forwarded to ``run_many``; never affects
+    #: results, only throughput — excluded from cache and task keys.
+    batch_size: Optional[int] = None
 
 
 def run_noisy_shard(spec: NoisyShardSpec) -> NoisyNeighborResult:
     """Simulate this shard's machines epoch by epoch.
 
     Pure function of the spec — the process-pool worker entry point.
-    Each machine interleaves its tenants' epoch traces through one
-    shared hierarchy; controller modes sample DRAM utilization at epoch
-    boundaries and actuate the socket-level prefetcher state for the
-    *next* epoch (telemetry acts with one epoch of lag, like the
-    daemon's sampling loop).
+    Every machine replays the *same* interleaved tenant trace each epoch
+    (tenant streams key off study seed, tenant name, and epoch — never
+    the machine), so the epoch loop runs all live machines through
+    :func:`~repro.memsys.hierarchy.run_many` together: arms group by
+    prefetcher enabled-mask and training fingerprint, and regroup at
+    every epoch boundary as controllers toggle socket state. Controller
+    modes sample DRAM utilization at epoch boundaries and actuate the
+    socket-level prefetcher state for the *next* epoch (telemetry acts
+    with one epoch of lag, like the daemon's sampling loop).
     """
     from repro.access import AddressSpace, interleave, trace_builder
     from repro.core import LimoncelloConfig
     from repro.core.controller import HardLimoncelloController
+    from repro.memsys.batched import BatchOccupancy
     from repro.memsys.dram import ConstantExternalLoad
-    from repro.memsys.hierarchy import MemoryHierarchy
+    from repro.memsys.hierarchy import MemoryHierarchy, run_many
 
     tenant_names = [tenant.name for tenant in spec.tenants]
     controller_config = LimoncelloConfig(
@@ -285,6 +317,7 @@ def run_noisy_shard(spec: NoisyShardSpec) -> NoisyNeighborResult:
         sustain_duration_ns=spec.sustain_ns,
         sample_period_ns=spec.sustain_ns)
     rows: List[Dict] = []
+    live: List[Tuple[Dict, MemoryHierarchy, Optional[object]]] = []
     down = 0
     for local in range(spec.machines):
         machine = spec.start + local
@@ -328,24 +361,31 @@ def run_noisy_shard(spec: NoisyShardSpec) -> NoisyNeighborResult:
             controller = PolicyController(policy_from_spec(spec.policy),
                                           config=controller_config,
                                           ident=ident)
-        cycle_ns = hierarchy.config.cycle_ns
-        space = AddressSpace()
-        for epoch in range(spec.epochs):
-            enabled_this_epoch = bool(
-                hierarchy.prefetchers.enabled_prefetchers())
-            if not enabled_this_epoch:
+        live.append((row, hierarchy, controller))
+
+    occupancy = BatchOccupancy()
+    space = AddressSpace()
+    for epoch in range(spec.epochs):
+        if not live:
+            break
+        traces = []
+        for tenant in spec.tenants:
+            builder = trace_builder()
+            emit_request(
+                builder, tenant.kind,
+                scenario_rng(spec.study_seed, "tenant", tenant.name,
+                             epoch),
+                space, tenant.effective_lines, function=tenant.name)
+            traces.append(builder.build())
+        epoch_trace = interleave(traces, chunk=_INTERLEAVE_CHUNK)
+        for row, hierarchy, _ in live:
+            if not hierarchy.prefetchers.enabled_prefetchers():
                 row["epochs_disabled"] += 1
-            traces = []
-            for tenant in spec.tenants:
-                builder = trace_builder()
-                emit_request(
-                    builder, tenant.kind,
-                    scenario_rng(spec.study_seed, "tenant", ident,
-                                 tenant.name, epoch),
-                    space, tenant.effective_lines, function=tenant.name)
-                traces.append(builder.build())
-            epoch_trace = interleave(traces, chunk=_INTERLEAVE_CHUNK)
-            result = hierarchy.run(epoch_trace)
+        results = run_many([arm for _, arm, _ in live], epoch_trace,
+                           batch_size=spec.batch_size,
+                           occupancy=occupancy)
+        for (row, hierarchy, controller), result in zip(live, results):
+            cycle_ns = hierarchy.config.cycle_ns
             row["demand_bytes"] += result.dram_demand_bytes
             row["elapsed_ns"] += result.elapsed_ns
             for name in tenant_names:
@@ -364,11 +404,13 @@ def run_noisy_shard(spec: NoisyShardSpec) -> NoisyNeighborResult:
                     hierarchy.dram.utilization(hierarchy.now_ns))
                 hierarchy.set_hardware_prefetchers(
                     decision.prefetchers_enabled)
+    for row, _, controller in live:
         if controller is not None:
             row["transitions"] = controller.transitions
     return NoisyNeighborResult(
         mode=spec.mode, epochs=spec.epochs, tenant_names=tenant_names,
-        machines=spec.machines, down=down, rows=rows)
+        machines=spec.machines, down=down, rows=rows,
+        occupancy=occupancy)
 
 
 class NoisyNeighborScenario:
@@ -397,6 +439,9 @@ class NoisyNeighborScenario:
         shard_size: Machines per shard. Machine identities and draws
             key off *global* indices, so the merged result is invariant
             to the shard size too (it is excluded from cache keys).
+        batch_size: Lockstep batch size forwarded to ``run_many``;
+            never affects results, only throughput — excluded from
+            cache and task keys.
     """
 
     STUDY = "scenario-noisy"
@@ -407,6 +452,7 @@ class NoisyNeighborScenario:
                  sustain_ns: float = 30_000.0,
                  crash_rate: float = 0.0,
                  shard_size: int = DEFAULT_SHARD_SIZE,
+                 batch_size: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None) -> None:
         if tenants is None:
             tenants = parse_tenants(DEFAULT_TENANTS)
@@ -464,6 +510,7 @@ class NoisyNeighborScenario:
         self.sustain_ns = sustain_ns
         self.crash_rate = crash_rate
         self.shard_size = shard_size
+        self.batch_size = batch_size
         #: Work-queue disposition of the last :meth:`run`, or ``None``.
         self.queue_stats = None
 
@@ -480,7 +527,8 @@ class NoisyNeighborScenario:
                 epochs=self.epochs, study_seed=self.seed, mode=self.mode,
                 crash_rate=self.crash_rate, upper=self.upper,
                 lower=self.lower, sustain_ns=self.sustain_ns,
-                shard_index=index, policy=self.policy))
+                shard_index=index, policy=self.policy,
+                batch_size=self.batch_size))
             start += size
         return specs
 
@@ -564,7 +612,7 @@ class NoisyNeighborScenario:
             epochs=self.epochs, seed=self.seed, mode="enabled",
             upper=self.upper, lower=self.lower,
             sustain_ns=self.sustain_ns, crash_rate=self.crash_rate,
-            shard_size=self.shard_size)
+            shard_size=self.shard_size, batch_size=self.batch_size)
 
     def compare_to_baseline(self, result: NoisyNeighborResult,
                             baseline: NoisyNeighborResult) -> Dict[str, Dict]:

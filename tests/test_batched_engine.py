@@ -25,6 +25,11 @@ from repro.memsys import (
 from repro.memsys import batched
 from repro.memsys.hierarchy import SLOW_ENGINE_ENV
 from repro.memsys.prefetchers.bank import default_prefetcher_bank
+from repro.memsys.prefetchers.base import HardwarePrefetcher
+from repro.memsys.prefetchers.feedback import FeedbackThrottledPrefetcher
+from repro.memsys.prefetchers.hinted import HintedRegionPrefetcher
+from repro.memsys.prefetchers.nextline import NextLinePrefetcher
+from repro.memsys.prefetchers.stream import StreamPrefetcher
 
 pytestmark = pytest.mark.skipif(not batched.HAVE_NUMPY,
                                 reason="lockstep engine needs numpy")
@@ -63,6 +68,15 @@ def cache_contents(cache):
     }
 
 
+def bank_state(hierarchy):
+    """Counters plus (when the protocol allows) the full training state."""
+    bank = hierarchy.prefetchers
+    counters = tuple(p.counter_signature() for p in bank)
+    if bank.lockstep_safe():
+        return (counters, bank.state_fingerprint())
+    return (counters, None)
+
+
 def snapshot(hierarchy, result):
     """Everything observable after a run, as one comparable structure."""
     return {
@@ -84,6 +98,7 @@ def snapshot(hierarchy, result):
         "sw_issued": hierarchy.software_prefetches_issued,
         "in_flight": dict(hierarchy._in_flight),
         "recent": list(hierarchy._recent_miss_lines),
+        "bank": bank_state(hierarchy),
     }
 
 
@@ -196,9 +211,11 @@ class TestGoldenEquivalence:
 
 
 class TestDispatch:
-    def test_prefetcher_arm_falls_back_to_scalar(self, monkeypatch):
-        """An arm with live hardware prefetchers never enters lockstep,
-        and results still come back bit-identical, in input order."""
+    def test_enabled_arm_batches_in_own_group(self, monkeypatch):
+        """An arm with live (lockstep-safe) hardware prefetchers now
+        batches — in its own one-arm group, since its bank signature
+        differs from the empty-bank arms' — and results still come back
+        bit-identical, in input order."""
         calls = spy_lockstep(monkeypatch)
         loads = (None, 0.5, 1.0, 0.25)
 
@@ -212,7 +229,7 @@ class TestDispatch:
         trace = Trace(make_records())
         batched_arms = fleet()
         batched_results = run_many(batched_arms, trace)
-        assert sum(calls) == len(loads)  # the hot arm stayed scalar
+        assert sorted(calls) == [1, len(loads)]  # own group, not scalar
 
         scalar_arms = fleet()
         scalar_results = run_many(scalar_arms, trace, batch_size=0)
@@ -220,20 +237,56 @@ class TestDispatch:
             assert (snapshot(batched_arms[arm], batched_results[arm])
                     == snapshot(scalar_arms[arm], scalar_results[arm]))
 
-    def test_msr_flip_invalidates_one_arm(self, monkeypatch):
-        """An MSR-style prefetcher flip between runs drops only that
-        arm out of the batch; its batch-mates keep batching."""
+    def test_unsafe_prefetcher_falls_back_to_scalar(self, monkeypatch):
+        """A custom prefetcher without the lockstep protocol keeps its
+        arm on the scalar engine (``lockstep_safe`` defaults to False),
+        and the occupancy summary names the reason."""
+
+        class OpaquePrefetcher(HardwarePrefetcher):
+            def _observe(self, line, pc, was_hit):
+                return [] if was_hit else [line + 64]
+
+        calls = spy_lockstep(monkeypatch)
+        loads = (None, 0.5, 1.0)
+
+        def fleet():
+            arms = build_arms(loads)
+            arms.insert(1, MemoryHierarchy(
+                prefetchers=PrefetcherBank([OpaquePrefetcher("opaque")])))
+            return arms
+
+        trace = Trace(make_records())
+        occupancy = batched.BatchOccupancy()
+        batched_arms = fleet()
+        batched_results = run_many(batched_arms, trace, occupancy=occupancy)
+        assert sum(calls) == len(loads)  # the opaque arm stayed scalar
+        summary = occupancy.to_dict()
+        assert summary["batched_arms"] == len(loads)
+        assert summary["fallback_reasons"] == {"unsafe-prefetcher": 1}
+
+        scalar_arms = fleet()
+        scalar_results = run_many(scalar_arms, trace, batch_size=0)
+        for arm in range(len(scalar_arms)):
+            assert (snapshot(batched_arms[arm], batched_results[arm])
+                    == snapshot(scalar_arms[arm], scalar_results[arm]))
+
+    def test_msr_flip_regroups_one_arm(self, monkeypatch):
+        """An MSR-style prefetcher flip between runs moves only that arm
+        into its own lockstep sub-batch; its batch-mates keep batching
+        together."""
         records = make_records()
         traces = [Trace(records[:500]), Trace(records[500:])]
 
         def fleet():
-            arms = build_arms((None, 0.5, 1.0, 0.25, 1.5))
-            flipper = MemoryHierarchy(
-                prefetchers=default_prefetcher_bank(),
-                external_load=ConstantExternalLoad(0.5))
-            flipper.set_hardware_prefetchers(False)  # eligible for now
-            arms.insert(2, flipper)
-            return arms, flipper
+            arms = []
+            for load in (None, 0.5, 1.0, 0.25, 1.5, 0.5):
+                arm = MemoryHierarchy(
+                    prefetchers=default_prefetcher_bank(),
+                    external_load=None if load is None
+                    else ConstantExternalLoad(load))
+                arm.set_hardware_prefetchers(False)  # co-batched for now
+                arms.append(arm)
+            return arms, arms[2]
 
         calls = spy_lockstep(monkeypatch)
         batched_arms, flipper = fleet()
@@ -242,7 +295,7 @@ class TestDispatch:
         calls.clear()
         flipper.set_hardware_prefetchers(True)
         batched_b = run_many(batched_arms, traces[1])
-        assert sum(calls) == 5  # flipped arm left the batch mid-sequence
+        assert sorted(calls) == [1, 5]  # flipped arm regrouped, alone
 
         scalar_arms, scalar_flipper = fleet()
         scalar_a = run_many(scalar_arms, traces[0], batch_size=0)
@@ -301,6 +354,197 @@ class TestDispatch:
             for i in range(64)]
         assert_batched_matches_scalar(records, loads=(None, 0.5, 1.0))
         assert calls == []
+
+
+def build_enabled_arms(loads=(None, 0.5, 1.0, 0.25)):
+    """A lockstep-eligible fleet with live default banks."""
+    return [
+        MemoryHierarchy(
+            prefetchers=default_prefetcher_bank(),
+            external_load=None if load is None
+            else ConstantExternalLoad(load))
+        for load in loads
+    ]
+
+
+def exotic_bank():
+    """Hinted + feedback-wrapped engines: every lockstep hook in play."""
+    return PrefetcherBank([
+        HintedRegionPrefetcher(name="hinted_stream", degree=2,
+                               lead_lines=8, max_regions=4),
+        FeedbackThrottledPrefetcher(
+            NextLinePrefetcher(name="l1_next_line", degree=2),
+            window=32, gate_below=0.4, ungate_above=0.7,
+            tracker_entries=256),
+        StreamPrefetcher(distance=8, degree=2),
+    ])
+
+
+class TestEnabledGolden:
+    """Bit-identity with hardware prefetchers live — the tentpole."""
+
+    def assert_enabled_fleet_agrees(self, bank_factory, batch_size=None,
+                                    split=None):
+        records = make_records()
+        if split is None:
+            traces = [Trace(records)]
+        else:
+            traces = [Trace(records[:split]), Trace(records[split:])]
+
+        def fleet():
+            arms = build_enabled_arms()
+            arms.append(MemoryHierarchy(prefetchers=bank_factory()))
+            return arms
+
+        scalar_arms, batched_arms = fleet(), fleet()
+        for trace in traces:
+            scalar_results = run_many(scalar_arms, trace, batch_size=0)
+            batched_results = run_many(batched_arms, trace,
+                                       batch_size=batch_size)
+            for arm in range(len(scalar_arms)):
+                assert (snapshot(batched_arms[arm], batched_results[arm])
+                        == snapshot(scalar_arms[arm],
+                                    scalar_results[arm])), (
+                    f"arm {arm} diverged")
+
+    def test_default_banks_match_scalar(self):
+        self.assert_enabled_fleet_agrees(default_prefetcher_bank)
+
+    def test_hinted_and_feedback_banks_match_scalar(self):
+        self.assert_enabled_fleet_agrees(exotic_bank)
+
+    def test_warm_enabled_continuation(self):
+        """Trained banks regroup and keep batching across calls."""
+        self.assert_enabled_fleet_agrees(default_prefetcher_bank, split=500)
+
+    def test_enabled_small_batches(self):
+        self.assert_enabled_fleet_agrees(exotic_bank, batch_size=2)
+
+    def test_hw_prefetches_issued_reported(self):
+        arms = build_enabled_arms((None, 0.5))
+        results = run_many(arms, Trace(make_records()))
+        assert results[0].hw_prefetches_issued > 0
+        assert (results[0].hw_prefetches_issued
+                == sum(p.issued for p in arms[0].prefetchers))
+
+
+class TestEligibilityEdges:
+    def test_epoch_regrouping_sub_batches(self, monkeypatch):
+        """Control-mode shape: daemons re-enable some arms' banks
+        between trace slices; the next call forms lockstep sub-batches
+        keyed by the enabled mask instead of dropping anyone to scalar."""
+        records = make_records()
+        traces = [Trace(records[:400]), Trace(records[400:])]
+
+        def fleet():
+            arms = build_enabled_arms((None, 0.5, 1.0, 0.25))
+            for arm in arms:
+                arm.set_hardware_prefetchers(False)
+            return arms
+
+        calls = spy_lockstep(monkeypatch)
+        batched_arms = fleet()
+        run_many(batched_arms, traces[0])
+        assert calls == [4]
+        calls.clear()
+        for arm in batched_arms[2:]:
+            arm.set_hardware_prefetchers(True)  # the MSR daemon acted
+        occupancy = batched.BatchOccupancy()
+        batched_b = run_many(batched_arms, traces[1], occupancy=occupancy)
+        assert sorted(calls) == [2, 2]  # two sub-batches, nothing scalar
+        assert occupancy.to_dict() == {
+            "batched_arms": 4, "scalar_arms": 0, "groups": 2,
+            "fallback_reasons": {}}
+
+        scalar_arms = fleet()
+        run_many(scalar_arms, traces[0], batch_size=0)
+        for arm in scalar_arms[2:]:
+            arm.set_hardware_prefetchers(True)
+        scalar_b = run_many(scalar_arms, traces[1], batch_size=0)
+        for arm in range(4):
+            assert (snapshot(batched_arms[arm], batched_b[arm])
+                    == snapshot(scalar_arms[arm], scalar_b[arm]))
+
+    def test_tracer_attached_mid_study(self, monkeypatch):
+        """An arm that gains a recording tracer between calls falls back
+        to scalar for subsequent calls only — and still agrees."""
+        from repro.obs import Tracer
+
+        records = make_records()
+        traces = [Trace(records[:400]), Trace(records[400:])]
+        calls = spy_lockstep(monkeypatch)
+        arms = build_enabled_arms((None, 0.5, 1.0))
+        run_many(arms, traces[0])
+        assert calls == [3]
+        calls.clear()
+        arms[1].obs = Tracer()
+        occupancy = batched.BatchOccupancy()
+        batched_b = run_many(arms, traces[1], occupancy=occupancy)
+        assert sum(calls) == 2
+        assert occupancy.to_dict()["fallback_reasons"] == {"tracer": 1}
+
+        scalar_arms = build_enabled_arms((None, 0.5, 1.0))
+        run_many(scalar_arms, traces[0], batch_size=0)
+        scalar_b = run_many(scalar_arms, traces[1], batch_size=0)
+        for arm in range(3):
+            assert (snapshot(arms[arm], batched_b[arm])
+                    == snapshot(scalar_arms[arm], scalar_b[arm]))
+
+    def test_callable_external_load_is_scalar(self, monkeypatch):
+        """A non-constant external DRAM load (per-arm utilization feeds
+        per-arm latency) keeps its arm on the scalar engine."""
+        calls = spy_lockstep(monkeypatch)
+        arms = build_enabled_arms((None, 0.5))
+        arms.append(MemoryHierarchy(
+            prefetchers=default_prefetcher_bank(),
+            external_load=lambda now_ns: 0.25))
+        occupancy = batched.BatchOccupancy()
+        run_many(arms, Trace(make_records()[:300]), occupancy=occupancy)
+        assert sum(calls) == 2
+        assert occupancy.to_dict()["fallback_reasons"] == {
+            "external-load": 1}
+
+    def test_prune_bailout_reruns_scalar(self, monkeypatch):
+        """Hardware-issue volume crossing the prune threshold mid-batch
+        aborts lockstep (the prune keys on per-arm clocks); the chunk
+        reruns scalar, with no state leaked from the aborted batch."""
+        monkeypatch.setattr(MemoryHierarchy, "_IN_FLIGHT_PRUNE_THRESHOLD", 4)
+        # Pure demand loads: no software prefetches, so the static prune
+        # bound passes and only the dynamic bailout can catch this.
+        trace = Trace(make_records()[:400])
+        occupancy = batched.BatchOccupancy()
+        arms = build_enabled_arms((None, 0.5, 1.0))
+        results = run_many(arms, trace, occupancy=occupancy)
+        summary = occupancy.to_dict()
+        assert summary["fallback_reasons"] == {"prune-bailout": 3}
+        assert summary["batched_arms"] == 0
+
+        scalar_arms = build_enabled_arms((None, 0.5, 1.0))
+        scalar_results = run_many(scalar_arms, trace, batch_size=0)
+        for arm in range(3):
+            assert (snapshot(arms[arm], results[arm])
+                    == snapshot(scalar_arms[arm], scalar_results[arm]))
+
+    def test_fingerprint_cache_stamped_and_invalidated(self):
+        """Satellite 1: batch export stamps the shared fingerprint;
+        MSR flips, scalar runs, and resets all invalidate it."""
+        trace = Trace(make_records()[:300])
+        arms = build_enabled_arms((None, 0.5))
+        run_many(arms, trace)
+        for arm in arms:
+            assert arm._state_fp_cache is not None
+            assert (batched.cached_state_fingerprint(arm)
+                    == batched.state_fingerprint(arm))
+        sig = batched.cached_config_signature(arms[0])
+        assert arms[0]._config_sig_cache is sig
+        arms[0].set_hardware_prefetchers(False)  # MSR-style flip
+        assert arms[0]._state_fp_cache is None
+        arms[1].run(trace)  # scalar run mutates state directly
+        assert arms[1]._state_fp_cache is None
+        arms[0].reset()
+        assert arms[0]._state_fp_cache is None
+        # Config is lifetime-immutable: the cache survives everything.
+        assert arms[0]._config_sig_cache is sig
 
 
 class TestExportState:

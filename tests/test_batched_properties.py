@@ -20,7 +20,7 @@ from repro.memsys import (
 )
 from repro.memsys import batched
 
-from tests.test_batched_engine import snapshot
+from tests.test_batched_engine import exotic_bank, snapshot
 
 pytestmark = pytest.mark.skipif(not batched.HAVE_NUMPY,
                                 reason="lockstep engine needs numpy")
@@ -49,23 +49,38 @@ loads_strategy = st.lists(
     min_size=1, max_size=7)
 
 
-def build_arms(loads):
+#: Per-arm hardware-bank shapes the property fleets mix: ablated,
+#: the stock default bank, and a hinted/feedback/stream composite —
+#: all lockstep-safe, so mixed fleets exercise the grouping logic.
+BANK_SHAPES = ("empty", "default", "exotic")
+
+
+def _build_bank(shape):
+    if shape == "empty":
+        return PrefetcherBank([])
+    if shape == "exotic":
+        return exotic_bank()
+    return None  # the hierarchy's default bank
+
+
+def build_arms(loads, banks=None):
     return [
         MemoryHierarchy(
-            prefetchers=PrefetcherBank([]),
+            prefetchers=_build_bank(banks[index] if banks else "empty"),
             external_load=None if load is None
             else ConstantExternalLoad(load))
-        for load in loads
+        for index, load in enumerate(loads)
     ]
 
 
-def assert_fleet_agrees(records, loads, batch_size, split=None):
+def assert_fleet_agrees(records, loads, batch_size, split=None,
+                        banks=None):
     if split is None:
         traces = [Trace(records)]
     else:
         traces = [Trace(records[:split]), Trace(records[split:])]
-    scalar_arms = build_arms(loads)
-    batched_arms = build_arms(loads)
+    scalar_arms = build_arms(loads, banks)
+    batched_arms = build_arms(loads, banks)
     for trace in traces:
         scalar_results = run_many(scalar_arms, trace, batch_size=0)
         batched_results = run_many(batched_arms, trace,
@@ -99,3 +114,44 @@ class TestPropertyEquivalence:
         """batch_size=None (the study-layer default) also agrees —
         under whatever REPRO_BATCH the environment pins."""
         assert_fleet_agrees(records, loads, None)
+
+
+#: One (load, bank-shape) pair per arm, so fleets mix ablated and
+#: enabled arms and the engine must group them correctly.
+enabled_arms_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(),
+                  st.floats(min_value=0.0, max_value=4.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.sampled_from(BANK_SHAPES)),
+    min_size=1, max_size=5)
+
+
+class TestEnabledBankProperties:
+    """The tentpole property: enabled-prefetcher arms batch bit-exactly.
+
+    Fleets mix empty, default, and hinted/feedback banks, so lockstep
+    groups form per (config signature, training fingerprint) and every
+    group's clone-trained prefetcher state must match the scalar oracle.
+    """
+
+    @given(records=records_strategy, arms=enabled_arms_strategy,
+           batch_size=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=scaled(30), deadline=None)
+    def test_random_enabled_fleets(self, records, arms, batch_size):
+        loads = [load for load, _ in arms]
+        banks = [bank for _, bank in arms]
+        assert_fleet_agrees(records, loads, batch_size, banks=banks)
+
+    @given(records=records_strategy, arms=enabled_arms_strategy,
+           batch_size=st.integers(min_value=1, max_value=8),
+           split=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=scaled(20), deadline=None)
+    def test_warm_enabled_continuation(self, records, arms, batch_size,
+                                       split):
+        """Epoch two regroups on *trained* fingerprints; warm prefetcher
+        state exported from epoch one must still match scalar."""
+        loads = [load for load, _ in arms]
+        banks = [bank for _, bank in arms]
+        assert_fleet_agrees(records, loads, batch_size,
+                            split=min(split, len(records)), banks=banks)
